@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` runs the *quick* instances: the
+same pipeline as the paper's experiments on inputs small enough for
+pure Python (see DESIGN.md §3 "Scaling note").  The full paper-size
+tables are produced by ``benchmarks/run_tables.py --full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_functions():
+    """Build the quick-mode benchmark functions once per session."""
+    from repro.bench.suite import get_benchmark
+
+    names = ["adr2", "adr3", "mlp2", "dist3", "csa2", "life6", "adr4", "life"]
+    return {name: get_benchmark(name) for name in names}

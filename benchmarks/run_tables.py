@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables and figures.
+
+Quick mode (default) runs the scaled + cheap paper instances; ``--full``
+runs every row of the published tables (hours of pure-Python CPU for
+the heaviest functions; rows that blow the ``--budget`` pseudoproduct
+cap are flagged, mirroring the paper's two-day-timeout stars).
+
+Examples::
+
+    python benchmarks/run_tables.py table1
+    python benchmarks/run_tables.py table1 --full --budget 2000000
+    python benchmarks/run_tables.py table2 --naive-timeout 120
+    python benchmarks/run_tables.py table3
+    python benchmarks/run_tables.py fig34 --function dist3 --function life6
+    python benchmarks/run_tables.py all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import harness
+from repro.bench.paper_data import TABLE1, TABLE2, TABLE3
+
+FULL_TABLE2_CASES = [(row.function, row.output) for row in TABLE2]
+FULL_FIG34 = ["dist", "f51m"]
+
+
+def _log(message: str) -> None:
+    print(f"[{time.strftime('%H:%M:%S')}] {message}", file=sys.stderr)
+
+
+def run_table1(args: argparse.Namespace) -> None:
+    if args.names:
+        names = args.names
+    elif args.full:
+        names = [r.function for r in TABLE1]
+    else:
+        names = harness.QUICK_TABLE1
+    rows = []
+    for name in names:
+        _log(f"table1: {name}")
+        rows.append(
+            harness.run_table1_row(name, max_pseudoproducts=args.budget)
+        )
+    print(harness.render_table1(rows))
+
+
+def run_table2(args: argparse.Namespace) -> None:
+    cases = FULL_TABLE2_CASES if args.full else harness.QUICK_TABLE2
+    rows = []
+    for name, output in cases:
+        _log(f"table2: {name}({output})")
+        rows.append(
+            harness.run_table2_row(
+                name,
+                output,
+                naive_timeout=args.naive_timeout,
+                max_pseudoproducts=args.budget,
+            )
+        )
+    print(harness.render_table2(rows))
+
+
+def run_table3(args: argparse.Namespace) -> None:
+    if args.names:
+        names = args.names
+    elif args.full:
+        names = [r.function for r in TABLE3]
+    else:
+        names = harness.QUICK_TABLE3
+    rows = []
+    for name in names:
+        _log(f"table3: {name}")
+        rows.append(
+            harness.run_table3_row(
+                name,
+                exact_budget=args.budget,
+                heuristic_budget=args.budget,
+            )
+        )
+    print(harness.render_table3(rows))
+
+
+def run_fig34(args: argparse.Namespace) -> None:
+    names = args.function or (FULL_FIG34 if args.full else harness.QUICK_FIG34)
+    points = []
+    for name in names:
+        _log(f"fig34: sweeping {name}")
+        points.extend(
+            harness.run_spp_k_sweep(
+                name, ks=args.k or None, heuristic_budget=args.budget
+            )
+        )
+    print(harness.render_fig34(points))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "target", choices=["table1", "table2", "table3", "fig34", "all"]
+    )
+    parser.add_argument("--full", action="store_true", help="paper-size instances")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="pseudoproduct generation cap (rows exceeding it are flagged)",
+    )
+    parser.add_argument(
+        "--naive-timeout",
+        type=float,
+        default=60.0,
+        help="seconds before the naive baseline is starred (table2)",
+    )
+    parser.add_argument(
+        "--names",
+        nargs="+",
+        help="table1/table3: run exactly these benchmark rows",
+    )
+    parser.add_argument(
+        "--function", action="append", help="fig34: sweep these functions"
+    )
+    parser.add_argument("--k", type=int, action="append", help="fig34: sweep values")
+    args = parser.parse_args(argv)
+
+    runners = {
+        "table1": run_table1,
+        "table2": run_table2,
+        "table3": run_table3,
+        "fig34": run_fig34,
+    }
+    if args.target == "all":
+        for runner in runners.values():
+            runner(args)
+            print()
+    else:
+        runners[args.target](args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

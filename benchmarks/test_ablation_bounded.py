@@ -1,0 +1,40 @@
+"""Ablation C — bounded EXOR-factor width (2-SPP) vs full SPP.
+
+The paper's conclusion motivates restricted pseudoproduct classes whose
+candidate spaces stay manageable.  This ablation quantifies the trade
+on quick-mode functions: the candidate count shrinks drastically with
+the bound while the literal count degrades gracefully
+(SP = bound 1 ≥ 2-SPP ≥ SPP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import get_benchmark
+from repro.minimize.bounded import minimize_spp_bounded
+from repro.verify import assert_equivalent
+
+CASES = [("adr3", 3), ("dist3", 2), ("csa2", 3)]
+
+
+@pytest.mark.parametrize("name,output", CASES)
+@pytest.mark.parametrize("bound", [1, 2, 99])
+def test_bounded_minimization_speed(benchmark, name, output, bound):
+    fo = get_benchmark(name)[output]
+    result = benchmark.pedantic(
+        minimize_spp_bounded, args=(fo, bound), rounds=1, iterations=1
+    )
+    assert_equivalent(result.form, fo)
+
+
+@pytest.mark.parametrize("name,output", CASES)
+def test_literals_monotone_in_bound(name, output):
+    fo = get_benchmark(name)[output]
+    results = {
+        b: minimize_spp_bounded(fo, b, covering="exact") for b in (1, 2, 99)
+    }
+    # Literal counts: SP (bound 1) ≥ 2-SPP ≥ full SPP.
+    assert results[1].num_literals >= results[2].num_literals
+    assert results[2].num_literals >= results[99].num_literals
+    # Bound-1 pseudoproducts are plain cubes: the result is an SP form.
+    assert results[1].form.is_sp()

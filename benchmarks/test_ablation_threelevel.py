@@ -1,0 +1,53 @@
+"""Ablation E — three-level families compared: SP vs AND-OR-EXOR vs SPP.
+
+The paper's conclusion plans to "compare SPP forms with other three
+level forms"; this ablation runs that comparison with the library's
+linear-correction EX-SOP baseline.  Expected ordering on XOR-rich
+arithmetic: SPP ≤ AOX ≤ SP, with AOX capturing part of the gap (it can
+peel one parity off, SPP can use EXOR factors inside every product).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import get_benchmark
+from repro.minimize.aox import minimize_aox
+from repro.minimize.exact import minimize_spp
+from repro.minimize.sp import minimize_sp
+from repro.verify import verify_form
+
+NAMES = ["adr3", "dist3", "csa2", "life6"]
+
+
+def _totals(name):
+    func = get_benchmark(name)
+    sp = aox = spp = 0
+    for fo in func.outputs:
+        if not fo.on_set:
+            continue
+        sp += minimize_sp(fo).num_literals
+        aox_result = minimize_aox(fo)
+        assert verify_form(aox_result.form, fo).ok
+        aox += aox_result.num_literals
+        spp += minimize_spp(fo).num_literals
+    return sp, aox, spp
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_three_level_comparison(benchmark, name):
+    sp, aox, spp = benchmark.pedantic(_totals, args=(name,), rounds=1, iterations=1)
+    assert spp <= aox <= sp
+
+
+@pytest.mark.parametrize("name", ["adr3"])
+def test_aox_alone(benchmark, name):
+    func = get_benchmark(name)
+
+    def run():
+        return [
+            minimize_aox(fo).num_literals for fo in func.outputs if fo.on_set
+        ]
+
+    literals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert literals

@@ -1,0 +1,57 @@
+"""Figures 3 and 4 — SPP_k literals and CPU time as functions of k.
+
+Paper claims (Section 4): as ``k`` grows toward ``n-1``, the literal
+count of ``SPP_k`` decreases slowly toward the exact SPP count while
+the synthesis time grows steeply (log-scale figure 4); small ``k``
+therefore gives "reasonable upper bounds" cheaply.  The sweep series is
+printed by ``run_tables.py fig34``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_spp_k_sweep
+from repro.bench.suite import get_benchmark
+from repro.minimize.exact import minimize_spp
+from repro.minimize.heuristic import minimize_spp_k
+
+SWEEPS = {"dist3": [0, 1, 2, 3, 4, 5], "life6": [0, 1, 2, 3, 4, 5]}
+
+
+@pytest.mark.parametrize("name", sorted(SWEEPS))
+def test_fig3_literals_decrease_to_exact(benchmark, name):
+    """Figure 3 shape: #L(SPP_k) non-increasing, ending at the exact
+    count for k = n-1 (with exact covering to remove solver noise)."""
+    func = get_benchmark(name)
+
+    def sweep():
+        series = []
+        for k in range(func.n):
+            literals = sum(
+                minimize_spp_k(fo, k, covering="exact").num_literals
+                for fo in func.outputs
+                if fo.on_set
+            )
+            series.append(literals)
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(a >= b for a, b in zip(series, series[1:]))
+    exact = sum(
+        minimize_spp(fo, covering="exact").num_literals
+        for fo in func.outputs
+        if fo.on_set
+    )
+    assert series[-1] == exact
+
+
+@pytest.mark.parametrize("name", sorted(SWEEPS))
+def test_fig4_time_grows_with_k(name):
+    """Figure 4 shape: synthesis time at the deepest k dominates k=0 —
+    the exponential cost of the descendant phase."""
+    points = run_spp_k_sweep(name, ks=SWEEPS[name])
+    assert points[-1].seconds > points[0].seconds
+    # The literal series over the sweep is weakly decreasing overall:
+    # the first point is never the unique minimum.
+    assert points[-1].literals <= points[0].literals

@@ -1,0 +1,56 @@
+"""Table 1 — SP vs SPP minimization (per-function totals).
+
+Paper claim: the minimal SPP form has, on average, about half the
+literals of the minimal SP form; for arithmetic functions like adr4 the
+gap is far larger (340 → 72).  Each benchmark here runs the full
+Algorithm 2 pipeline (EPPP generation + covering) on one quick-mode
+function and asserts the SP-vs-SPP shape; the rendered table is printed
+by ``run_tables.py table1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_table1_row
+
+
+@pytest.mark.parametrize(
+    "name", ["adr2", "adr3", "mlp2", "dist3", "csa2", "life6", "bcd7seg"]
+)
+def test_table1_quick_function(benchmark, bench_functions, name):
+    measurement = benchmark.pedantic(
+        run_table1_row, args=(name,), rounds=1, iterations=1
+    )
+    assert measurement.spp_literals <= measurement.sp_literals
+    assert measurement.spp_products <= measurement.sp_products
+    assert not measurement.truncated
+
+
+def test_table1_adr4_matches_paper_exactly(benchmark, bench_functions):
+    """adr4 is an exact construction: the SP side must reproduce the
+    paper's numbers exactly, and the SPP side its published literal and
+    product counts (340/75 → 72/14)."""
+    measurement = benchmark.pedantic(
+        run_table1_row, args=("adr4",), rounds=1, iterations=1
+    )
+    assert measurement.sp_literals == 340
+    assert measurement.sp_products == 75
+    assert measurement.sp_primes == 75
+    assert measurement.spp_literals == 72
+    assert measurement.spp_products == 14
+    # The paper's halving claim, strongly exceeded on adders: 4.72x.
+    assert measurement.sp_literals / measurement.spp_literals > 4
+
+
+def test_table1_life_matches_paper(benchmark, bench_functions):
+    """life: SP literals exactly 672 (paper), EPPP count exactly 2100
+    (paper); our covering may find a slightly different upper bound for
+    the SPP literals (the paper's 144 is also a heuristic bound)."""
+    measurement = benchmark.pedantic(
+        run_table1_row, args=("life",), rounds=1, iterations=1
+    )
+    assert measurement.sp_literals == 672
+    assert measurement.spp_eppps == 2100
+    assert measurement.spp_literals <= 144
+    assert measurement.sp_literals / measurement.spp_literals > 4

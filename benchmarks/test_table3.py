@@ -1,0 +1,70 @@
+"""Table 3 — the SPP_0 heuristic vs the exact algorithm.
+
+Paper claims: (i) SPP_0 lands roughly midway between SP and exact SPP
+in literal count (the ``Av`` column), and (ii) it is drastically
+cheaper to compute (seconds vs hours).  Quick-mode equivalents are
+asserted here; exact-vs-SPP_0 times are benchmarked separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_table3_row
+from repro.bench.suite import get_benchmark
+from repro.minimize.exact import minimize_spp
+from repro.minimize.heuristic import minimize_spp_k
+from repro.minimize.sp import minimize_sp
+
+NAMES = ["adr3", "dist3", "mlp2", "csa2", "life6"]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_table3_row(benchmark, name):
+    measurement = benchmark.pedantic(
+        run_table3_row, args=(name,), rounds=1, iterations=1
+    )
+    assert measurement.spp_literals <= measurement.spp0_literals
+
+
+def test_spp0_between_sp_and_exact_on_adr4():
+    """adr4 whole function: SPP ≤ SPP_0 ≤ SP with a real gap each side."""
+    func = get_benchmark("adr4")
+    sp = spp0 = spp = 0
+    for fo in func.outputs:
+        if not fo.on_set:
+            continue
+        sp += minimize_sp(fo).num_literals
+        spp0 += minimize_spp_k(fo, 0).num_literals
+        spp += minimize_spp(fo).num_literals
+    assert spp <= spp0 <= sp
+    assert spp0 < sp  # the heuristic already wins at k = 0
+
+
+@pytest.mark.parametrize("name", ["adr3", "dist3"])
+def test_spp0_much_faster_than_exact(name):
+    """The heuristic's whole point: SPP_0 in a fraction of exact time."""
+    func = get_benchmark(name)
+    exact_seconds = 0.0
+    spp0_seconds = 0.0
+    for fo in func.outputs:
+        if not fo.on_set:
+            continue
+        spp0_seconds += minimize_spp_k(fo, 0).seconds
+        exact_seconds += minimize_spp(fo).seconds
+    assert spp0_seconds < exact_seconds
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_spp0_benchmark(benchmark, name):
+    func = get_benchmark(name)
+
+    def run():
+        return [
+            minimize_spp_k(fo, 0).num_literals
+            for fo in func.outputs
+            if fo.on_set
+        ]
+
+    literals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(x > 0 for x in literals)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Figures 3 and 4: the SPP_k quality/time trade-off.
+
+Sweeps k for the scaled distance function dist3 (6 inputs) and prints
+the two curves the paper plots: literals (fig. 3) and CPU seconds
+(fig. 4, log scale in the paper).  The shape to look for: literals sink
+toward the exact SPP count while time climbs steeply — "SPP_k forms
+are reasonable upper bounds of the exact SPP forms for small k".
+
+Run:  python examples/heuristic_tradeoff.py [benchmark-name]
+"""
+
+import sys
+
+from repro import minimize_sp, minimize_spp
+from repro.bench.harness import run_spp_k_sweep
+from repro.bench.suite import get_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "dist3"
+    func = get_benchmark(name)
+    actives = [f for f in func.outputs if f.on_set]
+
+    sp_literals = sum(minimize_sp(f).num_literals for f in actives)
+    exact = [minimize_spp(f) for f in actives]
+    exact_literals = sum(r.num_literals for r in exact)
+    exact_seconds = sum(r.seconds for r in exact)
+
+    print(f"benchmark {name}: {func.n} inputs, {len(actives)} active outputs")
+    print(f"SP form       : {sp_literals} literals")
+    print(f"exact SPP form: {exact_literals} literals, {exact_seconds:.2f}s\n")
+
+    print(f"{'k':>3}  {'#L(SPP_k)':>10}  {'seconds':>9}  curve")
+    scale = max(sp_literals, 1)
+    for point in run_spp_k_sweep(name):
+        bar = "#" * round(40 * point.literals / scale)
+        print(f"{point.k:>3}  {point.literals:>10}  {point.seconds:>9.3f}  {bar}")
+    bar = "#" * round(40 * exact_literals / scale)
+    print(f"{'SPP':>3}  {exact_literals:>10}  {exact_seconds:>9.3f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: minimize a small function as SP and as SPP.
+
+The function here is a 4-variable "one-hot or all-hot" detector.  The
+SP form needs one product per accepted point; the SPP form exploits
+EXOR structure and is considerably smaller.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BoolFunc, assert_equivalent, minimize_sp, minimize_spp
+
+
+def main() -> None:
+    # f(x) = 1 iff exactly one input is high, or all four are.
+    func = BoolFunc.from_lambda(4, lambda p: p.bit_count() == 1 or p == 0b1111)
+
+    sp = minimize_sp(func, covering="exact")
+    spp = minimize_spp(func, covering="exact")
+
+    # Both forms implement the function exactly (raises otherwise).
+    assert_equivalent(sp.form, func)
+    assert_equivalent(spp.form, func)
+
+    print("function: one-hot-or-all-hot over 4 variables")
+    print(f"  on-set size      : {len(func.on_set)}")
+    print()
+    print(f"SP  (sum of products)      : {sp.num_literals} literals, "
+          f"{sp.num_products} products from {sp.num_primes} primes")
+    print(f"    {sp.form}")
+    print()
+    print(f"SPP (sum of pseudoproducts): {spp.num_literals} literals, "
+          f"{spp.num_pseudoproducts} pseudoproducts from "
+          f"{spp.num_candidates} EPPP candidates")
+    print(f"    {spp.form}")
+    print()
+    ratio = spp.num_literals / sp.num_literals
+    print(f"SPP/SP literal ratio: {ratio:.2f} "
+          "(the paper reports ~0.5 on average across its benchmark suite)")
+
+
+if __name__ == "__main__":
+    main()

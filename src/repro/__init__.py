@@ -1,0 +1,86 @@
+"""repro — SPP logic minimization with partition tries.
+
+A complete reproduction of V. Ciriani, *Logic Minimization using
+Exclusive OR Gates* (DAC 2001): pseudocube algebra, partition tries,
+exact (Algorithm 2) and heuristic (Algorithm 3, ``SPP_k``) Sum of
+Pseudoproducts minimization, the naive baseline of Luccio & Pagli, a
+Quine–McCluskey SP baseline, and the benchmark harness regenerating the
+paper's tables and figures.
+
+Quick start::
+
+    from repro import BoolFunc, minimize_spp, minimize_sp
+
+    f = BoolFunc.from_lambda(4, lambda p: bin(p).count("1") % 2 == 1)
+    spp = minimize_spp(f)
+    sp = minimize_sp(f)
+    print(spp.form, spp.num_literals, "vs SP", sp.num_literals)
+"""
+
+from repro.boolfunc import BoolFunc, MultiBoolFunc, parse_pla, parse_pla_file, write_pla
+from repro.core import (
+    CexExpression,
+    ExorFactor,
+    Pseudocube,
+    SppForm,
+    cex_of,
+    cex_union,
+    structure_of,
+    sub_pseudocubes,
+)
+from repro.core.parse import parse_cex, parse_spp
+from repro.export import spp_to_blif, spp_to_verilog
+from repro.minimize import (
+    Cube,
+    generate_eppp,
+    generate_eppp_naive,
+    minimize_aox,
+    minimize_sp,
+    minimize_spp,
+    minimize_spp_bounded,
+    minimize_spp_k,
+    prime_implicants,
+)
+from repro.minimize.multi import minimize_spp_multi
+from repro.serialize import dumps as dump_json
+from repro.serialize import loads as load_json
+from repro.trie import PartitionTrie, StructureIndex
+from repro.verify import assert_equivalent, verify_form
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoolFunc",
+    "CexExpression",
+    "Cube",
+    "ExorFactor",
+    "MultiBoolFunc",
+    "PartitionTrie",
+    "Pseudocube",
+    "SppForm",
+    "StructureIndex",
+    "assert_equivalent",
+    "cex_of",
+    "cex_union",
+    "dump_json",
+    "generate_eppp",
+    "generate_eppp_naive",
+    "load_json",
+    "minimize_aox",
+    "minimize_sp",
+    "minimize_spp",
+    "minimize_spp_bounded",
+    "minimize_spp_k",
+    "minimize_spp_multi",
+    "parse_cex",
+    "parse_pla",
+    "parse_pla_file",
+    "parse_spp",
+    "prime_implicants",
+    "spp_to_blif",
+    "spp_to_verilog",
+    "structure_of",
+    "sub_pseudocubes",
+    "verify_form",
+    "write_pla",
+]

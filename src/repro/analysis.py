@@ -1,0 +1,141 @@
+"""Structural analysis of functions and their pseudoproduct lattices.
+
+Utilities for the quantities Section 3.3 of the paper reasons about:
+how pseudoproducts distribute over degrees and structures, and how much
+work the partition-trie grouping saves over the naive all-pairs
+comparison (``Σ_j |X_j|²/2`` vs ``|X|²/2`` per step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.spp_form import SppForm
+from repro.minimize.eppp import EpppResult, generate_eppp
+
+__all__ = [
+    "GenerationProfile",
+    "generation_profile",
+    "comparison_savings",
+    "structure_census",
+    "form_profile",
+    "FormProfile",
+]
+
+
+@dataclass(frozen=True)
+class GenerationProfile:
+    """Summary of one EPPP generation run."""
+
+    n: int
+    degrees: int
+    total_pseudoproducts: int
+    total_eppps: int
+    total_comparisons: int
+    total_naive_comparisons: int
+    peak_level_size: int
+    peak_level_degree: int
+
+    @property
+    def savings_factor(self) -> float:
+        """How many times fewer comparisons grouping needed (§3.3)."""
+        if self.total_comparisons == 0:
+            return 1.0
+        return self.total_naive_comparisons / self.total_comparisons
+
+
+def generation_profile(
+    func: BoolFunc,
+    *,
+    max_pseudoproducts: int | None = None,
+) -> GenerationProfile:
+    """Run Algorithm 2's generation and summarize its shape."""
+    result = generate_eppp(
+        func,
+        max_pseudoproducts=max_pseudoproducts,
+        on_limit="stop" if max_pseudoproducts else "raise",
+    )
+    return profile_of(result)
+
+
+def profile_of(result: EpppResult) -> GenerationProfile:
+    """Summarize an existing :class:`EpppResult`."""
+    peak = max(result.steps, key=lambda s: s.pseudoproducts)
+    return GenerationProfile(
+        n=result.n,
+        degrees=len(result.steps),
+        total_pseudoproducts=result.total_generated,
+        total_eppps=len(result.eppps),
+        total_comparisons=result.total_comparisons,
+        total_naive_comparisons=result.total_naive_comparisons,
+        peak_level_size=peak.pseudoproducts,
+        peak_level_degree=peak.degree,
+    )
+
+
+def comparison_savings(func: BoolFunc) -> float:
+    """The §3.3 savings factor for ``func`` (≥ 1)."""
+    return generation_profile(func).savings_factor
+
+
+def structure_census(func: BoolFunc) -> dict[int, tuple[int, int]]:
+    """Per-degree ``(pseudoproducts, structure classes)`` counts.
+
+    The ratio of the two is what Section 3.3's speedup rests on: with
+    ``k`` classes of sizes ``|X_1| … |X_k|``, grouped generation costs
+    ``Σ |X_j|²/2`` against the naive ``|X|²/2``.
+    """
+    result = generate_eppp(func)
+    census: dict[int, tuple[int, int]] = {}
+    for step in result.steps:
+        census[step.degree] = (step.pseudoproducts, step.groups)
+    return census
+
+
+@dataclass(frozen=True)
+class FormProfile:
+    """Gate-level statistics of an SPP form (three-level network view)."""
+
+    num_pseudoproducts: int
+    num_literals: int
+    num_exor_factors: int
+    num_exor_gates: int  # factors with ≥ 2 literals (1-literal = wire)
+    max_factor_width: int
+    max_product_fanin: int
+    degree_histogram: dict[int, int]
+
+    @property
+    def is_two_level(self) -> bool:
+        """True when the form degenerates to SP (no real EXOR gates)."""
+        return self.num_exor_gates == 0
+
+
+def form_profile(form: SppForm) -> FormProfile:
+    """Gate statistics of a synthesized form."""
+    from repro.core.cex import cex_of
+
+    exor_gates = 0
+    max_width = 0
+    max_fanin = 0
+    histogram: dict[int, int] = {}
+    total_factors = 0
+    for pc in form.pseudoproducts:
+        cex = cex_of(pc)
+        histogram[pc.degree] = histogram.get(pc.degree, 0) + 1
+        max_fanin = max(max_fanin, cex.num_factors)
+        total_factors += cex.num_factors
+        for factor in cex.factors:
+            width = factor.num_literals
+            max_width = max(max_width, width)
+            if width >= 2:
+                exor_gates += 1
+    return FormProfile(
+        num_pseudoproducts=form.num_pseudoproducts,
+        num_literals=form.num_literals,
+        num_exor_factors=total_factors,
+        num_exor_gates=exor_gates,
+        max_factor_width=max_width,
+        max_product_fanin=max_fanin,
+        degree_histogram=histogram,
+    )

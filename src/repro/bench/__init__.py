@@ -1,0 +1,6 @@
+"""Benchmark functions (exact constructions + documented surrogates)
+and the paper's published numbers."""
+
+from repro.bench.suite import BENCHMARKS, BenchmarkSpec, benchmark_names, get_benchmark
+
+__all__ = ["BENCHMARKS", "BenchmarkSpec", "benchmark_names", "get_benchmark"]

@@ -1,0 +1,128 @@
+"""The paper's published experimental numbers (Tables 1–3, Figs. 3–4).
+
+Stored verbatim so the benchmark harness can print paper-vs-measured
+side by side.  A ``None`` reproduces the paper's ``*`` ("the algorithm
+did not terminate after 2 days on a Pentium III 450").
+
+Note on Table 3's ``Av`` column: the paper defines it as
+``(|SP| - |SPP|)/2`` but the printed values match the midpoint
+``(|SP| + |SPP|)/2`` (e.g. addm4: (1299+520)/2 ≈ 910); the definition
+is a typo and we use the midpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "FIG34_TEXT_POINTS",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """SP vs SPP comparison (per multi-output function)."""
+
+    function: str
+    sp_primes: int
+    sp_literals: int
+    sp_products: int
+    spp_eppps: int
+    spp_literals: int
+    spp_products: int
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """EPPP construction CPU seconds, naive [5] vs Algorithm 2, for one
+    output of one function (``cs8(1)`` = first output of cs8)."""
+
+    function: str
+    output: int
+    literals: int
+    seconds_naive: int | None  # None = did not finish in 2 days
+    seconds_alg2: int
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """Heuristic SPP_0 vs exact SPP (per multi-output function)."""
+
+    function: str
+    average: int | None  # midpoint (|SP|+|SPP|)/2; None where starred
+    spp0_literals: int
+    spp0_seconds: int
+    spp_literals: int | None
+    spp_seconds: int | None
+
+
+TABLE1: list[Table1Row] = [
+    Table1Row("addm4", 352, 1299, 212, 191133, 520, 74),
+    Table1Row("adr4", 75, 340, 75, 7158, 72, 14),
+    Table1Row("dist", 279, 829, 150, 48753, 422, 64),
+    Table1Row("ex5", 650, 828, 307, 273695, 723, 253),
+    Table1Row("exps", 950, 3007, 499, 63083, 1918, 273),
+    Table1Row("life", 224, 672, 84, 2100, 144, 18),
+    Table1Row("lin.rom", 827, 2165, 451, 39280, 1235, 227),
+    Table1Row("m3", 212, 693, 131, 13768, 423, 74),
+    Table1Row("m4", 441, 984, 211, 110198, 646, 123),
+    Table1Row("max128", 338, 795, 191, 15504, 492, 108),
+    Table1Row("max512", 416, 923, 154, 298623, 517, 76),
+    Table1Row("mlp4", 206, 709, 143, 24982, 318, 61),
+    Table1Row("newcond", 55, 208, 31, 46889, 122, 15),
+    Table1Row("newtpla2", 15, 74, 15, 17146, 74, 15),
+    Table1Row("p1", 205, 362, 100, 476360, 232, 44),
+    Table1Row("prom2", 2298, 6647, 940, 341557, 3477, 383),
+    Table1Row("radd", 75, 340, 75, 6600, 72, 14),
+    Table1Row("root", 133, 346, 71, 37324, 220, 39),
+    Table1Row("test1", 1066, 1000, 184, 444407, 534, 73),
+]
+
+TABLE2: list[Table2Row] = [
+    Table2Row("cs8", 1, 124, 783, 4),
+    Table2Row("cs8", 2, 93, 12945, 21),
+    Table2Row("addm4", 2, 101, 74, 2),
+    Table2Row("addm4", 4, 104, None, 146),
+    Table2Row("prom1", 15, 213, 40, 1),
+    Table2Row("prom1", 31, 278, None, 41),
+    Table2Row("max128", 20, 7, 4097, 7),
+    Table2Row("m3", 3, 13, 7039, 9),
+    Table2Row("m4", 0, 5, None, 4023),
+    Table2Row("risc", 2, 12, 10, 1),
+    Table2Row("ex5", 50, 9, None, 3973),
+    Table2Row("max512", 5, 208, None, 204),
+]
+
+TABLE3: list[Table3Row] = [
+    Table3Row("alu", None, 41, 51050, None, None),
+    Table3Row("addm4", 910, 939, 16, 520, 27340),
+    Table3Row("add6", None, 1212, 7454, None, None),
+    Table3Row("amd", None, 905, 96826, None, None),
+    Table3Row("dist", 626, 639, 23, 422, 61925),
+    Table3Row("f51m", 233, 216, 13, 146, 339),
+    Table3Row("max512", 720, 693, 40, 517, 12609),
+    Table3Row("max1024", None, 1098, 192, None, None),
+    Table3Row("mlp4", 586, 643, 7, 318, 778),
+    Table3Row("m4", 815, 785, 64, 646, 18123),
+    Table3Row("newcond", 165, 166, 12, 122, 15587),
+]
+
+# Data points for figures 3/4 quoted in the running text (Section 4).
+FIG34_TEXT_POINTS = {
+    "dist": {
+        "sp_literals": 829,
+        "sp_seconds": 12,
+        "spp_k": {0: (639, 23), 6: (462, 11285), 7: (422, 61925)},
+    },
+    "f51m": {
+        "sp_literals": None,
+        "sp_seconds": None,
+        "spp_k": {0: (216, 13), 7: (146, 339)},
+    },
+}

@@ -1,0 +1,56 @@
+"""A tiny deterministic PRNG for surrogate benchmark generation.
+
+``random.Random`` is stable in practice, but its sequence is only
+guaranteed per Python version; benchmark functions must be bit-for-bit
+reproducible anywhere, so we use SplitMix64 — a 10-line, well-studied
+generator with excellent statistical quality for this purpose.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SplitMix64"]
+
+_MASK = (1 << 64) - 1
+
+
+class SplitMix64:
+    """SplitMix64 (Steele, Lea & Flood 2014)."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK
+
+    def next_u64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        return z ^ (z >> 31)
+
+    def below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` (rejection sampling)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        limit = (1 << 64) - ((1 << 64) % bound)
+        while True:
+            value = self.next_u64()
+            if value < limit:
+                return value % bound
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self.next_u64() < probability * (1 << 64)
+
+    def mask(self, n: int, weight: float = 0.5) -> int:
+        """Random n-bit mask; each bit set with the given probability."""
+        value = 0
+        for i in range(n):
+            if self.chance(weight):
+                value |= 1 << i
+        return value
+
+    def nonzero_mask(self, n: int, weight: float = 0.5) -> int:
+        """Like :meth:`mask` but never zero."""
+        while True:
+            value = self.mask(n, weight)
+            if value:
+                return value

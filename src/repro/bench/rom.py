@@ -1,0 +1,55 @@
+"""ROM-style surrogate benchmarks.
+
+The ``max*``, ``prom*`` and ``lin.rom`` rows of the paper's tables are
+PLA dumps of ROM contents; the files are not redistributable here, so
+deterministic surrogates with the same (inputs, outputs) signature are
+generated instead:
+
+* :func:`random_rom` — unstructured contents (density-matched noise):
+  the hard, incompressible case, like the paper's ``prom*``/``max*``;
+* :func:`linear_rom` — affine GF(2) outputs: the maximally XOR-friendly
+  case standing in for ``lin.rom``, where SPP forms collapse to a few
+  literals while SP forms stay large.
+"""
+
+from __future__ import annotations
+
+from repro.bench.prng import SplitMix64
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+
+__all__ = ["random_rom", "linear_rom"]
+
+
+def random_rom(
+    name: str, n_inputs: int, n_outputs: int, *, seed: int, density: float = 0.5
+) -> MultiBoolFunc:
+    """A ROM with i.i.d. contents at the given on-set density."""
+    rng = SplitMix64(seed)
+    on_sets: list[set[int]] = [set() for _ in range(n_outputs)]
+    for point in range(1 << n_inputs):
+        for o in range(n_outputs):
+            if rng.chance(density):
+                on_sets[o].add(point)
+    outputs = tuple(BoolFunc(n_inputs, frozenset(s)) for s in on_sets)
+    return MultiBoolFunc(n_inputs, outputs, name=name)
+
+
+def linear_rom(
+    name: str, n_inputs: int, n_outputs: int, *, seed: int
+) -> MultiBoolFunc:
+    """A ROM whose every output is a random affine GF(2) function.
+
+    Output ``o`` is ``parity(point & support_o) ^ constant_o`` with a
+    random nonzero support — each output is a single pseudoproduct, the
+    best case for SPP minimization.
+    """
+    rng = SplitMix64(seed)
+    outputs = []
+    for _ in range(n_outputs):
+        support = rng.nonzero_mask(n_inputs)
+        constant = rng.below(2)
+        on = frozenset(
+            p for p in range(1 << n_inputs) if ((p & support).bit_count() & 1) ^ constant
+        )
+        outputs.append(BoolFunc(n_inputs, on))
+    return MultiBoolFunc(n_inputs, tuple(outputs), name=name)

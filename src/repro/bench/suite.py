@@ -1,0 +1,126 @@
+"""Registry of benchmark functions.
+
+Every function named in the paper's tables is constructible here —
+exactly where a mathematical definition exists, as a documented
+surrogate otherwise (see DESIGN.md §4) — plus *scaled* variants
+(``adr3``, ``dist3``, ``life7``, …) the quick benchmark mode uses to
+keep pure-Python running times in seconds rather than hours.
+
+Usage::
+
+    from repro.bench.suite import get_benchmark, BENCHMARKS
+
+    func = get_benchmark("adr4")       # MultiBoolFunc
+    spec = BENCHMARKS["adr4"]          # metadata (surrogate flag, sizes)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.bench import arith, rom, surrogate
+from repro.boolfunc.function import MultiBoolFunc
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "get_benchmark", "benchmark_names"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Metadata for one registered benchmark function."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    builder: Callable[[], MultiBoolFunc]
+    surrogate: bool
+    notes: str = ""
+
+
+def _spec(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    builder: Callable[[], MultiBoolFunc],
+    *,
+    surrogate: bool,
+    notes: str = "",
+) -> tuple[str, BenchmarkSpec]:
+    return name, BenchmarkSpec(name, n_inputs, n_outputs, builder, surrogate, notes)
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = dict(
+    [
+        # -- exact arithmetic constructions ---------------------------------
+        _spec("adr4", 8, 5, arith.adr4, surrogate=False, notes="4-bit adder"),
+        _spec("radd", 8, 5, arith.radd, surrogate=False, notes="4-bit adder (redundant PLA in MCNC)"),
+        _spec("add6", 12, 7, arith.add6, surrogate=False, notes="6-bit adder"),
+        _spec("mlp4", 8, 8, arith.mlp4, surrogate=False, notes="4x4 multiplier"),
+        _spec("life", 9, 1, arith.life, surrogate=False, notes="Conway life rule"),
+        _spec("root", 8, 5, arith.root, surrogate=False, notes="integer square root + flag"),
+        _spec("dist", 8, 5, arith.dist, surrogate=True, notes="|a-b| + (a<b); MCNC dist PLA unavailable"),
+        # -- arithmetic surrogates ------------------------------------------
+        _spec("addm4", 9, 8, arith.addm4, surrogate=True, notes="a+b+cin and (a-b) mod 8"),
+        _spec("f51m", 8, 8, arith.f51m, surrogate=True, notes="add/sub arithmetic slice"),
+        _spec("cs8", 9, 5, arith.cs8, surrogate=True, notes="carry-save adder: a+b+c over 3-bit operands"),
+        _spec("alu", 12, 8, arith.alu, surrogate=True, notes="4-bit 8-op ALU"),
+        # -- ROM surrogates --------------------------------------------------
+        _spec("max128", 7, 24, lambda: rom.random_rom("max128", 7, 24, seed=128), surrogate=True),
+        _spec("max512", 9, 6, lambda: rom.random_rom("max512", 9, 6, seed=512), surrogate=True),
+        _spec("max1024", 10, 6, lambda: rom.random_rom("max1024", 10, 6, seed=1024), surrogate=True),
+        _spec("prom1", 9, 40, lambda: rom.random_rom("prom1", 9, 40, seed=9001), surrogate=True),
+        _spec("prom2", 9, 21, lambda: rom.random_rom("prom2", 9, 21, seed=9002), surrogate=True),
+        _spec("lin.rom", 7, 36, lambda: rom.linear_rom("lin.rom", 7, 36, seed=7036), surrogate=True),
+        # -- mixed-structure surrogates --------------------------------------
+        _spec("m3", 8, 16, lambda: surrogate.arithmetic_mix("m3", 8, 16, seed=3), surrogate=True),
+        _spec("m4", 8, 16, lambda: surrogate.arithmetic_mix("m4", 8, 16, seed=4), surrogate=True),
+        _spec("ex5", 8, 63, lambda: surrogate.arithmetic_mix("ex5", 8, 63, seed=5), surrogate=True),
+        _spec("exps", 8, 38, lambda: surrogate.arithmetic_mix("exps", 8, 38, seed=38), surrogate=True),
+        _spec("p1", 8, 18, lambda: surrogate.arithmetic_mix("p1", 8, 18, seed=18), surrogate=True),
+        _spec("test1", 8, 10, lambda: surrogate.arithmetic_mix("test1", 8, 10, seed=10), surrogate=True),
+        _spec("risc", 8, 31, lambda: surrogate.arithmetic_mix("risc", 8, 31, seed=31), surrogate=True),
+        _spec("amd", 14, 24, lambda: surrogate.arithmetic_mix("amd", 14, 24, seed=14), surrogate=True),
+        _spec("newcond", 11, 2, lambda: surrogate.arithmetic_mix("newcond", 11, 2, seed=11), surrogate=True),
+        _spec("newtpla2", 10, 4, lambda: surrogate.arithmetic_mix("newtpla2", 10, 4, seed=104), surrogate=True),
+        # -- scaled variants for the quick benchmark mode --------------------
+        _spec("adr2", 4, 3, lambda: arith.adder(2), surrogate=False, notes="scaled adr4"),
+        _spec("adr3", 6, 4, lambda: arith.adder(3), surrogate=False, notes="scaled adr4"),
+        _spec("mlp2", 4, 4, lambda: arith.multiplier(2), surrogate=False, notes="scaled mlp4"),
+        _spec("mlp3", 6, 6, lambda: arith.multiplier(3), surrogate=False, notes="scaled mlp4"),
+        _spec("dist3", 6, 4, lambda: arith.dist(3), surrogate=False, notes="scaled dist"),
+        _spec("life6", 6, 1, lambda: arith.life_rule(5), surrogate=False, notes="scaled life"),
+        _spec("life7", 7, 1, lambda: arith.life_rule(6), surrogate=False, notes="scaled life"),
+        _spec("csa2", 6, 4, lambda: arith.csa(2), surrogate=False, notes="scaled cs8"),
+        _spec("bcd7seg", 4, 7, arith.seven_segment, surrogate=False,
+              notes="BCD to 7-segment decoder with don't cares"),
+    ]
+)
+
+
+@lru_cache(maxsize=None)
+def get_benchmark(name: str) -> MultiBoolFunc:
+    """Build (and cache) a registered benchmark function."""
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(sorted(BENCHMARKS))}"
+        ) from None
+    func = spec.builder()
+    if func.n != spec.n_inputs or func.num_outputs != spec.n_outputs:
+        raise RuntimeError(
+            f"benchmark {name} built with signature {func.n}/{func.num_outputs}, "
+            f"registry says {spec.n_inputs}/{spec.n_outputs}"
+        )
+    return func
+
+
+def benchmark_names(*, include_scaled: bool = True) -> list[str]:
+    """Registered names, optionally without the scaled variants."""
+    names = sorted(BENCHMARKS)
+    if include_scaled:
+        return names
+    scaled = {"adr2", "adr3", "mlp2", "mlp3", "dist3", "life6", "life7", "csa2",
+              "bcd7seg"}
+    return [n for n in names if n not in scaled]

@@ -1,0 +1,81 @@
+"""Structured surrogates for unavailable MCNC PLAs.
+
+For benchmark rows whose PLA has no mathematical definition (``m3``,
+``ex5``, ``p1``, ``test1``, …) we generate a *mixed-structure* function:
+each output is a seeded composition of
+
+* cube terms (AND of literals) — the SP-friendly part,
+* affine terms (XOR chains, possibly guarded by a small cube) — the
+  part SPP minimization exploits,
+
+OR-ed together.  This mirrors what control-logic PLAs look like (mostly
+cubes with some arithmetic-flavoured columns) and keeps the paper's
+qualitative SP-vs-SPP gap observable without pretending to reproduce
+the exact function.  Generation is bit-for-bit deterministic in the
+seed (see :mod:`repro.bench.prng`).
+"""
+
+from __future__ import annotations
+
+from repro.bench.prng import SplitMix64
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+
+__all__ = ["arithmetic_mix"]
+
+
+def _cube_term(rng: SplitMix64, n: int) -> tuple[int, int]:
+    """A random cube: (care mask, values)."""
+    width = 1 + rng.below(max(n - 1, 1))
+    care = rng.nonzero_mask(n, weight=width / n)
+    values = rng.mask(n) & care
+    return care, values
+
+
+def _affine_term(rng: SplitMix64, n: int) -> tuple[int, int, int, int]:
+    """A random guarded XOR: (xor support, parity, guard mask, guard values)."""
+    support = rng.nonzero_mask(n, weight=0.4)
+    parity = rng.below(2)
+    if rng.chance(0.5):
+        guard_care, guard_values = _cube_term(rng, n)
+        # Keep guards narrow so terms stay reasonably large.
+        guard_care &= rng.mask(n, weight=0.3)
+        guard_values &= guard_care
+    else:
+        guard_care = guard_values = 0
+    return support, parity, guard_care, guard_values
+
+
+def arithmetic_mix(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    *,
+    seed: int,
+    cube_terms: int = 3,
+    affine_terms: int = 2,
+) -> MultiBoolFunc:
+    """A multi-output function mixing cube and guarded-XOR terms."""
+    rng = SplitMix64(seed)
+    outputs = []
+    space = 1 << n_inputs
+    for _ in range(n_outputs):
+        cubes = [_cube_term(rng, n_inputs) for _ in range(cube_terms)]
+        affines = [_affine_term(rng, n_inputs) for _ in range(affine_terms)]
+        on = set()
+        for p in range(space):
+            value = 0
+            for care, values in cubes:
+                if (p & care) == values:
+                    value = 1
+                    break
+            if not value:
+                for support, parity, guard_care, guard_values in affines:
+                    if (p & guard_care) == guard_values and (
+                        ((p & support).bit_count() & 1) ^ parity
+                    ):
+                        value = 1
+                        break
+            if value:
+                on.add(p)
+        outputs.append(BoolFunc(n_inputs, frozenset(on)))
+    return MultiBoolFunc(n_inputs, tuple(outputs), name=name)

@@ -1,0 +1,13 @@
+"""Boolean functions, truth tables and PLA I/O."""
+
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+from repro.boolfunc.pla import PlaError, parse_pla, parse_pla_file, write_pla
+
+__all__ = [
+    "BoolFunc",
+    "MultiBoolFunc",
+    "PlaError",
+    "parse_pla",
+    "parse_pla_file",
+    "write_pla",
+]

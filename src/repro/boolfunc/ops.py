@@ -1,0 +1,70 @@
+"""Function-level operators and constructions.
+
+These complement the dunder algebra on :class:`BoolFunc` with named
+n-ary operations and the standard constructions used by the benchmark
+generators (variables, constants, XOR chains, majority, ...).
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.boolfunc.function import BoolFunc
+
+__all__ = [
+    "variable",
+    "constant",
+    "conjunction",
+    "disjunction",
+    "exor",
+    "majority",
+    "restrict",
+]
+
+
+def variable(n: int, i: int) -> BoolFunc:
+    """The projection function ``f = x_i``."""
+    if not 0 <= i < n:
+        raise ValueError("variable index out of range")
+    bit = 1 << i
+    return BoolFunc(n, frozenset(p for p in range(1 << n) if p & bit))
+
+
+def constant(n: int, value: int) -> BoolFunc:
+    """The constant 0 or 1 function."""
+    if value:
+        return BoolFunc(n, frozenset(range(1 << n)))
+    return BoolFunc(n, frozenset())
+
+
+def conjunction(funcs: list[BoolFunc]) -> BoolFunc:
+    """AND of one or more functions."""
+    return reduce(lambda a, b: a & b, funcs)
+
+
+def disjunction(funcs: list[BoolFunc]) -> BoolFunc:
+    """OR of one or more functions."""
+    return reduce(lambda a, b: a | b, funcs)
+
+
+def exor(funcs: list[BoolFunc]) -> BoolFunc:
+    """EXOR of one or more functions."""
+    return reduce(lambda a, b: a ^ b, funcs)
+
+
+def majority(n: int, indices: list[int]) -> BoolFunc:
+    """Majority of an odd number of input variables."""
+    if len(indices) % 2 == 0:
+        raise ValueError("majority needs an odd number of inputs")
+    half = len(indices) // 2
+    return BoolFunc.from_lambda(
+        n, lambda p: sum((p >> i) & 1 for i in indices) > half
+    )
+
+
+def restrict(func: BoolFunc, assignment: dict[int, int]) -> BoolFunc:
+    """Simultaneous cofactor w.r.t. a partial assignment."""
+    result = func
+    for variable_index, value in assignment.items():
+        result = result.cofactor(variable_index, value)
+    return result

@@ -1,0 +1,180 @@
+"""ESPRESSO-format PLA reader/writer.
+
+The paper's benchmarks come from the ESPRESSO suite [10], distributed as
+``.pla`` files.  This module parses the subset of the format those files
+use — ``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``, ``.type`` (``f``,
+``fd``, ``fr``), input cubes over ``{0,1,-}`` and output parts over
+``{0,1,-,~,2,4}`` — and converts to :class:`MultiBoolFunc` semantics:
+
+* type ``fd`` (the default): output ``1`` adds the minterms to the
+  on-set, ``-``/``2`` to the dc-set, ``0``/``~`` says nothing;
+* type ``fr``: ``1`` on-set, ``0`` off-set, everything else unspecified
+  — points never mentioned are **don't care**;
+* type ``f``: ``1`` on-set; everything else is off.
+
+The writer emits minterm-exact ``fr`` PLAs, so a round trip preserves
+function semantics exactly.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+
+__all__ = ["parse_pla", "parse_pla_file", "write_pla", "PlaError"]
+
+
+class PlaError(ValueError):
+    """Malformed PLA input."""
+
+
+@dataclass
+class _PlaBody:
+    n_inputs: int
+    n_outputs: int
+    pla_type: str
+    rows: list[tuple[str, str]]
+    name: str
+    output_names: tuple[str, ...]
+
+
+def _tokenize(text: str) -> Iterator[list[str]]:
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield line.split()
+
+
+def _parse_header(text: str) -> _PlaBody:
+    n_inputs = n_outputs = -1
+    pla_type = "fd"
+    rows: list[tuple[str, str]] = []
+    name = ""
+    output_names: tuple[str, ...] = ()
+    for tokens in _tokenize(text):
+        key = tokens[0]
+        if key == ".i":
+            n_inputs = int(tokens[1])
+        elif key == ".o":
+            n_outputs = int(tokens[1])
+        elif key == ".type":
+            pla_type = tokens[1]
+        elif key == ".ilb":
+            pass  # input labels: accepted, not needed
+        elif key == ".ob":
+            output_names = tuple(tokens[1:])
+        elif key in (".p", ".phase", ".pair", ".symbolic"):
+            pass
+        elif key == ".e" or key == ".end":
+            break
+        elif key.startswith("."):
+            raise PlaError(f"unsupported PLA directive {key!r}")
+        else:
+            if n_inputs < 0 or n_outputs < 0:
+                raise PlaError("cube line before .i/.o headers")
+            if len(tokens) == 2:
+                in_part, out_part = tokens
+            elif len(tokens) == 1 and n_outputs == 0:
+                in_part, out_part = tokens[0], ""
+            else:
+                in_part = tokens[0]
+                out_part = "".join(tokens[1:])
+            if len(in_part) != n_inputs:
+                raise PlaError(f"input part {in_part!r} has wrong width")
+            if len(out_part) != n_outputs:
+                raise PlaError(f"output part {out_part!r} has wrong width")
+            rows.append((in_part, out_part))
+    if n_inputs < 0 or n_outputs < 0:
+        raise PlaError("missing .i/.o headers")
+    if pla_type not in ("f", "fd", "fr", "fdr"):
+        raise PlaError(f"unsupported .type {pla_type!r}")
+    return _PlaBody(n_inputs, n_outputs, pla_type, rows, name, output_names)
+
+
+def _expand_cube(in_part: str) -> Iterator[int]:
+    """All minterms matched by an input cube over {0,1,-}."""
+    fixed = 0
+    free_positions = []
+    for i, ch in enumerate(in_part):
+        if ch == "1":
+            fixed |= 1 << i
+        elif ch == "-":
+            free_positions.append(i)
+        elif ch != "0":
+            raise PlaError(f"invalid input character {ch!r}")
+    for combo in range(1 << len(free_positions)):
+        point = fixed
+        for j, pos in enumerate(free_positions):
+            if (combo >> j) & 1:
+                point |= 1 << pos
+        yield point
+
+
+def parse_pla(text: str, name: str = "") -> MultiBoolFunc:
+    """Parse PLA text into a multi-output function."""
+    body = _parse_header(text)
+    n, m = body.n_inputs, body.n_outputs
+    on: list[set[int]] = [set() for _ in range(m)]
+    off: list[set[int]] = [set() for _ in range(m)]
+    dc: list[set[int]] = [set() for _ in range(m)]
+    for in_part, out_part in body.rows:
+        points = list(_expand_cube(in_part))
+        for o, ch in enumerate(out_part):
+            if ch == "1" or ch == "4":
+                on[o].update(points)
+            elif ch in ("-", "2", "~") and body.pla_type in ("fd", "fdr", "f"):
+                if ch != "~":
+                    dc[o].update(points)
+            elif ch == "0":
+                if body.pla_type in ("fr", "fdr"):
+                    off[o].update(points)
+            elif ch in ("-", "2", "~"):
+                pass  # fr: unspecified
+            else:
+                raise PlaError(f"invalid output character {ch!r}")
+    outputs = []
+    for o in range(m):
+        if body.pla_type in ("fr", "fdr"):
+            # Points not mentioned at all are don't-care in fr PLAs.
+            mentioned = on[o] | off[o]
+            dc_set = frozenset(p for p in range(1 << n) if p not in mentioned)
+        else:
+            dc_set = frozenset(dc[o] - on[o])
+        outputs.append(BoolFunc(n, frozenset(on[o]), dc_set))
+    return MultiBoolFunc(
+        n, tuple(outputs), name=name, output_names=body.output_names
+    )
+
+
+def parse_pla_file(path: str, name: str = "") -> MultiBoolFunc:
+    with open(path, encoding="ascii") as handle:
+        return parse_pla(handle.read(), name=name or path)
+
+
+def write_pla(func: MultiBoolFunc) -> str:
+    """Serialize as a minterm-exact ``fr`` PLA (round-trip safe)."""
+    out = io.StringIO()
+    out.write(f".i {func.n}\n.o {func.num_outputs}\n.type fr\n")
+    if func.output_names:
+        out.write(".ob " + " ".join(func.output_names) + "\n")
+    for point in range(1 << func.n):
+        chars = []
+        interesting = False
+        for f in func.outputs:
+            value = f.evaluate(point)
+            if value == 1:
+                chars.append("1")
+                interesting = True
+            elif value == 0:
+                chars.append("0")
+                interesting = True
+            else:
+                chars.append("-")
+        if interesting:
+            bits = "".join(str((point >> i) & 1) for i in range(func.n))
+            out.write(f"{bits} {''.join(chars)}\n")
+    out.write(".e\n")
+    return out.getvalue()

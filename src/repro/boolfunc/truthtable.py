@@ -1,0 +1,32 @@
+"""Truth-table views of Boolean functions."""
+
+from __future__ import annotations
+
+from repro.boolfunc.function import BoolFunc
+
+__all__ = ["truth_table", "minterms", "maxterms", "density"]
+
+
+def truth_table(func: BoolFunc) -> str:
+    """The function as a ``0``/``1``/``-`` string, point ``p`` at index
+    ``p`` (inverse of :meth:`BoolFunc.from_truth_table`)."""
+    chars = []
+    for p in range(1 << func.n):
+        value = func.evaluate(p)
+        chars.append("-" if value is None else str(value))
+    return "".join(chars)
+
+
+def minterms(func: BoolFunc) -> list[int]:
+    """The on-set as a sorted list."""
+    return sorted(func.on_set)
+
+
+def maxterms(func: BoolFunc) -> list[int]:
+    """The off-set as a sorted list."""
+    return sorted(func.off_set)
+
+
+def density(func: BoolFunc) -> float:
+    """Fraction of the space in the on-set."""
+    return len(func.on_set) / (1 << func.n)

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+::
+
+    spp-minimize minimize circuit.pla --method exact
+    spp-minimize minimize circuit.pla --method heuristic -k 2 --output 3
+    spp-minimize benchmarks --list
+    spp-minimize benchmarks --dump adr4 > adr4.pla
+    spp-minimize tables table1 --quick
+
+(`python -m repro ...` is equivalent.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import harness
+from repro.bench.paper_data import TABLE1
+from repro.bench.suite import BENCHMARKS, get_benchmark
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+from repro.boolfunc.pla import parse_pla_file, write_pla
+from repro.core.cex import cex_of
+from repro.minimize.bounded import minimize_spp_bounded
+from repro.minimize.exact import SppResult, minimize_spp
+from repro.minimize.heuristic import minimize_spp_k
+from repro.minimize.sp import minimize_sp
+from repro.verify import verify_form
+
+__all__ = ["main"]
+
+
+def _minimize_one(fo: BoolFunc, label: str, args: argparse.Namespace):
+    if args.method == "aox":
+        from repro.minimize.aox import minimize_aox
+
+        aox = minimize_aox(fo, covering=args.covering)
+        print(f"{label}: AOX {aox.num_literals} literals "
+              f"({aox.tried} corrections tried, {aox.seconds:.2f}s)")
+        report = verify_form(aox.form, fo)
+        if not report:
+            print(f"{label}: VERIFICATION FAILED", file=sys.stderr)
+            raise SystemExit(2)
+        if args.show:
+            print("   ", aox.form)
+        return None  # AOX forms are not exportable SPP forms
+    if args.method == "sp":
+        sp = minimize_sp(fo, covering=args.covering)
+        print(f"{label}: SP  {sp.num_literals} literals, {sp.num_products} products, "
+              f"{sp.num_primes} primes, {sp.seconds:.2f}s")
+        form = sp.form
+    else:
+        if args.method == "exact":
+            result: SppResult = minimize_spp(
+                fo,
+                backend=args.backend,
+                covering=args.covering,
+                max_pseudoproducts=args.max_pseudoproducts,
+                on_limit="stop",
+            )
+        elif args.method == "heuristic":
+            result = minimize_spp_k(
+                fo, args.k, backend=args.backend, covering=args.covering
+            )
+        else:  # bounded
+            result = minimize_spp_bounded(
+                fo, args.bound, backend=args.backend, covering=args.covering
+            )
+        print(
+            f"{label}: SPP {result.num_literals} literals, "
+            f"{result.num_pseudoproducts} pseudoproducts, "
+            f"{result.num_candidates} candidates, {result.seconds:.2f}s"
+        )
+        form = result.form
+    report = verify_form(form, fo)
+    if not report:
+        print(f"{label}: VERIFICATION FAILED: {report}", file=sys.stderr)
+        raise SystemExit(2)
+    if args.show:
+        for pc in form.pseudoproducts:
+            print("   ", cex_of(pc))
+    return form
+
+
+def _cmd_minimize(args: argparse.Namespace) -> None:
+    if args.file in BENCHMARKS:
+        func: MultiBoolFunc = get_benchmark(args.file)
+    else:
+        func = parse_pla_file(args.file)
+    if args.method == "multi":
+        _minimize_multi(func, args)
+        return
+    forms: dict[str, object] = {}
+    outputs = [args.output] if args.output is not None else range(func.num_outputs)
+    for o in outputs:
+        fo = func[o]
+        if not fo.on_set:
+            print(f"output {o}: constant 0, skipped")
+            continue
+        form = _minimize_one(fo, f"output {o}", args)
+        if form is not None:
+            forms[f"f{o}"] = form
+    _export(forms, args)
+
+
+def _minimize_multi(func: MultiBoolFunc, args: argparse.Namespace) -> None:
+    from repro.minimize.multi import minimize_spp_multi
+
+    result = minimize_spp_multi(
+        func,
+        backend=args.backend,
+        covering=args.covering,
+        max_pseudoproducts=args.max_pseudoproducts,
+    )
+    print(
+        f"joint: {result.shared_literals} shared literals over "
+        f"{len(result.shared_pseudoproducts)} pseudoproducts "
+        f"({result.total_output_literals} if each output paid separately), "
+        f"{result.seconds:.2f}s"
+    )
+    forms = {}
+    for o, (form, fo) in enumerate(zip(result.forms, func.outputs)):
+        report = verify_form(form, fo)
+        if not report:
+            print(f"output {o}: VERIFICATION FAILED", file=sys.stderr)
+            raise SystemExit(2)
+        forms[f"f{o}"] = form
+        if args.show:
+            print(f"output {o}:")
+            for pc in form.pseudoproducts:
+                print("   ", cex_of(pc))
+    _export(forms, args)
+
+
+def _export(forms: dict[str, object], args: argparse.Namespace) -> None:
+    if not forms:
+        return
+    if args.verilog:
+        from repro.export.verilog import spp_to_verilog
+
+        with open(args.verilog, "w", encoding="ascii") as handle:
+            handle.write(spp_to_verilog(forms, module=args.module))
+        print(f"wrote Verilog to {args.verilog}")
+    if args.blif:
+        from repro.export.blif import spp_to_blif
+
+        with open(args.blif, "w", encoding="ascii") as handle:
+            for name, form in forms.items():
+                handle.write(spp_to_blif(form, model=name, output_name=name))
+        print(f"wrote BLIF to {args.blif}")
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> None:
+    if args.dump:
+        print(write_pla(get_benchmark(args.dump)), end="")
+        return
+    print(f"{'name':<10} {'in':>3} {'out':>4}  surrogate  notes")
+    for name in sorted(BENCHMARKS):
+        spec = BENCHMARKS[name]
+        flag = "yes" if spec.surrogate else "no"
+        print(f"{name:<10} {spec.n_inputs:>3} {spec.n_outputs:>4}  {flag:<9}  {spec.notes}")
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    if args.table == "table1":
+        if args.quick:
+            names = harness.QUICK_TABLE1
+        else:
+            names = [row.function for row in TABLE1]
+        cap = 200_000 if args.quick else None
+        rows = [harness.run_table1_row(n, max_pseudoproducts=cap) for n in names]
+        print(harness.render_table1(rows))
+    elif args.table == "table2":
+        pairs = harness.QUICK_TABLE2
+        rows = [harness.run_table2_row(n, o) for n, o in pairs]
+        print(harness.render_table2(rows))
+    elif args.table == "table3":
+        names = harness.QUICK_TABLE3
+        rows3 = [harness.run_table3_row(n) for n in names]
+        print(harness.render_table3(rows3))
+    else:  # fig34
+        points = []
+        for name in harness.QUICK_FIG34:
+            points.extend(harness.run_spp_k_sweep(name))
+        print(harness.render_fig34(points))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spp-minimize",
+        description="SPP (Sum of Pseudoproducts) logic minimization — "
+        "reproduction of Ciriani, DAC 2001.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_min = sub.add_parser("minimize", help="minimize a PLA file or named benchmark")
+    p_min.add_argument("file", help="PLA path or registered benchmark name")
+    p_min.add_argument("--output", type=int, default=None, help="single output index")
+    p_min.add_argument(
+        "--method",
+        choices=["exact", "heuristic", "sp", "bounded", "multi", "aox"],
+        default="exact",
+    )
+    p_min.add_argument("-k", type=int, default=0, help="heuristic descent depth")
+    p_min.add_argument("--bound", type=int, default=2, help="factor width bound")
+    p_min.add_argument("--covering", choices=["greedy", "exact", "auto"], default="greedy")
+    p_min.add_argument("--backend", choices=["index", "trie"], default="index")
+    p_min.add_argument("--max-pseudoproducts", type=int, default=None)
+    p_min.add_argument("--show", action="store_true", help="print the expressions")
+    p_min.add_argument("--verilog", metavar="FILE", help="export a Verilog module")
+    p_min.add_argument("--blif", metavar="FILE", help="export BLIF models")
+    p_min.add_argument("--module", default="spp", help="Verilog module name")
+    p_min.set_defaults(handler=_cmd_minimize)
+
+    p_bench = sub.add_parser("benchmarks", help="list or dump benchmark functions")
+    p_bench.add_argument("--dump", metavar="NAME", help="write a benchmark as PLA")
+    p_bench.set_defaults(handler=_cmd_benchmarks)
+
+    p_tab = sub.add_parser("tables", help="regenerate a paper table/figure")
+    p_tab.add_argument("table", choices=["table1", "table2", "table3", "fig34"])
+    p_tab.add_argument("--quick", action="store_true", default=True)
+    p_tab.set_defaults(handler=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Core pseudocube algebra: the paper's Section 2 and 3.1 machinery.
+
+Public surface:
+
+* :class:`~repro.core.pseudocube.Pseudocube` — affine-form pseudocubes;
+* :class:`~repro.core.exor.ExorFactor` /
+  :class:`~repro.core.cex.CexExpression` — EXOR factors and canonical
+  expressions (Definition 1);
+* :func:`~repro.core.structure.structure_of` — Definition 2;
+* :func:`~repro.core.union.cex_union` — Algorithm 1;
+* :func:`~repro.core.subcubes.sub_pseudocubes` — Theorem 2;
+* :class:`~repro.core.spp_form.SppForm` — SPP forms;
+* :mod:`~repro.core.canonical` — Section 2 canonical matrices.
+"""
+
+from repro.core.cex import CexExpression, cex_of
+from repro.core.exor import ExorFactor, norm_exor
+from repro.core.pseudocube import NotAPseudocubeError, Pseudocube
+from repro.core.spp_form import SppForm
+from repro.core.structure import same_structure, structure_key, structure_of
+from repro.core.subcubes import constrain, sub_pseudocubes
+from repro.core.union import UnionError, cex_union
+
+__all__ = [
+    "CexExpression",
+    "ExorFactor",
+    "NotAPseudocubeError",
+    "Pseudocube",
+    "SppForm",
+    "UnionError",
+    "cex_of",
+    "cex_union",
+    "constrain",
+    "norm_exor",
+    "same_structure",
+    "structure_key",
+    "structure_of",
+    "sub_pseudocubes",
+]

@@ -1,0 +1,129 @@
+"""Bit-vector utilities.
+
+Throughout the library a point of the Boolean space ``B^n`` is a Python
+``int`` used as a bitmask: bit ``i`` holds the value of variable ``x_i``.
+The same convention is used for GF(2) vectors (direction-space basis
+vectors, EXOR-factor supports, ...).  These helpers keep the rest of the
+code free of ad-hoc bit twiddling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bit",
+    "bits_of",
+    "from_bits",
+    "get_bit",
+    "set_bit",
+    "clear_bit",
+    "flip_bits",
+    "lowest_bit_index",
+    "highest_bit_index",
+    "parity",
+    "popcount",
+    "mask_of_width",
+    "to_string",
+    "from_string",
+    "all_points",
+]
+
+
+def bit(i: int) -> int:
+    """Return the mask with only bit ``i`` set."""
+    return 1 << i
+
+
+def get_bit(v: int, i: int) -> int:
+    """Return bit ``i`` of ``v`` (0 or 1)."""
+    return (v >> i) & 1
+
+
+def set_bit(v: int, i: int) -> int:
+    """Return ``v`` with bit ``i`` set to 1."""
+    return v | (1 << i)
+
+
+def clear_bit(v: int, i: int) -> int:
+    """Return ``v`` with bit ``i`` cleared."""
+    return v & ~(1 << i)
+
+
+def flip_bits(v: int, mask: int) -> int:
+    """Return ``v`` with every bit in ``mask`` complemented.
+
+    This is the point transformation ``alpha(s)`` of the paper, where
+    ``mask`` is the characteristic vector of the variable subset alpha.
+    """
+    return v ^ mask
+
+
+def popcount(v: int) -> int:
+    """Number of set bits (== number of literals in an EXOR support)."""
+    return v.bit_count()
+
+
+def parity(v: int) -> int:
+    """Parity (XOR of all bits) of ``v``."""
+    return v.bit_count() & 1
+
+
+def lowest_bit_index(v: int) -> int:
+    """Index of the least-significant set bit.  ``v`` must be nonzero."""
+    if v == 0:
+        raise ValueError("lowest_bit_index of zero vector")
+    return (v & -v).bit_length() - 1
+
+
+def highest_bit_index(v: int) -> int:
+    """Index of the most-significant set bit.  ``v`` must be nonzero."""
+    if v == 0:
+        raise ValueError("highest_bit_index of zero vector")
+    return v.bit_length() - 1
+
+
+def bits_of(v: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``v`` in increasing order."""
+    while v:
+        low = v & -v
+        yield low.bit_length() - 1
+        v ^= low
+
+
+def from_bits(indices: Iterable[int]) -> int:
+    """Build a mask from an iterable of bit indices."""
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def mask_of_width(n: int) -> int:
+    """Mask with the ``n`` lowest bits set (the whole space ``B^n``)."""
+    return (1 << n) - 1
+
+
+def to_string(v: int, n: int) -> str:
+    """Render ``v`` as the row of a matrix: ``x_0`` first (leftmost).
+
+    This matches the column order of the paper's canonical matrices
+    (figure 1): column ``c_i`` is variable ``x_i``.
+    """
+    return "".join(str((v >> i) & 1) for i in range(n))
+
+
+def from_string(s: str) -> int:
+    """Inverse of :func:`to_string` — leftmost character is ``x_0``."""
+    v = 0
+    for i, ch in enumerate(s):
+        if ch == "1":
+            v |= 1 << i
+        elif ch != "0":
+            raise ValueError(f"invalid bit character {ch!r} in {s!r}")
+    return v
+
+
+def all_points(n: int) -> range:
+    """All points of ``B^n`` in increasing binary order."""
+    return range(1 << n)

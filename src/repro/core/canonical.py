@@ -1,0 +1,150 @@
+"""Canonical matrices and normal vectors — Section 2 of the paper.
+
+This module implements the paper's original, matrix-based
+characterization of pseudocubes.  It exists for three reasons:
+
+* *fidelity* — figure 1 and the definitions of Section 2 are reproduced
+  and unit-tested literally (normal vectors, k-canonical columns,
+  canonical matrices);
+* *recognition* — :func:`is_pseudocube` decides whether a raw point set
+  is a pseudocube by the matrix definition, independently of the affine
+  machinery; the test suite checks the two characterizations agree;
+* *presentation* — :func:`canonical_matrix` renders a pseudocube exactly
+  as the paper's figure 1.
+
+Rows are ordered by the value of the point read with ``x_0`` as the
+most significant bit, matching the paper's "rows interpreted as binary
+numbers arranged in increasing order".
+"""
+
+from __future__ import annotations
+
+from repro.core.bitvec import get_bit, to_string
+from repro.core.pseudocube import Pseudocube
+
+__all__ = [
+    "is_normal_vector",
+    "is_k_canonical",
+    "row_sort_key",
+    "canonical_matrix",
+    "canonical_columns",
+    "is_canonical_matrix",
+    "is_pseudocube",
+    "render_matrix",
+]
+
+
+def is_normal_vector(bits: tuple[int, ...]) -> bool:
+    """A vector of 2^m elements is *normal* if m = 0, or it is ``v v̂``
+    with ``v`` normal (Section 2)."""
+    size = len(bits)
+    if size == 0 or size & (size - 1):
+        return False
+    if size == 1:
+        return True
+    half = size // 2
+    v, w = bits[:half], bits[half:]
+    if w != v and w != tuple(1 - b for b in v):
+        return False
+    return is_normal_vector(v)
+
+
+def is_k_canonical(bits: tuple[int, ...], k: int) -> bool:
+    """Check the paper's k-canonical pattern ``0…0 1…1 0…0 1…1 …``.
+
+    A normal vector ``v_0 … v_{2^{m-k}-1}`` is k-canonical when
+    ``v_i = 0`` for even ``i`` and ``v_i = 1`` for odd ``i``, each block
+    having length ``2^k``.
+    """
+    size = len(bits)
+    if size == 0 or size & (size - 1):
+        return False
+    block = 1 << k
+    if block > size // 2:
+        return False
+    for i, b in enumerate(bits):
+        expected = (i // block) & 1
+        if b != expected:
+            return False
+    return True
+
+
+def row_sort_key(point: int, n: int) -> int:
+    """Value of ``point`` read as the paper reads matrix rows: ``x_0``
+    is the leftmost, most-significant bit."""
+    key = 0
+    for i in range(n):
+        key = (key << 1) | ((point >> i) & 1)
+    return key
+
+
+def canonical_matrix(pc: Pseudocube) -> list[int]:
+    """The rows of the canonical matrix of ``pc``, sorted as in the
+    paper (increasing binary value, ``x_0`` most significant)."""
+    return sorted(pc.points(), key=lambda p: row_sort_key(p, pc.n))
+
+
+def _column(rows: list[int], j: int) -> tuple[int, ...]:
+    return tuple(get_bit(r, j) for r in rows)
+
+
+def canonical_columns(rows: list[int], n: int) -> list[int] | None:
+    """The canonical column indices of a sorted normal matrix.
+
+    A canonical matrix with ``2^m`` rows contains columns
+    ``c_{i_0} < … < c_{i_{m-1}}`` where ``c_{i_j}`` is
+    ``(m-j-1)``-canonical.  Returns None if the matrix is not canonical.
+    """
+    size = len(rows)
+    m = size.bit_length() - 1
+    if (1 << m) != size:
+        return None
+    found: list[int] = []
+    next_level = m - 1
+    for j in range(n):
+        col = _column(rows, j)
+        if not is_normal_vector(col):
+            return None
+        if next_level >= 0 and is_k_canonical(col, next_level):
+            found.append(j)
+            next_level -= 1
+    if len(found) != m:
+        return None
+    return found
+
+
+def is_canonical_matrix(rows: list[int], n: int) -> bool:
+    """Definition check: distinct rows, sorted, all columns normal, and
+    the required k-canonical columns present."""
+    if len(set(rows)) != len(rows):
+        return False
+    keys = [row_sort_key(r, n) for r in rows]
+    if keys != sorted(keys):
+        return False
+    return canonical_columns(rows, n) is not None
+
+
+def is_pseudocube(points: set[int], n: int) -> bool:
+    """Matrix-based pseudocube test (Section 2): the point set is a
+    pseudocube iff its sorted matrix is canonical.
+
+    This is the paper's definition verbatim; the affine test is
+    :meth:`Pseudocube.from_points`.  Both are exercised against each
+    other in the property tests.
+    """
+    size = len(points)
+    if size == 0 or size & (size - 1):
+        return False
+    rows = sorted(points, key=lambda p: row_sort_key(p, n))
+    return is_canonical_matrix(rows, n)
+
+
+def render_matrix(pc: Pseudocube, var: str = "c") -> str:
+    """Pretty-print the canonical matrix in the style of figure 1."""
+    rows = canonical_matrix(pc)
+    header = "      " + " ".join(f"{var}{j}" for j in range(pc.n))
+    lines = [header]
+    for i, r in enumerate(rows):
+        cells = " ".join(f"{b:>2}" for b in to_string(r, pc.n))
+        lines.append(f"r{i:<4} {cells}")
+    return "\n".join(lines)

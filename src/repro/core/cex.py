@@ -1,0 +1,161 @@
+"""Canonical expressions (CEX) of pseudocubes — Definition 1 of the paper.
+
+``CEX(P)`` is the product of one EXOR factor per *non-canonical*
+variable of the pseudocube ``P``.  The factor for non-canonical ``x_j``
+contains ``x_j`` plus the canonical variables whose pattern influences
+column ``j`` of the canonical matrix; ``x_j`` is complemented iff entry
+``M[0, j]`` of the matrix is 0 (rule 2).
+
+In the affine representation both rules fall out of the RREF basis:
+
+* the canonical variables in the factor of ``x_j`` are the pivots whose
+  basis vector has bit ``j`` set;
+* ``M[0, j]`` is bit ``j`` of the anchor, so the factor's parity is
+  ``1 ^ anchor[j]``.
+
+A :class:`CexExpression` is usable standalone (any product of EXOR
+factors, not necessarily canonical): it can be evaluated, counted,
+printed, and turned back into a pseudocube when it is satisfiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core import gf2
+from repro.core.bitvec import get_bit, mask_of_width
+from repro.core.exor import ExorFactor
+from repro.core.pseudocube import NotAPseudocubeError, Pseudocube
+
+__all__ = ["CexExpression", "cex_of"]
+
+
+@dataclass(frozen=True)
+class CexExpression:
+    """A product (AND) of EXOR factors over ``B^n``.
+
+    When produced by :func:`cex_of` the factors are in CEX normal form:
+    one factor per non-canonical variable, ordered by increasing
+    non-canonical variable, each factor's non-canonical variable being
+    its highest-index one.
+    """
+
+    n: int
+    factors: tuple[ExorFactor, ...]
+
+    @property
+    def num_factors(self) -> int:
+        return len(self.factors)
+
+    @cached_property
+    def num_literals(self) -> int:
+        """Total number of literals — the paper's minimization cost."""
+        return sum(f.num_literals for f in self.factors)
+
+    def evaluate(self, point: int) -> int:
+        """1 iff every factor evaluates to 1 on ``point``."""
+        for f in self.factors:
+            if f.evaluate(point) == 0:
+                return 0
+        return 1
+
+    def structure(self) -> tuple[int, ...]:
+        """``STR`` of the expression: supports without complementations."""
+        return tuple(f.support for f in self.factors)
+
+    def to_pseudocube(self) -> Pseudocube:
+        """The point set of the expression, as a pseudocube.
+
+        Raises :class:`NotAPseudocubeError` when the factors are
+        inconsistent (empty point set) — e.g. ``x0 · x̄0``.
+        """
+        # Solve the affine system {XOR(x & support) == 1 ^ parity}.
+        basis: list[int] = []
+        rhs: list[int] = []
+        for f in self.factors:
+            if f.is_constant:
+                if f.parity == 0:  # the constant 0 factor
+                    raise NotAPseudocubeError("expression contains a 0 factor")
+                continue
+            row = f.support
+            b = 1 ^ f.parity
+            for vec, val in zip(basis, rhs):
+                if row & (vec & -vec):
+                    row ^= vec
+                    b ^= val
+            if row == 0:
+                if b:
+                    raise NotAPseudocubeError("inconsistent EXOR factors")
+                continue
+            low = row & -row
+            for i, vec in enumerate(basis):
+                if vec & low:
+                    basis[i] ^= row
+                    rhs[i] ^= b
+            pos = 0
+            while pos < len(basis) and (basis[pos] & -basis[pos]) < low:
+                pos += 1
+            basis.insert(pos, row)
+            rhs.insert(pos, b)
+        point = _solve_affine(basis, rhs)
+        # Direction space: nullspace of the constraint matrix.
+        constrained = 0
+        for vec in basis:
+            constrained |= vec & -vec
+        free = mask_of_width(self.n) & ~constrained
+        direction: list[int] = []
+        for j in range(self.n):
+            if not (free >> j) & 1:
+                continue
+            vec = 1 << j
+            for row in basis:
+                if (row >> j) & 1:
+                    vec |= row & -row
+            direction.append(vec)
+        dir_basis = gf2.rref(direction)
+        anchor = gf2.reduce_vector(dir_basis, point)
+        return Pseudocube(self.n, anchor, dir_basis)
+
+    def to_string(self, var: str = "x") -> str:
+        if not self.factors:
+            return "1"
+        return " . ".join(f.to_string(var) for f in self.factors)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def _solve_affine(basis: list[int], rhs: list[int]) -> int:
+    """One solution of a fully-reduced affine system.
+
+    ``basis`` is in RREF, so each row's pivot appears in no other row;
+    setting every free variable to 0 forces pivot ``p`` of row ``i`` to
+    value ``rhs[i]`` (the row's non-pivot variables are all free, hence
+    0).
+    """
+    point = 0
+    for row, val in zip(basis, rhs):
+        if val:
+            point |= row & -row
+    return point
+
+
+def cex_of(pc: Pseudocube) -> CexExpression:
+    """The canonical expression of a pseudocube (Definition 1)."""
+    factors = []
+    pivots = [gf2.pivot_of(b) for b in pc.basis]
+    canonical = pc.canonical_mask
+    for j in range(pc.n):
+        if (canonical >> j) & 1:
+            continue
+        support = 1 << j
+        for b, p in zip(pc.basis, pivots):
+            if (b >> j) & 1:
+                support |= 1 << p
+        parity = 1 ^ get_bit(pc.anchor, j)
+        factors.append(ExorFactor(support, parity))
+    # Factors are produced for increasing j; j is the highest variable in
+    # its own support (pivots are always below the columns they touch),
+    # so this is already the CEX order.
+    return CexExpression(pc.n, tuple(factors))

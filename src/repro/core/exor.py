@@ -1,0 +1,125 @@
+"""EXOR factors — the atoms of pseudoproduct expressions.
+
+An EXOR factor is a single variable or a string of variables connected
+by EXORs, possibly with complementations.  Since ``x̄ ⊕ y = x ⊕ ȳ =
+(x ⊕ y)'``, only the *parity* of the number of complementations matters,
+so a factor is canonically a pair ``(support, parity)``:
+
+* ``support`` — bitmask of the variables in the factor;
+* ``parity``  — 0 or 1; the factor's value on a point ``s`` is
+  ``XOR(s & support) ^ parity``.
+
+With this convention a factor that must evaluate to **1** on a
+pseudocube displays its complement bar (if any) on its highest-index
+variable, which by the RREF pivot convention is exactly the factor's
+*non-canonical* variable — matching rule 2 of Definition 1 in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.bitvec import bits_of, highest_bit_index, parity as bit_parity, popcount
+
+__all__ = ["ExorFactor", "norm_exor"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExorFactor:
+    """An EXOR of literals, canonicalized to ``(support, parity)``.
+
+    ``ExorFactor(0b101, 1)`` over variables named ``x`` renders as
+    ``(x0 ⊕ x̄2)`` and evaluates to ``x0 ^ x2 ^ 1``.
+    """
+
+    support: int
+    parity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.support < 0:
+            raise ValueError("support mask must be non-negative")
+        if self.parity not in (0, 1):
+            raise ValueError("parity must be 0 or 1")
+
+    @classmethod
+    def from_literals(
+        cls, positive: Iterable[int] = (), negative: Iterable[int] = ()
+    ) -> "ExorFactor":
+        """Build a factor from iterables of positive/negative literal indices.
+
+        A variable appearing in both lists contributes ``x ⊕ x̄ = 1``,
+        i.e. it cancels out of the support and flips the parity.
+        """
+        support = 0
+        par = 0
+        for i in positive:
+            support ^= 1 << i
+        for i in negative:
+            support ^= 1 << i
+            par ^= 1
+        return cls(support, par)
+
+    @property
+    def num_literals(self) -> int:
+        """Number of literals (variable occurrences) in the factor."""
+        return popcount(self.support)
+
+    @property
+    def is_constant(self) -> bool:
+        """True for the degenerate factors 0 and 1 (empty support)."""
+        return self.support == 0
+
+    def evaluate(self, point: int) -> int:
+        """Value of the factor (0 or 1) on ``point``."""
+        return bit_parity(point & self.support) ^ self.parity
+
+    def xor(self, other: "ExorFactor") -> "ExorFactor":
+        """EXOR of two factors, normalized (``NORM_EXOR`` of the paper)."""
+        return ExorFactor(self.support ^ other.support, self.parity ^ other.parity)
+
+    def complement(self) -> "ExorFactor":
+        """The complemented factor (flip the parity)."""
+        return ExorFactor(self.support, self.parity ^ 1)
+
+    def structure(self) -> int:
+        """The factor's structure: its support without complementations."""
+        return self.support
+
+    def variables(self) -> tuple[int, ...]:
+        """Indices of the variables in the factor, increasing."""
+        return tuple(bits_of(self.support))
+
+    def to_string(self, var: str = "x", bar_variable: int | None = None) -> str:
+        """Render the factor.
+
+        The complement bar (when ``parity == 1``) is drawn on
+        ``bar_variable`` if given, else on the highest-index variable —
+        the non-canonical variable of a CEX factor.
+        """
+        if self.support == 0:
+            return "1" if self.parity else "0"
+        if bar_variable is None:
+            bar_variable = highest_bit_index(self.support)
+        parts = []
+        for i in bits_of(self.support):
+            name = f"{var}{i}"
+            if self.parity and i == bar_variable:
+                name += "'"
+            parts.append(name)
+        body = " (+) ".join(parts)
+        if len(parts) == 1:
+            return parts[0]
+        return f"({body})"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def norm_exor(f1: ExorFactor, f2: ExorFactor) -> ExorFactor:
+    """The paper's ``NORM_EXOR``: normalized EXOR of two EXOR factors.
+
+    Example (Section 3.1): ``NORM_EXOR(x0 ⊕ x2 ⊕ x5, x0 ⊕ x̄1)``
+    is ``x1 ⊕ x2 ⊕ x̄5``.
+    """
+    return f1.xor(f2)

@@ -1,0 +1,205 @@
+"""GF(2) linear algebra on int-encoded vectors.
+
+A *basis* throughout this module is a tuple of nonzero ints in **reduced
+row echelon form (RREF)** with pivots chosen at the *lowest* variable
+index:
+
+* each vector's lowest set bit is its *pivot*;
+* pivots are strictly increasing along the tuple;
+* a pivot position is set in no other vector of the basis.
+
+This normalization is what makes the basis a canonical representative of
+the subspace it spans: two tuples are equal iff the spanned subspaces
+are equal.  The pivot variables are exactly the paper's *canonical
+variables* of a pseudocube (see :mod:`repro.core.pseudocube`), which is
+why the low-index pivot convention is not arbitrary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "rref",
+    "reduce_vector",
+    "insert_vector",
+    "contains",
+    "decompose",
+    "intersect_spaces",
+    "pivot_of",
+    "pivot_mask",
+    "rank",
+    "span_points",
+    "is_rref",
+]
+
+
+def pivot_of(v: int) -> int:
+    """Pivot (lowest set bit index) of a nonzero vector."""
+    if v == 0:
+        raise ValueError("zero vector has no pivot")
+    return (v & -v).bit_length() - 1
+
+
+def rref(vectors: Iterable[int]) -> tuple[int, ...]:
+    """Reduce ``vectors`` to the canonical RREF basis of their span."""
+    basis: list[int] = []
+    for v in vectors:
+        _insert_into(basis, v)
+    return tuple(basis)
+
+
+def _insert_into(basis: list[int], v: int) -> bool:
+    """Destructively insert ``v`` into an RREF ``basis`` list.
+
+    Returns True if the vector was independent (basis grew).
+    """
+    for b in basis:
+        if v & (b & -b):
+            v ^= b
+    if v == 0:
+        return False
+    low = v & -v
+    for i, b in enumerate(basis):
+        if b & low:
+            basis[i] = b ^ v
+    # Keep vectors ordered by increasing pivot.
+    pos = 0
+    while pos < len(basis) and (basis[pos] & -basis[pos]) < low:
+        pos += 1
+    basis.insert(pos, v)
+    return True
+
+
+def insert_vector(basis: tuple[int, ...], v: int) -> tuple[int, ...]:
+    """Return the RREF basis of ``span(basis) + span{v}``.
+
+    If ``v`` already lies in the span, the input basis is returned
+    unchanged (same object), which callers use as a cheap dependence
+    test.
+    """
+    lst = list(basis)
+    if _insert_into(lst, v):
+        return tuple(lst)
+    return basis
+
+
+def reduce_vector(basis: tuple[int, ...], v: int) -> int:
+    """Reduce ``v`` modulo the span: clear every pivot position.
+
+    The result is the canonical coset representative of ``v`` — zero iff
+    ``v`` is in the span.  For a pseudocube this is how the *anchor*
+    (row 0 of the canonical matrix) is computed from any member point.
+    """
+    for b in basis:
+        if v & (b & -b):
+            v ^= b
+    return v
+
+
+def contains(basis: tuple[int, ...], v: int) -> bool:
+    """True iff ``v`` is in the span of ``basis``."""
+    return reduce_vector(basis, v) == 0
+
+
+def pivot_mask(basis: tuple[int, ...]) -> int:
+    """Bitmask of all pivot positions (the canonical variables)."""
+    mask = 0
+    for b in basis:
+        mask |= b & -b
+    return mask
+
+
+def rank(vectors: Iterable[int]) -> int:
+    """Rank of a set of GF(2) vectors."""
+    return len(rref(vectors))
+
+
+def span_points(basis: tuple[int, ...], offset: int = 0) -> Iterator[int]:
+    """Enumerate the coset ``offset + span(basis)`` (2^rank points).
+
+    Uses a Gray-code walk so each step is a single XOR.
+    """
+    point = offset
+    yield point
+    size = 1 << len(basis)
+    for i in range(1, size):
+        # Index of the basis vector to toggle: ruler sequence.
+        point ^= basis[(i & -i).bit_length() - 1]
+        yield point
+
+
+def intersect_spaces(
+    basis_a: tuple[int, ...], basis_b: tuple[int, ...], n: int
+) -> tuple[int, ...]:
+    """RREF basis of ``span(basis_a) ∩ span(basis_b)``.
+
+    Zassenhaus: row-reduce the pairs ``(v, v)`` for ``v ∈ A`` and
+    ``(w, 0)`` for ``w ∈ B`` (pairs packed into a single int, first
+    component in the low bits so the low-pivot RREF processes it
+    first); rows whose first component vanished carry a basis of
+    ``A ∩ B`` in their second component.
+    """
+    rows: list[int] = []
+    for v in basis_a:
+        _insert_into(rows, v | (v << n))
+    for w in basis_b:
+        _insert_into(rows, w)
+    low_mask = (1 << n) - 1
+    inter = [row >> n for row in rows if (row & low_mask) == 0]
+    return rref(inter)
+
+
+def decompose(
+    basis_a: tuple[int, ...], basis_b: tuple[int, ...], v: int
+) -> int | None:
+    """Split ``v = u ⊕ w`` with ``u ∈ span(basis_a)``, ``w ∈ span(basis_b)``.
+
+    Returns ``u`` (any valid choice), or None when ``v`` is not in the
+    sum of the two spaces.
+    """
+    # Tagged elimination: carry, for each reduced row, the part of it
+    # contributed by A-generators.
+    rows: list[tuple[int, int]] = []  # (vector, a_part)
+    for vec, a_part in [(b, b) for b in basis_a] + [(w, 0) for w in basis_b]:
+        for row, row_a in rows:
+            if vec & (row & -row):
+                vec ^= row
+                a_part ^= row_a
+        if vec == 0:
+            continue
+        low = vec & -vec
+        for i, (row, row_a) in enumerate(rows):
+            if row & low:
+                rows[i] = (row ^ vec, row_a ^ a_part)
+        pos = 0
+        while pos < len(rows) and (rows[pos][0] & -rows[pos][0]) < low:
+            pos += 1
+        rows.insert(pos, (vec, a_part))
+    acc = 0
+    for row, row_a in rows:
+        if v & (row & -row):
+            v ^= row
+            acc ^= row_a
+    if v != 0:
+        return None
+    return acc
+
+
+def is_rref(basis: tuple[int, ...]) -> bool:
+    """Check the RREF invariants (used by tests and assertions)."""
+    prev_pivot = -1
+    pivots = 0
+    for b in basis:
+        if b == 0:
+            return False
+        p = pivot_of(b)
+        if p <= prev_pivot:
+            return False
+        prev_pivot = p
+        pivots |= 1 << p
+    # No pivot position may appear in another vector.
+    for b in basis:
+        if (b & pivots) != (b & -b):
+            return False
+    return True

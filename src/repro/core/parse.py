@@ -1,0 +1,192 @@
+"""Parsing of SPP / CEX expressions from text.
+
+The inverse of the library's printers: accepts the notation used
+throughout the repository (and the paper's, transliterated to ASCII):
+
+* literals: ``x0``, ``x13``, complemented as ``x0'`` (postfix) or
+  ``~x0`` / ``!x0`` (prefix);
+* EXOR factors: ``(x0 (+) x2 (+) x5')`` — ``(+)``, ``^`` and ``(+)``'s
+  unicode sibling ``⊕`` are all accepted;
+* products: factors joined by ``.`` or ``*`` (or simple adjacency of
+  parenthesised factors);
+* sums: products joined by ``+``.
+
+``parse_cex`` returns a :class:`CexExpression`; ``parse_spp`` returns
+an :class:`SppForm` (each product converted to its pseudocube, so the
+result is normalized regardless of how the input was written).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.cex import CexExpression
+from repro.core.exor import ExorFactor
+from repro.core.spp_form import SppForm
+
+__all__ = ["parse_cex", "parse_spp", "ExpressionSyntaxError"]
+
+
+class ExpressionSyntaxError(ValueError):
+    """The expression text could not be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<xor>\(\+\)|\^|⊕)"  # must precede lparen: "(+)" starts with "("
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<and>[.*·])"
+    r"|(?P<or>\+)"
+    r"|(?P<not>[~!])"
+    r"|(?P<var>[A-Za-z_][A-Za-z_]*\d+)"
+    r"|(?P<prime>')"
+    r"|(?P<const>[01])"
+    r")"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ExpressionSyntaxError(f"cannot tokenize at {remainder[:15]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for  sum := product (+ product)* ."""
+
+    def __init__(self, tokens: list[tuple[str, str]], var: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.var = var
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos][0]
+        return None
+
+    def take(self, kind: str) -> str:
+        if self.peek() != kind:
+            raise ExpressionSyntaxError(
+                f"expected {kind}, found {self.tokens[self.pos:][:1] or 'end'}"
+            )
+        value = self.tokens[self.pos][1]
+        self.pos += 1
+        return value
+
+    def variable_index(self, token: str) -> int:
+        match = re.fullmatch(rf"{re.escape(self.var)}(\d+)", token)
+        if match is None:
+            raise ExpressionSyntaxError(
+                f"variable {token!r} does not match prefix {self.var!r}"
+            )
+        return int(match.group(1))
+
+    # literal := [~|!] var ['] | const
+    def parse_literal(self) -> ExorFactor:
+        negate = 0
+        while self.peek() == "not":
+            self.take("not")
+            negate ^= 1
+        if self.peek() == "const":
+            value = int(self.take("const"))
+            return ExorFactor(0, value ^ negate)
+        index = self.variable_index(self.take("var"))
+        if self.peek() == "prime":
+            self.take("prime")
+            negate ^= 1
+        return ExorFactor(1 << index, negate)
+
+    # factor := literal | '(' literal ((+) literal)* ')'
+    def parse_factor(self) -> ExorFactor:
+        if self.peek() != "lparen":
+            return self.parse_literal()
+        self.take("lparen")
+        factor = self.parse_literal()
+        while self.peek() == "xor":
+            self.take("xor")
+            factor = factor.xor(self.parse_literal())
+        self.take("rparen")
+        return factor
+
+    # product := factor (('.'|'*')? factor)*
+    def parse_product(self, n: int) -> CexExpression:
+        factors = [self.parse_factor()]
+        while True:
+            if self.peek() == "and":
+                self.take("and")
+                factors.append(self.parse_factor())
+            elif self.peek() in ("lparen", "var", "not", "const"):
+                factors.append(self.parse_factor())
+            else:
+                break
+        return CexExpression(n, tuple(factors))
+
+    # sum := product ('+' product)*
+    def parse_sum(self, n: int) -> list[CexExpression]:
+        products = [self.parse_product(n)]
+        while self.peek() == "or":
+            self.take("or")
+            products.append(self.parse_product(n))
+        if self.pos != len(self.tokens):
+            raise ExpressionSyntaxError(
+                f"unconsumed input at token {self.tokens[self.pos]}"
+            )
+        return products
+
+
+def _infer_n(products: list[CexExpression]) -> int:
+    highest = 0
+    for product in products:
+        for factor in product.factors:
+            if factor.support:
+                highest = max(highest, factor.support.bit_length())
+    return highest
+
+
+def parse_cex(text: str, n: int | None = None, var: str = "x") -> CexExpression:
+    """Parse a single product of EXOR factors.
+
+    ``n`` defaults to one past the highest variable index mentioned.
+    """
+    parser = _Parser(_tokenize(text), var)
+    width = n or 1
+    products = parser.parse_sum(width)
+    if len(products) != 1:
+        raise ExpressionSyntaxError("expected a single product, found a sum")
+    inferred = max(_infer_n(products), 1)
+    if n is None:
+        n = inferred
+    elif inferred > n:
+        raise ExpressionSyntaxError(f"variable index exceeds n={n}")
+    return CexExpression(n, products[0].factors)
+
+
+def parse_spp(text: str, n: int | None = None, var: str = "x") -> SppForm:
+    """Parse a sum of pseudoproducts into a normalized :class:`SppForm`.
+
+    Products that are unsatisfiable (e.g. ``x0 . x0'``) are rejected.
+    """
+    parser = _Parser(_tokenize(text), var)
+    products = parser.parse_sum(1)
+    inferred = max(_infer_n(products), 1)
+    if n is None:
+        n = inferred
+    elif inferred > n:
+        raise ExpressionSyntaxError(f"variable index exceeds n={n}")
+    pseudoproducts = []
+    for product in products:
+        widened = CexExpression(n, product.factors)
+        pseudoproducts.append(widened.to_pseudocube())
+    return SppForm(n, tuple(pseudoproducts))

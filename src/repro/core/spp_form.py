@@ -1,0 +1,77 @@
+"""SPP forms — sums (OR) of pseudoproducts.
+
+An :class:`SppForm` is the three-level network the paper synthesizes:
+OR of ANDs of EXORs.  A sum-of-products (SP) expression is the special
+case in which every pseudoproduct is a cube.
+
+Cost metrics follow the paper: ``num_literals`` is the minimization
+objective, ``num_pseudoproducts`` is the ``#P`` / ``#PP`` column of
+Table 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.cex import cex_of
+from repro.core.pseudocube import Pseudocube
+
+__all__ = ["SppForm"]
+
+
+@dataclass(frozen=True)
+class SppForm:
+    """A disjunction of pseudoproducts over ``B^n``."""
+
+    n: int
+    pseudoproducts: tuple[Pseudocube, ...]
+
+    @classmethod
+    def from_iterable(cls, n: int, pps: Iterable[Pseudocube]) -> "SppForm":
+        return cls(n, tuple(pps))
+
+    @property
+    def num_pseudoproducts(self) -> int:
+        return len(self.pseudoproducts)
+
+    @cached_property
+    def num_literals(self) -> int:
+        """Total literal count over all CEX expressions (paper's #L)."""
+        return sum(p.num_literals for p in self.pseudoproducts)
+
+    @cached_property
+    def num_exor_factors(self) -> int:
+        """Total number of EXOR factors (AND-gate fan-in of the form)."""
+        return sum(p.n - p.degree for p in self.pseudoproducts)
+
+    def evaluate(self, point: int) -> int:
+        """1 iff the point belongs to some pseudoproduct."""
+        for p in self.pseudoproducts:
+            if point in p:
+                return 1
+        return 0
+
+    def on_set(self) -> set[int]:
+        """The set of points covered by the form."""
+        covered: set[int] = set()
+        for p in self.pseudoproducts:
+            covered.update(p.points())
+        return covered
+
+    def is_sp(self) -> bool:
+        """True iff every pseudoproduct is a plain cube (SP form)."""
+        return all(p.is_cube() for p in self.pseudoproducts)
+
+    def covers(self, points: Iterable[int]) -> bool:
+        """True iff every given point is covered by the form."""
+        return all(self.evaluate(p) for p in points)
+
+    def to_string(self, var: str = "x") -> str:
+        if not self.pseudoproducts:
+            return "0"
+        return " + ".join(cex_of(p).to_string(var) for p in self.pseudoproducts)
+
+    def __str__(self) -> str:
+        return self.to_string()

@@ -1,0 +1,73 @@
+"""Sub-pseudocube enumeration — Theorem 2 of the paper.
+
+For a pseudocube ``R`` of degree ``m`` with canonical variables
+``x_{c_1}, …, x_{c_m}``, the pseudocubes ``P ⊂ R`` of degree ``m-1`` are
+obtained by appending one extra EXOR factor ``A = y_1 ⊕ … ⊕ ŷ_k`` whose
+variables are canonical variables of ``R``.  There are
+``2^{m+1} - 2`` such factors (a nonempty subset of the canonical
+variables × a complementation bit) and they yield all the *distinct*
+immediate sub-pseudocubes.
+
+In the affine representation appending the factor adds one affine
+constraint ``⊕_{y ∈ Y} x_y = b`` over the pivot variables: the direction
+space loses one dimension and the anchor stays (``b = 0``) or shifts by
+a basis vector (``b = 1``).  This is the engine of the heuristic's
+*descendant phase* (Algorithm 3, step 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core import gf2
+from repro.core.bitvec import bits_of
+from repro.core.pseudocube import Pseudocube
+
+__all__ = ["sub_pseudocubes", "constrain"]
+
+
+def constrain(pc: Pseudocube, y_mask: int, b: int) -> Pseudocube:
+    """The sub-pseudocube of ``pc`` satisfying ``⊕_{y∈Y} x_y = b``.
+
+    ``y_mask`` must be a nonempty subset of the canonical variables of
+    ``pc``; the result has degree ``pc.degree - 1``.
+    """
+    if y_mask == 0:
+        raise ValueError("Y must be a nonempty subset of canonical variables")
+    if y_mask & ~pc.canonical_mask:
+        raise ValueError("Y contains non-canonical variables")
+    if b not in (0, 1):
+        raise ValueError("b must be 0 or 1")
+    in_y = []
+    out_y = []
+    for vec in pc.basis:
+        if vec & y_mask & (vec & -vec):
+            in_y.append(vec)
+        else:
+            out_y.append(vec)
+    # A basis vector's only canonical position is its own pivot, so the
+    # Y-parity of vector v is 1 iff pivot(v) ∈ Y.
+    w = in_y[0]
+    new_vectors = out_y + [v ^ w for v in in_y[1:]]
+    basis = gf2.rref(new_vectors)
+    anchor = pc.anchor if b == 0 else pc.anchor ^ w
+    anchor = gf2.reduce_vector(basis, anchor)
+    return Pseudocube(pc.n, anchor, basis)
+
+
+def sub_pseudocubes(pc: Pseudocube) -> Iterator[Pseudocube]:
+    """All ``2^{m+1} - 2`` distinct sub-pseudocubes of degree ``m-1``.
+
+    Yields nothing for degree-0 pseudocubes (single points have no
+    proper sub-pseudocubes).
+    """
+    m = pc.degree
+    if m == 0:
+        return
+    canon = list(bits_of(pc.canonical_mask))
+    for subset in range(1, 1 << m):
+        y_mask = 0
+        for i in bits_of(subset):
+            y_mask |= 1 << canon[i]
+        for b in (0, 1):
+            yield constrain(pc, y_mask, b)

@@ -1,0 +1,61 @@
+"""Algorithm 1 of the paper: symbolic union of two CEX expressions.
+
+Given the CEX expressions of two pseudocubes with the same structure,
+build the CEX expression of their union without touching point sets.
+
+Let ``alpha`` be the set of non-canonical variables whose factors differ
+in complementation between the two expressions, and ``x_ik`` the
+variable of smallest index in ``alpha``.  Then in ``CEX(P1 ∪ P2)``:
+
+* the factor of ``x_ik`` disappears (``x_ik`` becomes canonical);
+* every other factor of a variable in ``alpha`` becomes
+  ``NORM_EXOR(f², f¹_ik)``;
+* factors of variables outside ``alpha`` are unchanged.
+
+The affine-form equivalent is :meth:`repro.core.pseudocube.Pseudocube.union`
+("insert ``anchor1 ⊕ anchor2`` into the basis"); the test suite checks
+the two agree factor-for-factor on random pseudocube pairs.
+"""
+
+from __future__ import annotations
+
+from repro.core.cex import CexExpression
+from repro.core.exor import norm_exor
+
+__all__ = ["cex_union", "UnionError"]
+
+
+class UnionError(ValueError):
+    """Raised when the two expressions cannot be unified (Theorem 1)."""
+
+
+def cex_union(cex1: CexExpression, cex2: CexExpression) -> CexExpression:
+    """Union of two same-structure CEX expressions (Algorithm 1).
+
+    Raises :class:`UnionError` when the structures differ or the
+    expressions are identical (the union of a pseudocube with itself is
+    not a pseudocube of higher degree).
+    """
+    if cex1.n != cex2.n:
+        raise UnionError("expressions over different spaces")
+    if cex1.structure() != cex2.structure():
+        raise UnionError("different structures: union is not a pseudocube")
+    differing = [
+        j
+        for j, (f1, f2) in enumerate(zip(cex1.factors, cex2.factors))
+        if f1.parity != f2.parity
+    ]
+    if not differing:
+        raise UnionError("identical expressions: nothing to unify")
+    k = differing[0]
+    f1_k = cex1.factors[k]
+    alpha = set(differing)
+    new_factors = []
+    for j, f2 in enumerate(cex2.factors):
+        if j == k:
+            continue
+        if j in alpha:
+            new_factors.append(norm_exor(f2, f1_k))
+        else:
+            new_factors.append(f2)
+    return CexExpression(cex1.n, tuple(new_factors))

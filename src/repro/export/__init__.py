@@ -1,0 +1,6 @@
+"""Netlist export: SPP forms to BLIF and structural Verilog."""
+
+from repro.export.blif import spp_to_blif
+from repro.export.verilog import spp_to_verilog
+
+__all__ = ["spp_to_blif", "spp_to_verilog"]

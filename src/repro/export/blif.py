@@ -1,0 +1,86 @@
+"""BLIF export of SPP forms.
+
+An SPP form is a three-level OR–AND–EXOR network; the standard exchange
+format downstream EDA tools (SIS, ABC, mockturtle, …) accept is
+Berkeley Logic Interchange Format.  The writer emits one ``.names``
+node per EXOR factor (its truth table is the parity pattern), one AND
+node per pseudoproduct, and a final OR node, preserving the paper's
+three-level structure so gate counts remain inspectable after import.
+
+Single-literal factors are wired straight into the AND node (no
+gratuitous buffer nodes); complemented single literals use the
+``.names`` inverter pattern.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.bitvec import bits_of, popcount
+from repro.core.cex import cex_of
+from repro.core.spp_form import SppForm
+
+__all__ = ["spp_to_blif"]
+
+
+def _exor_names(out_net: str, inputs: list[str], parity: int, sink: io.StringIO) -> None:
+    """Emit a .names node computing XOR(inputs) ^ parity."""
+    sink.write(f".names {' '.join(inputs)} {out_net}\n")
+    width = len(inputs)
+    for assignment in range(1 << width):
+        ones = assignment.bit_count()
+        if (ones & 1) ^ parity:
+            bits = "".join(str((assignment >> i) & 1) for i in range(width))
+            sink.write(f"{bits} 1\n")
+
+
+def spp_to_blif(
+    form: SppForm,
+    model: str = "spp",
+    input_names: list[str] | None = None,
+    output_name: str = "f",
+) -> str:
+    """Serialize an SPP form as a single-output BLIF model."""
+    n = form.n
+    if input_names is None:
+        input_names = [f"x{i}" for i in range(n)]
+    if len(input_names) != n:
+        raise ValueError("need one input name per variable")
+
+    sink = io.StringIO()
+    sink.write(f".model {model}\n")
+    sink.write(f".inputs {' '.join(input_names)}\n")
+    sink.write(f".outputs {output_name}\n")
+
+    product_nets: list[str] = []
+    factor_counter = 0
+    for p_index, pc in enumerate(form.pseudoproducts):
+        cex = cex_of(pc)
+        factor_nets: list[str] = []
+        for factor in cex.factors:
+            variables = [input_names[i] for i in bits_of(factor.support)]
+            if popcount(factor.support) == 1 and factor.parity == 0:
+                factor_nets.append(variables[0])
+                continue
+            net = f"g{factor_counter}"
+            factor_counter += 1
+            _exor_names(net, variables, factor.parity, sink)
+            factor_nets.append(net)
+        product_net = f"p{p_index}"
+        product_nets.append(product_net)
+        if factor_nets:
+            sink.write(f".names {' '.join(factor_nets)} {product_net}\n")
+            sink.write("1" * len(factor_nets) + " 1\n")
+        else:  # the constant-1 pseudoproduct (whole space)
+            sink.write(f".names {product_net}\n1\n")
+
+    if product_nets:
+        sink.write(f".names {' '.join(product_nets)} {output_name}\n")
+        for i in range(len(product_nets)):
+            pattern = ["-"] * len(product_nets)
+            pattern[i] = "1"
+            sink.write("".join(pattern) + " 1\n")
+    else:  # empty sum: constant 0
+        sink.write(f".names {output_name}\n")
+    sink.write(".end\n")
+    return sink.getvalue()

@@ -1,0 +1,74 @@
+"""Structural Verilog export of SPP forms.
+
+Emits a combinational module with one continuous assignment per output:
+the OR of AND-of-EXOR terms, exactly mirroring the three-level SPP
+network (synthesizers see the intended XOR structure instead of a
+flattened SOP).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.bitvec import bits_of
+from repro.core.cex import cex_of
+from repro.core.spp_form import SppForm
+
+__all__ = ["spp_to_verilog"]
+
+
+def _factor_expr(factor, input_names: list[str]) -> str:
+    terms = " ^ ".join(input_names[i] for i in bits_of(factor.support))
+    if factor.parity:
+        return f"~({terms})" if " ^ " in terms else f"~{terms}"
+    return f"({terms})" if " ^ " in terms else terms
+
+
+def _product_expr(pc, input_names: list[str]) -> str:
+    cex = cex_of(pc)
+    if not cex.factors:
+        return "1'b1"
+    return " & ".join(_factor_expr(f, input_names) for f in cex.factors)
+
+
+def spp_to_verilog(
+    forms: dict[str, SppForm],
+    module: str = "spp",
+    input_names: list[str] | None = None,
+) -> str:
+    """Serialize one or more SPP forms (name → form) as a Verilog module.
+
+    All forms must range over the same input space.
+    """
+    if not forms:
+        raise ValueError("need at least one output form")
+    widths = {form.n for form in forms.values()}
+    if len(widths) != 1:
+        raise ValueError("all outputs must share the input space")
+    n = widths.pop()
+    if input_names is None:
+        input_names = [f"x{i}" for i in range(n)]
+    if len(input_names) != n:
+        raise ValueError("need one input name per variable")
+
+    sink = io.StringIO()
+    outputs = list(forms)
+    sink.write(f"module {module} (\n")
+    for name in input_names:
+        sink.write(f"    input  wire {name},\n")
+    for i, name in enumerate(outputs):
+        comma = "," if i + 1 < len(outputs) else ""
+        sink.write(f"    output wire {name}{comma}\n")
+    sink.write(");\n\n")
+    for name, form in forms.items():
+        if form.num_pseudoproducts == 0:
+            sink.write(f"  assign {name} = 1'b0;\n")
+            continue
+        products = [
+            "(" + _product_expr(pc, input_names) + ")"
+            for pc in form.pseudoproducts
+        ]
+        joined = "\n               | ".join(products)
+        sink.write(f"  assign {name} = {joined};\n")
+    sink.write("\nendmodule\n")
+    return sink.getvalue()

@@ -1,0 +1,121 @@
+"""AND-OR-EXOR three-level minimization (a comparison baseline).
+
+The paper's introduction cites AND-OR-EXOR networks (``f = g1 ⊕ g2``
+with SP ``g_i``; Malik et al., Debnath & Sasao, Dubrova's AOXMIN) as
+the other major three-level family, and its conclusion plans to
+"compare SPP forms with other three level forms".  This module provides
+a simple representative of that family so the comparison can be run:
+
+**linear-correction EX-SOP** — choose an EXOR factor ``a`` (constant,
+single variable, or a short XOR of variables), minimize the corrected
+function ``f ⊕ a`` as a two-level SP form ``g``, and realize
+``f = g ⊕ a``.  The network is AND→OR→EXOR with a single correction
+term; the search tries every factor up to a width bound and keeps the
+cheapest network.  This captures the classic wins (parity-polluted
+control logic collapses once the parity is peeled off) without the
+machinery of a full AOXMIN implementation, and is clearly documented as
+a baseline, not a reproduction of those papers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.exor import ExorFactor
+from repro.core.spp_form import SppForm
+from repro.minimize.sp import minimize_sp
+
+__all__ = ["AoxForm", "AoxResult", "minimize_aox"]
+
+
+@dataclass(frozen=True)
+class AoxForm:
+    """``f = sop ⊕ correction`` — an AND-OR-EXOR network.
+
+    Exposes the same read interface as :class:`SppForm` (``n``,
+    ``evaluate``, ``on_set``) so :mod:`repro.verify` accepts it.
+    """
+
+    n: int
+    sop: SppForm
+    correction: ExorFactor
+
+    def evaluate(self, point: int) -> int:
+        return self.sop.evaluate(point) ^ self.correction.evaluate(point)
+
+    def on_set(self) -> set[int]:
+        return {p for p in range(1 << self.n) if self.evaluate(p)}
+
+    @cached_property
+    def num_literals(self) -> int:
+        return self.sop.num_literals + self.correction.num_literals
+
+    def to_string(self, var: str = "x") -> str:
+        if self.correction.support == 0 and self.correction.parity == 0:
+            return self.sop.to_string(var)
+        return f"[{self.sop.to_string(var)}] (+) {self.correction.to_string(var)}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+@dataclass
+class AoxResult:
+    """Outcome of the AND-OR-EXOR search."""
+
+    form: AoxForm
+    tried: int
+    seconds: float
+
+    @property
+    def num_literals(self) -> int:
+        return self.form.num_literals
+
+
+def _corrections(n: int, max_width: int):
+    """Candidate correction factors: the constant 0 (plain SP), then
+    every EXOR of up to ``max_width`` variables, plain and complemented."""
+    yield ExorFactor(0, 0)
+    for width in range(1, max_width + 1):
+        for combo in itertools.combinations(range(n), width):
+            support = 0
+            for i in combo:
+                support |= 1 << i
+            yield ExorFactor(support, 0)
+            yield ExorFactor(support, 1)
+
+
+def minimize_aox(
+    func: BoolFunc,
+    *,
+    max_width: int = 2,
+    covering: str = "greedy",
+) -> AoxResult:
+    """Minimize ``func`` as ``SOP ⊕ (EXOR factor)``.
+
+    ``max_width`` bounds the correction factor's literal count; width 2
+    already covers the classical parity-of-a-pair corrections while
+    keeping the search at ``O(n²)`` two-level minimizations.
+    """
+    t0 = time.perf_counter()
+    best: AoxForm | None = None
+    tried = 0
+    for correction in _corrections(func.n, max_width):
+        corrected_on = frozenset(
+            p
+            for p in range(1 << func.n)
+            if (p in func.on_set) ^ correction.evaluate(p)
+            and p not in func.dc_set
+        )
+        corrected = BoolFunc(func.n, corrected_on, func.dc_set)
+        sp = minimize_sp(corrected, covering=covering)
+        tried += 1
+        candidate = AoxForm(func.n, sp.form, correction)
+        if best is None or candidate.num_literals < best.num_literals:
+            best = candidate
+    assert best is not None
+    return AoxResult(best, tried, time.perf_counter() - t0)

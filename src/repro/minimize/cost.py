@@ -1,0 +1,27 @@
+"""Cost functions for covering (the paper minimizes literal counts)."""
+
+from __future__ import annotations
+
+from repro.core.pseudocube import Pseudocube
+
+__all__ = ["literal_cost", "factor_cost", "product_cost"]
+
+
+def literal_cost(pc: Pseudocube) -> int:
+    """Number of literals of the CEX expression — the paper's default.
+
+    The degree-n pseudoproduct (constant 1) has zero literals; covering
+    costs must be positive, so it is priced at 1 (it can only appear for
+    tautological functions, where it is trivially optimal anyway).
+    """
+    return max(pc.num_literals, 1)
+
+
+def factor_cost(pc: Pseudocube) -> int:
+    """Number of EXOR factors (AND fan-in) of the CEX expression."""
+    return max(pc.n - pc.degree, 1)
+
+
+def product_cost(pc: Pseudocube) -> int:
+    """Unit cost per pseudoproduct (minimizes the number of products)."""
+    return 1

@@ -1,0 +1,355 @@
+"""Unate set covering — step 3 of Algorithm 2 (and of SP minimization).
+
+Minimal SP/SPP covers are solutions of the set covering problem
+``⟨X, Y, R⟩`` of the paper: ``X`` are the on-set points, ``Y`` the prime
+implicants / EPPPs, and the cost of a column is its literal count.
+
+Rows are represented as bit positions of Python ints, so a column is a
+single int mask and "does this selection cover everything" is one OR
+chain.  Two solvers are provided:
+
+* :func:`solve_greedy` — the classical ratio-greedy with a
+  reverse-delete redundancy pass.  The paper also used covering
+  heuristics ("the numbers … are upper bounds for the minimal
+  solution"), so this is the default and the faithful choice.
+* :func:`solve_exact` — branch-and-bound with essential-column and
+  row/column dominance reductions and an independent-row lower bound.
+  Practical for the row/column sizes of the small benchmarks; a node
+  budget makes it degrade gracefully into a heuristic (the result flags
+  whether optimality was proved).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+__all__ = [
+    "CoveringProblem",
+    "CoveringSolution",
+    "build_covering",
+    "solve_greedy",
+    "solve_exact",
+    "solve",
+]
+
+T = TypeVar("T")
+
+
+@dataclass
+class CoveringProblem(Generic[T]):
+    """Rows 0..num_rows-1; column ``i`` covers ``column_masks[i]``."""
+
+    num_rows: int
+    column_masks: list[int]
+    costs: list[int]
+    payloads: list[T]
+
+    def __post_init__(self) -> None:
+        if not (len(self.column_masks) == len(self.costs) == len(self.payloads)):
+            raise ValueError("column arrays must have equal length")
+        if any(c <= 0 for c in self.costs):
+            raise ValueError("costs must be positive")
+
+    @property
+    def universe(self) -> int:
+        return (1 << self.num_rows) - 1
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.column_masks)
+
+    def is_feasible(self) -> bool:
+        mask = 0
+        for m in self.column_masks:
+            mask |= m
+        return mask == self.universe
+
+
+@dataclass
+class CoveringSolution(Generic[T]):
+    """A cover: selected column indices, their payloads and total cost."""
+
+    selected: list[int]
+    cost: int
+    optimal: bool
+    payloads: list[T] = field(default_factory=list)
+
+
+def build_covering(
+    rows: Sequence[int],
+    candidates: Iterable[T],
+    covered_rows_of,
+    cost_of,
+) -> CoveringProblem[T]:
+    """Build a problem from domain objects.
+
+    ``rows`` are arbitrary hashable row identifiers (points);
+    ``covered_rows_of(candidate)`` yields the row identifiers a
+    candidate covers (identifiers outside ``rows`` are ignored — e.g.
+    don't-care points of a pseudoproduct); ``cost_of(candidate)`` is its
+    positive integer cost.  Candidates covering no rows are dropped.
+    """
+    index = {row: i for i, row in enumerate(rows)}
+    masks: list[int] = []
+    costs: list[int] = []
+    payloads: list[T] = []
+    for cand in candidates:
+        mask = 0
+        for row in covered_rows_of(cand):
+            pos = index.get(row)
+            if pos is not None:
+                mask |= 1 << pos
+        if mask:
+            masks.append(mask)
+            costs.append(cost_of(cand))
+            payloads.append(cand)
+    return CoveringProblem(len(rows), masks, costs, payloads)
+
+
+def solve_greedy(problem: CoveringProblem[T]) -> CoveringSolution[T]:
+    """Greedy covering with local improvement.
+
+    Runs the classical greedy under two selection criteria (best
+    rows-per-cost ratio, most new rows), applies reverse-delete
+    redundancy elimination, then a bounded 1-removal improvement pass
+    (drop a selected column, re-cover greedily, keep if cheaper), and
+    returns the best of everything — the "some heuristics" of the
+    paper's covering step.
+    """
+    if problem.num_rows == 0:
+        return CoveringSolution([], 0, True, [])
+    if not problem.is_feasible():
+        raise ValueError("covering problem is infeasible")
+    masks = problem.column_masks
+    costs = problem.costs
+    universe = problem.universe
+
+    best: list[int] | None = None
+    best_cost = 0
+    for strategy in ("ratio", "gain"):
+        selected = _greedy_pass(problem, strategy, forbidden=-1)
+        # The improvement pass re-runs greedy once per selected column;
+        # bound the extra work on very large candidate sets.
+        if problem.num_columns * max(len(selected), 1) <= 5_000_000:
+            selected = _improve(problem, selected, strategy)
+        cost = sum(costs[i] for i in selected)
+        if best is None or cost < best_cost:
+            best, best_cost = selected, cost
+    assert best is not None
+    return CoveringSolution(
+        best, best_cost, False, [problem.payloads[i] for i in best]
+    )
+
+
+def _greedy_pass(
+    problem: CoveringProblem[T],
+    strategy: str,
+    forbidden: int,
+    seed: list[int] | None = None,
+) -> list[int]:
+    """One greedy cover; ``forbidden`` column is skipped, ``seed``
+    columns are pre-selected."""
+    masks = problem.column_masks
+    costs = problem.costs
+    universe = problem.universe
+    selected = list(seed) if seed else []
+    covered = 0
+    for i in selected:
+        covered |= masks[i]
+    active = [i for i in range(problem.num_columns) if i != forbidden]
+    while covered != universe:
+        best_i = -1
+        best_key: tuple[float, int] = (0.0, 0)
+        still_active = []
+        for i in active:
+            gain = (masks[i] & ~covered).bit_count()
+            if gain == 0:
+                continue
+            still_active.append(i)
+            if strategy == "ratio":
+                key = (gain / costs[i], gain)
+            else:
+                key = (float(gain), -costs[i])
+            if key > best_key:
+                best_key = key
+                best_i = i
+        if best_i < 0:
+            raise ValueError("covering problem is infeasible")
+        active = still_active
+        covered |= masks[best_i]
+        selected.append(best_i)
+    _drop_redundant(selected, masks, costs, universe)
+    return selected
+
+
+def _improve(
+    problem: CoveringProblem[T], selected: list[int], strategy: str
+) -> list[int]:
+    """1-removal local search: drop each chosen column in turn and
+    re-cover the hole greedily; keep strict improvements.  Two rounds
+    bound the work while catching the common greedy missteps."""
+    costs = problem.costs
+    for _ in range(2):
+        improved = False
+        current_cost = sum(costs[i] for i in selected)
+        for victim in sorted(selected, key=lambda i: -costs[i]):
+            remaining = [i for i in selected if i != victim]
+            try:
+                candidate = _greedy_pass(
+                    problem, strategy, forbidden=victim, seed=remaining
+                )
+            except ValueError:
+                continue  # victim was the only cover for some row
+            cost = sum(costs[i] for i in candidate)
+            if cost < current_cost:
+                selected = candidate
+                current_cost = cost
+                improved = True
+        if not improved:
+            break
+    return selected
+
+
+def _drop_redundant(
+    selected: list[int], masks: list[int], costs: list[int], universe: int
+) -> None:
+    """Reverse-delete: drop columns whose rows are covered by the rest,
+    trying the most expensive first."""
+    for i in sorted(selected, key=lambda i: -costs[i]):
+        rest = 0
+        for j in selected:
+            if j != i:
+                rest |= masks[j]
+        if rest == universe:
+            selected.remove(i)
+
+
+def solve_exact(
+    problem: CoveringProblem[T],
+    node_limit: int = 200_000,
+) -> CoveringSolution[T]:
+    """Branch-and-bound exact covering.
+
+    ``optimal`` is True in the result iff the search completed within
+    the node budget; otherwise the best cover found so far is returned
+    (never worse than greedy, which seeds the incumbent).
+    """
+    if problem.num_rows == 0:
+        return CoveringSolution([], 0, True, [])
+    if not problem.is_feasible():
+        raise ValueError("covering problem is infeasible")
+    masks = problem.column_masks
+    costs = problem.costs
+    universe = problem.universe
+
+    incumbent = solve_greedy(problem)
+    best_cost = incumbent.cost
+    best_selection = list(incumbent.selected)
+
+    # Per-row column lists for branching and bounding.
+    row_columns: list[list[int]] = [[] for _ in range(problem.num_rows)]
+    for i, mask in enumerate(masks):
+        m = mask
+        while m:
+            low = m & -m
+            row_columns[low.bit_length() - 1].append(i)
+            m ^= low
+
+    nodes = 0
+    exhausted = True
+
+    def lower_bound(uncovered: int, banned: frozenset[int]) -> int:
+        """Independent-row bound: rows whose candidate columns are
+        pairwise disjoint; each adds its cheapest column's cost."""
+        bound = 0
+        blocked = 0
+        m = uncovered
+        while m:
+            low = m & -m
+            m ^= low
+            if low & blocked:
+                continue
+            row = low.bit_length() - 1
+            cheapest = None
+            union = 0
+            for i in row_columns[row]:
+                if i in banned:
+                    continue
+                union |= masks[i]
+                if cheapest is None or costs[i] < cheapest:
+                    cheapest = costs[i]
+            if cheapest is None:
+                return 1 << 60  # infeasible branch
+            bound += cheapest
+            blocked |= union
+        return bound
+
+    def search(uncovered: int, banned: frozenset[int], cost: int, chosen: list[int]) -> None:
+        nonlocal nodes, best_cost, best_selection, exhausted
+        nodes += 1
+        if nodes > node_limit:
+            exhausted = False
+            return
+        if uncovered == 0:
+            if cost < best_cost:
+                best_cost = cost
+                best_selection = list(chosen)
+            return
+        if cost + lower_bound(uncovered, banned) >= best_cost:
+            return
+        # Branch on the hardest uncovered row (fewest usable columns).
+        best_row = -1
+        best_options: list[int] | None = None
+        m = uncovered
+        while m:
+            low = m & -m
+            m ^= low
+            row = low.bit_length() - 1
+            options = [i for i in row_columns[row] if i not in banned]
+            if not options:
+                return  # infeasible
+            if best_options is None or len(options) < len(best_options):
+                best_row = row
+                best_options = options
+                if len(options) == 1:
+                    break
+        assert best_options is not None and best_row >= 0
+        # Try cheaper/larger columns first for better pruning.
+        best_options.sort(key=lambda i: (costs[i], -masks[i].bit_count()))
+        tried: list[int] = []
+        for i in best_options:
+            chosen.append(i)
+            search(
+                uncovered & ~masks[i],
+                banned | frozenset(tried),
+                cost + costs[i],
+                chosen,
+            )
+            chosen.pop()
+            tried.append(i)
+            if not exhausted:
+                return
+
+    search(universe, frozenset(), 0, [])
+    return CoveringSolution(
+        best_selection,
+        best_cost,
+        exhausted,
+        [problem.payloads[i] for i in best_selection],
+    )
+
+
+def solve(problem: CoveringProblem[T], mode: str = "auto") -> CoveringSolution[T]:
+    """Dispatch: ``greedy``, ``exact``, or ``auto`` (exact on small
+    problems, greedy otherwise — mirroring the paper's practice)."""
+    if mode == "greedy":
+        return solve_greedy(problem)
+    if mode == "exact":
+        return solve_exact(problem)
+    if mode == "auto":
+        if problem.num_rows <= 64 and problem.num_columns <= 2000:
+            return solve_exact(problem, node_limit=50_000)
+        return solve_greedy(problem)
+    raise ValueError(f"unknown covering mode {mode!r}")

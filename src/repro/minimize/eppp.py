@@ -1,0 +1,397 @@
+"""EPPP set construction — steps 1 and 2 of Algorithm 2.
+
+Starting from the degree-0 pseudoproducts (the single points of the
+function), each step unifies all pairs of same-structure pseudoproducts
+of degree ``k`` into pseudoproducts of degree ``k+1`` (Theorem 1
+guarantees every such pair unifies, so no comparison is wasted), and
+retains a degree-``k`` pseudoproduct unless some union covering it has
+no more literals (Definition 3's *extended prime pseudoproducts*).
+
+The same-structure grouping is delegated to a pluggable *store*:
+
+* ``"index"`` — hash map keyed by the direction basis (the fast
+  default).  This backend additionally exploits that within a group all
+  pairs with the same anchor difference ``delta`` produce unions with
+  the same direction space: basis insertion and literal counting are
+  cached per ``delta``, and the new anchor is a single conditional XOR.
+* ``"trie"`` — :class:`repro.trie.PartitionTrie`, the paper's data
+  structure node for node.
+
+Both produce identical groups, hence identical EPPP sets; the ablation
+benchmark measures their constant factors.
+
+Instrumentation: each step records the number of pair unifications
+performed (``Σ_j |X_j|·(|X_j|-1)/2`` over the groups) next to the
+``|X|·(|X|-1)/2`` an ungrouped algorithm would pay — the exact
+quantities discussed in Section 3.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.boolfunc.function import BoolFunc
+from repro.core import gf2
+from repro.core.pseudocube import Pseudocube
+from repro.trie.index import StructureIndex
+from repro.trie.partition_trie import PartitionTrie
+
+__all__ = [
+    "StepStats",
+    "EpppResult",
+    "GenerationBudgetExceeded",
+    "generate_eppp",
+    "make_store",
+]
+
+
+class GenerationBudgetExceeded(RuntimeError):
+    """The pseudoproduct budget was exhausted (``on_limit="raise"``)."""
+
+
+def make_store(backend: str):
+    """Instantiate a grouping store: ``"index"`` or ``"trie"``."""
+    if backend == "index":
+        return StructureIndex()
+    if backend == "trie":
+        return PartitionTrie()
+    raise ValueError(f"unknown store backend {backend!r}")
+
+
+@dataclass
+class StepStats:
+    """Counters for one generation step (one degree level)."""
+
+    degree: int
+    pseudoproducts: int
+    groups: int
+    comparisons: int
+    naive_comparisons: int
+    generated: int
+    duplicates: int
+    retained: int
+    seconds: float
+
+
+@dataclass
+class EpppResult:
+    """The EPPP candidate set plus per-step instrumentation."""
+
+    n: int
+    eppps: list[Pseudocube]
+    steps: list[StepStats] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(s.comparisons for s in self.steps)
+
+    @property
+    def total_naive_comparisons(self) -> int:
+        return sum(s.naive_comparisons for s in self.steps)
+
+    @property
+    def total_generated(self) -> int:
+        return sum(s.pseudoproducts for s in self.steps)
+
+    @property
+    def seconds(self) -> float:
+        return sum(s.seconds for s in self.steps)
+
+    @property
+    def max_degree(self) -> int:
+        return max((s.degree for s in self.steps), default=0)
+
+
+def generate_eppp(
+    func: BoolFunc,
+    *,
+    backend: str = "index",
+    discard_equal: bool = True,
+    max_pseudoproducts: int | None = None,
+    on_limit: str = "raise",
+) -> EpppResult:
+    """Generate the EPPP candidate set of ``func``.
+
+    Pseudoproducts are subsets of the *care* set (on ∪ dc), so
+    don't-cares enlarge them exactly as in SP minimization; the covering
+    step later only targets the on-set.
+
+    ``max_pseudoproducts`` bounds the total number of distinct
+    pseudoproducts generated across all degrees, enforced *within*
+    steps (one degree level of an XOR-rich function can produce tens of
+    millions of unions).  When exceeded, ``on_limit="raise"`` aborts
+    with :class:`GenerationBudgetExceeded`; ``on_limit="stop"`` returns
+    every pseudoproduct seen so far (still a sound cover superset —
+    every discarded pseudoproduct's coverer was kept — but no longer
+    guaranteed to contain a minimum-literal cover; the result is
+    flagged ``truncated``).
+    """
+    if on_limit not in ("raise", "stop"):
+        raise ValueError(f"unknown on_limit {on_limit!r}")
+    if backend == "index":
+        return _generate_fast(func, discard_equal, max_pseudoproducts, on_limit)
+    if backend == "trie":
+        return _generate_generic(func, discard_equal, max_pseudoproducts, on_limit)
+    raise ValueError(f"unknown store backend {backend!r}")
+
+
+# ----------------------------------------------------------------------
+# Fast path: dict-of-dicts buckets, per-delta caching (index backend)
+# ----------------------------------------------------------------------
+
+def _basis_literals(n: int, basis: tuple[int, ...]) -> int:
+    """Literal count of any pseudocube with this direction basis."""
+    return sum(b.bit_count() - 1 for b in basis) + (n - len(basis))
+
+
+def _generate_fast(
+    func: BoolFunc,
+    discard_equal: bool,
+    max_pseudoproducts: int | None,
+    on_limit: str,
+) -> EpppResult:
+    n = func.n
+    # bucket: basis -> {anchor: None}; degree-0 basis is ().
+    buckets: dict[tuple[int, ...], dict[int, None]] = {
+        (): {p: None for p in sorted(func.care_set)}
+    }
+    result = EpppResult(n, [])
+    degree = 0
+    total = len(buckets[()])
+    budget_left = None if max_pseudoproducts is None else max_pseudoproducts - total
+    # XOR-rich groups regenerate the same union 2^{k+1}-1 times; those
+    # duplicates do not count toward the distinct-pseudoproduct budget,
+    # so bound the raw union work as well (per step).
+    comparison_cap = (
+        0 if max_pseudoproducts is None else 8 * max_pseudoproducts
+    )
+
+    while buckets:
+        t0 = time.perf_counter()
+        next_buckets: dict[tuple[int, ...], dict[int, None]] = {}
+        comparisons = 0
+        duplicates = 0
+        generated = 0
+        size = sum(len(b) for b in buckets.values())
+        retained: list[Pseudocube] = []
+        overflow = False
+
+        for basis, anchors in buckets.items():
+            anchor_list = list(anchors)
+            g = len(anchor_list)
+            if g < 2:
+                retained.extend(Pseudocube._unsafe(n, a, basis) for a in anchor_list)
+                continue
+            parent_literals = _basis_literals(n, basis)
+            # delta -> (child basis, reduced delta, its pivot bit, covers parents?)
+            delta_cache: dict[int, tuple[tuple[int, ...], int, int, bool]] = {}
+            covered: set[int] = set()
+            for i in range(g - 1):
+                ai = anchor_list[i]
+                for j in range(i + 1, g):
+                    aj = anchor_list[j]
+                    delta = ai ^ aj
+                    info = delta_cache.get(delta)
+                    if info is None:
+                        child_basis = gf2.insert_vector(basis, delta)
+                        # Anchors are zero on the parent pivots, hence so
+                        # is delta: it is already reduced modulo `basis`.
+                        reduced = delta
+                        pivot_bit = reduced & -reduced
+                        child_literals = _basis_literals(n, child_basis)
+                        covers = child_literals < parent_literals or (
+                            discard_equal and child_literals == parent_literals
+                        )
+                        info = (child_basis, reduced, pivot_bit, covers)
+                        delta_cache[delta] = info
+                    child_basis, reduced, pivot_bit, covers = info
+                    # New anchor: parents share it; one conditional XOR.
+                    anchor = ai ^ reduced if ai & pivot_bit else ai
+                    comparisons += 1
+                    target = next_buckets.get(child_basis)
+                    if target is None:
+                        next_buckets[child_basis] = {anchor: None}
+                        generated += 1
+                    elif anchor in target:
+                        duplicates += 1
+                    else:
+                        target[anchor] = None
+                        generated += 1
+                    if covers:
+                        covered.add(ai)
+                        covered.add(aj)
+                if budget_left is not None and (
+                    generated > budget_left or comparisons > comparison_cap
+                ):
+                    overflow = True
+                    break
+            if overflow:
+                break
+            retained.extend(
+                Pseudocube._unsafe(n, a, basis)
+                for a in anchor_list
+                if a not in covered
+            )
+
+        if overflow:
+            if on_limit == "raise":
+                raise GenerationBudgetExceeded(
+                    f"generated more than {max_pseudoproducts} pseudoproducts"
+                )
+            # Keep everything seen at this degree and below: sound
+            # superset (every discarded pseudoproduct's coverer kept).
+            for basis, anchors in buckets.items():
+                result.eppps.extend(
+                    Pseudocube._unsafe(n, a, basis) for a in anchors
+                )
+            for basis, anchors in next_buckets.items():
+                result.eppps.extend(
+                    Pseudocube._unsafe(n, a, basis) for a in anchors
+                )
+            result.truncated = True
+            result.steps.append(
+                StepStats(
+                    degree=degree,
+                    pseudoproducts=size,
+                    groups=len(buckets),
+                    comparisons=comparisons,
+                    naive_comparisons=size * (size - 1) // 2,
+                    generated=generated,
+                    duplicates=duplicates,
+                    retained=size,
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+            return result
+
+        result.eppps.extend(retained)
+        result.steps.append(
+            StepStats(
+                degree=degree,
+                pseudoproducts=size,
+                groups=len(buckets),
+                comparisons=comparisons,
+                naive_comparisons=size * (size - 1) // 2,
+                generated=generated,
+                duplicates=duplicates,
+                retained=len(retained),
+                seconds=time.perf_counter() - t0,
+            )
+        )
+        total += generated
+        if budget_left is not None:
+            budget_left = max_pseudoproducts - total
+        buckets = next_buckets
+        degree += 1
+    return result
+
+
+# ----------------------------------------------------------------------
+# Generic path: any store exposing insert/groups/items (trie backend)
+# ----------------------------------------------------------------------
+
+def _generate_generic(
+    func: BoolFunc,
+    discard_equal: bool,
+    max_pseudoproducts: int | None,
+    on_limit: str,
+) -> EpppResult:
+    store = make_store("trie")
+    for p in sorted(func.care_set):
+        store.insert(Pseudocube.from_point(func.n, p))
+
+    result = EpppResult(func.n, [])
+    degree = 0
+    total = len(store)
+    budget_left = None if max_pseudoproducts is None else max_pseudoproducts - total
+    comparison_cap = 0 if max_pseudoproducts is None else 8 * max_pseudoproducts
+    while len(store):
+        t0 = time.perf_counter()
+        next_store = make_store("trie")
+        covered: set[Pseudocube] = set()
+        comparisons = 0
+        duplicates = 0
+        groups = 0
+        size = len(store)
+        overflow = False
+        for group in store.groups():
+            g = len(group)
+            groups += 1
+            if g < 2:
+                continue
+            parent_literals = group[0].num_literals
+            for i in range(g - 1):
+                gi = group[i]
+                for j in range(i + 1, g):
+                    gj = group[j]
+                    union = gi.union(gj)
+                    comparisons += 1
+                    if not next_store.insert(union):
+                        duplicates += 1
+                    child_literals = union.num_literals
+                    if child_literals < parent_literals or (
+                        discard_equal and child_literals == parent_literals
+                    ):
+                        covered.add(gi)
+                        covered.add(gj)
+                if budget_left is not None and (
+                    len(next_store) > budget_left or comparisons > comparison_cap
+                ):
+                    overflow = True
+                    break
+            if overflow:
+                break
+        if overflow:
+            if on_limit == "raise":
+                raise GenerationBudgetExceeded(
+                    f"generated more than {max_pseudoproducts} pseudoproducts"
+                )
+            result.eppps.extend(store.items())
+            result.eppps.extend(next_store.items())
+            result.truncated = True
+            result.steps.append(
+                StepStats(
+                    degree=degree,
+                    pseudoproducts=size,
+                    groups=groups,
+                    comparisons=comparisons,
+                    naive_comparisons=size * (size - 1) // 2,
+                    generated=len(next_store),
+                    duplicates=duplicates,
+                    retained=size,
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+            return result
+        retained = [pc for pc in store.items() if pc not in covered]
+        result.eppps.extend(retained)
+        result.steps.append(
+            StepStats(
+                degree=degree,
+                pseudoproducts=size,
+                groups=groups,
+                comparisons=comparisons,
+                naive_comparisons=size * (size - 1) // 2,
+                generated=len(next_store),
+                duplicates=duplicates,
+                retained=len(retained),
+                seconds=time.perf_counter() - t0,
+            )
+        )
+        total += len(next_store)
+        if budget_left is not None:
+            budget_left = max_pseudoproducts - total
+            if budget_left < 0:
+                if on_limit == "raise":
+                    raise GenerationBudgetExceeded(
+                        f"generated {total} pseudoproducts "
+                        f"(limit {max_pseudoproducts})"
+                    )
+                result.eppps.extend(next_store.items())
+                result.truncated = True
+                return result
+        store = next_store
+        degree += 1
+    return result

@@ -1,0 +1,188 @@
+"""Exact SPP minimization — Algorithm 2 end to end.
+
+1. build the EPPP set with partition-trie grouping
+   (:mod:`repro.minimize.eppp`);
+2. solve the set covering problem over the on-set with literal-count
+   costs (:mod:`repro.minimize.covering`).
+
+"Exact" refers to the candidate generation: like the paper, the
+covering step may be solved heuristically (the default), in which case
+the literal count is an upper bound on the true minimum — Table 1's
+caveat ("Since we used some heuristics in solving the set covering
+problem, the number of literals and factors in the expressions are
+upper bounds").  Pass ``covering="exact"`` for a provably minimal
+selection on instances small enough for branch-and-bound.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+from repro.minimize import covering as cov
+from repro.minimize.cost import literal_cost
+from repro.minimize.eppp import EpppResult, generate_eppp
+from repro.minimize.qm import prime_implicants
+
+__all__ = ["SppResult", "minimize_spp", "cover_with"]
+
+
+@dataclass
+class SppResult:
+    """Outcome of an SPP minimization (exact or heuristic)."""
+
+    form: SppForm
+    num_candidates: int
+    generation: EpppResult | None
+    covering_optimal: bool
+    seconds_generation: float
+    seconds_covering: float
+    # Populated by the SPP_k heuristic with its phase statistics.
+    heuristic: object | None = None
+
+    @property
+    def num_literals(self) -> int:
+        return self.form.num_literals
+
+    @property
+    def num_pseudoproducts(self) -> int:
+        return self.form.num_pseudoproducts
+
+    @property
+    def seconds(self) -> float:
+        return self.seconds_generation + self.seconds_covering
+
+
+def cover_with(
+    func: BoolFunc,
+    candidates: list[Pseudocube],
+    *,
+    covering: str = "greedy",
+    cost: Callable[[Pseudocube], int] = literal_cost,
+    max_candidates: int = 400_000,
+) -> tuple[SppForm, bool, float]:
+    """Select a minimal-cost subset of ``candidates`` covering the on-set.
+
+    Candidate lists beyond ``max_candidates`` (they arise from
+    budget-truncated generations) are pruned before covering: the most
+    efficient candidates (fewest literals per covered point) are kept,
+    plus, for every on-point, the most efficient candidate covering it
+    (so feasibility is preserved).  A pruned instance can no longer be
+    solved exactly, so ``proved_optimal`` is forced off.
+
+    Returns ``(form, proved_optimal, seconds)``.
+    """
+    t0 = time.perf_counter()
+    pruned = False
+    if len(candidates) > max_candidates:
+        candidates = _prune_candidates(func, candidates, cost, max_candidates)
+        pruned = True
+    rows = sorted(func.on_set)
+    problem = cov.build_covering(
+        rows,
+        candidates,
+        covered_rows_of=lambda pc: pc.points(),
+        cost_of=cost,
+    )
+    solution = cov.solve(problem, mode=covering)
+    form = SppForm(func.n, tuple(solution.payloads))
+    optimal = solution.optimal and not pruned
+    return form, optimal, time.perf_counter() - t0
+
+
+def _prune_candidates(
+    func: BoolFunc,
+    candidates: list[Pseudocube],
+    cost: Callable[[Pseudocube], int],
+    limit: int,
+) -> list[Pseudocube]:
+    """Keep the ``limit`` most efficient candidates plus one feasibility
+    witness per on-point."""
+    on = func.on_set
+
+    def efficiency(pc: Pseudocube) -> float:
+        return cost(pc) / len(pc)
+
+    ranked = sorted(candidates, key=efficiency)
+    keep = ranked[:limit]
+    covered: set[int] = set()
+    for pc in keep:
+        covered.update(pc.points())
+    missing = on - covered
+    if missing:
+        for pc in ranked[limit:]:
+            hit = missing.intersection(pc.points())
+            if hit:
+                keep.append(pc)
+                missing -= hit
+                if not missing:
+                    break
+    return keep
+
+
+def minimize_spp(
+    func: BoolFunc,
+    *,
+    backend: str = "index",
+    covering: str = "greedy",
+    cost: Callable[[Pseudocube], int] = literal_cost,
+    max_pseudoproducts: int | None = None,
+    on_limit: str = "raise",
+) -> SppResult:
+    """Minimize ``func`` as an SPP form (Algorithm 2).
+
+    Completely specified functions whose on-set is itself a pseudocube
+    (affine functions, parities, tautologies) are recognized up front
+    and returned as the single-pseudoproduct form: that form is
+    minimum-literal (any cover by sub-pseudocubes costs at least as
+    much — verified exhaustively for n ≤ 4 and by the halving argument
+    in docs/THEORY.md), and skipping generation avoids enumerating the
+    astronomically many sub-pseudocubes of a large coset.
+    """
+    if not func.on_set:
+        return SppResult(SppForm(func.n, ()), 0, None, True, 0.0, 0.0)
+    if not func.dc_set:
+        t0 = time.perf_counter()
+        try:
+            single = Pseudocube.from_points(func.n, func.on_set)
+        except ValueError:
+            single = None
+        if single is not None:
+            return SppResult(
+                form=SppForm(func.n, (single,)),
+                num_candidates=1,
+                generation=None,
+                covering_optimal=True,
+                seconds_generation=time.perf_counter() - t0,
+                seconds_covering=0.0,
+            )
+    generation = generate_eppp(
+        func,
+        backend=backend,
+        max_pseudoproducts=max_pseudoproducts,
+        on_limit=on_limit,
+    )
+    candidates = generation.eppps
+    if generation.truncated:
+        # A capped generation may have lost the mid-degree pseudoproducts
+        # a good cover needs; the SP prime implicants are always valid
+        # pseudoproducts and guarantee the result is no worse than a
+        # two-level cover.
+        candidates = candidates + [
+            cube.to_pseudocube(func.n) for cube in prime_implicants(func)
+        ]
+    form, optimal, cover_seconds = cover_with(
+        func, candidates, covering=covering, cost=cost
+    )
+    return SppResult(
+        form=form,
+        num_candidates=len(generation.eppps),
+        generation=generation,
+        covering_optimal=optimal,
+        seconds_generation=generation.seconds,
+        seconds_covering=cover_seconds,
+    )

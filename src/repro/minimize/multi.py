@@ -1,0 +1,150 @@
+"""Joint multi-output SPP minimization with pseudoproduct sharing.
+
+The paper minimizes each output separately ("the different outputs of
+each function have been minimized separately"), which this library's
+:func:`~repro.minimize.exact.minimize_spp` reproduces.  In a PLA-style
+realization, however, a pseudoproduct feeding several outputs is built
+*once*; this module implements that extension as a tagged covering
+problem:
+
+* candidates — the union of the per-output EPPP sets, each tagged with
+  every output whose care set contains it;
+* rows — all ``(output, on-point)`` pairs;
+* cost — the candidate's literal count, paid once no matter how many
+  outputs it drives.
+
+The result reports both the shared cost (hardware view) and the
+per-output forms (each verified against its specification).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.boolfunc.function import MultiBoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+from repro.minimize import covering as cov
+from repro.minimize.cost import literal_cost
+from repro.minimize.eppp import generate_eppp
+
+__all__ = ["MultiSppResult", "minimize_spp_multi"]
+
+
+@dataclass
+class MultiSppResult:
+    """Outcome of a joint multi-output minimization."""
+
+    forms: tuple[SppForm, ...]
+    shared_pseudoproducts: tuple[Pseudocube, ...]
+    shared_literals: int
+    covering_optimal: bool
+    seconds: float
+
+    @property
+    def total_output_literals(self) -> int:
+        """Literal count if every output paid for its own copies
+        (the separate-minimization accounting)."""
+        return sum(form.num_literals for form in self.forms)
+
+
+def _candidate_tags(
+    func: MultiBoolFunc,
+    candidates: dict[Pseudocube, set[int]],
+) -> None:
+    """Extend each candidate's output tag with every output whose care
+    set contains it (a pseudoproduct found for one output is often valid
+    for siblings)."""
+    care_sets = [fo.care_set for fo in func.outputs]
+    for pc, tag in candidates.items():
+        points = list(pc.points())
+        for o, care in enumerate(care_sets):
+            if o in tag:
+                continue
+            if all(p in care for p in points):
+                tag.add(o)
+
+
+def minimize_spp_multi(
+    func: MultiBoolFunc,
+    *,
+    backend: str = "index",
+    covering: str = "greedy",
+    cost: Callable[[Pseudocube], int] = literal_cost,
+    max_pseudoproducts: int | None = None,
+) -> MultiSppResult:
+    """Jointly minimize all outputs of ``func`` with shared terms."""
+    t0 = time.perf_counter()
+    candidates: dict[Pseudocube, set[int]] = {}
+    for o, fo in enumerate(func.outputs):
+        if not fo.on_set:
+            continue
+        generation = generate_eppp(
+            fo,
+            backend=backend,
+            max_pseudoproducts=max_pseudoproducts,
+            on_limit="stop",
+        )
+        for pc in generation.eppps:
+            candidates.setdefault(pc, set()).add(o)
+    _candidate_tags(func, candidates)
+
+    rows: list[tuple[int, int]] = []
+    on_sets = [fo.on_set for fo in func.outputs]
+    for o, on in enumerate(on_sets):
+        rows.extend((o, p) for p in sorted(on))
+
+    tagged = list(candidates.items())
+
+    def covered_rows_of(item: tuple[Pseudocube, set[int]]):
+        pc, tag = item
+        for o in tag:
+            on = on_sets[o]
+            for p in pc.points():
+                if p in on:
+                    yield (o, p)
+
+    problem = cov.build_covering(
+        rows,
+        tagged,
+        covered_rows_of=covered_rows_of,
+        cost_of=lambda item: cost(item[0]),
+    )
+    solution = cov.solve(problem, mode=covering)
+
+    selected = solution.payloads
+    shared = tuple(pc for pc, _ in selected)
+    forms = []
+    for o, fo in enumerate(func.outputs):
+        members = [
+            pc
+            for pc, tag in selected
+            if o in tag and any(p in fo.on_set for p in pc.points())
+        ]
+        members = _drop_redundant_for_output(members, fo.on_set)
+        forms.append(SppForm(func.n, tuple(members)))
+    return MultiSppResult(
+        forms=tuple(forms),
+        shared_pseudoproducts=shared,
+        shared_literals=sum(cost(pc) for pc in shared),
+        covering_optimal=solution.optimal,
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def _drop_redundant_for_output(
+    members: list[Pseudocube], on_set: frozenset[int]
+) -> list[Pseudocube]:
+    """Remove pseudoproducts not needed to cover this output's on-set
+    (a shared term may have been selected for a sibling output only)."""
+    kept = list(members)
+    for pc in sorted(members, key=lambda pc: -pc.num_literals):
+        others = [q for q in kept if q is not pc]
+        covered = set()
+        for q in others:
+            covered.update(q.points())
+        if on_set <= covered:
+            kept = others
+    return kept

@@ -1,0 +1,98 @@
+"""The baseline EPPP construction of Luccio & Pagli [5].
+
+The original Quine–McCluskey-like procedure compares **all pairs** of
+pseudoproducts generated at each step — ``|X^i|·(|X^i|-1)/2`` structure
+comparisons — unifying the pairs whose structures match.  The paper's
+Table 2 measures exactly this algorithm against the partition-trie
+Algorithm 2; this module reimplements it so the comparison can be
+reproduced.
+
+It produces the *same* EPPP set as :func:`repro.minimize.eppp.generate_eppp`
+(asserted by the test suite); only the work performed differs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.minimize.eppp import EpppResult, GenerationBudgetExceeded, StepStats
+
+__all__ = ["generate_eppp_naive"]
+
+
+def generate_eppp_naive(
+    func: BoolFunc,
+    *,
+    discard_equal: bool = True,
+    max_pseudoproducts: int | None = None,
+    max_seconds: float | None = None,
+) -> EpppResult:
+    """All-pairs EPPP generation (the pre-partition-trie algorithm).
+
+    ``max_seconds`` plays the role of the paper's two-day timeout: when
+    exceeded, :class:`GenerationBudgetExceeded` is raised (Table 2 marks
+    such runs with a star).
+    """
+    deadline = None if max_seconds is None else time.perf_counter() + max_seconds
+    current: dict[Pseudocube, None] = {
+        Pseudocube.from_point(func.n, p): None for p in sorted(func.care_set)
+    }
+    result = EpppResult(func.n, [])
+    degree = 0
+    total = len(current)
+    while current:
+        t0 = time.perf_counter()
+        items = list(current)
+        size = len(items)
+        next_level: dict[Pseudocube, None] = {}
+        covered: set[Pseudocube] = set()
+        comparisons = 0
+        duplicates = 0
+        for i in range(size - 1):
+            gi = items[i]
+            for j in range(i + 1, size):
+                gj = items[j]
+                comparisons += 1
+                union = gi.union(gj)  # None unless structures match
+                if union is None:
+                    continue
+                if union in next_level:
+                    duplicates += 1
+                else:
+                    next_level[union] = None
+                child_literals = union.num_literals
+                parent_literals = gi.num_literals
+                if child_literals < parent_literals or (
+                    discard_equal and child_literals == parent_literals
+                ):
+                    covered.add(gi)
+                    covered.add(gj)
+            if deadline is not None and time.perf_counter() > deadline:
+                raise GenerationBudgetExceeded(
+                    f"naive generation exceeded {max_seconds} seconds"
+                )
+        retained = [pc for pc in items if pc not in covered]
+        result.eppps.extend(retained)
+        result.steps.append(
+            StepStats(
+                degree=degree,
+                pseudoproducts=size,
+                groups=1,
+                comparisons=comparisons,
+                naive_comparisons=size * (size - 1) // 2,
+                generated=len(next_level),
+                duplicates=duplicates,
+                retained=len(retained),
+                seconds=time.perf_counter() - t0,
+            )
+        )
+        total += len(next_level)
+        if max_pseudoproducts is not None and total > max_pseudoproducts:
+            raise GenerationBudgetExceeded(
+                f"generated {total} pseudoproducts (limit {max_pseudoproducts})"
+            )
+        current = next_level
+        degree += 1
+    return result

@@ -1,0 +1,118 @@
+"""JSON serialization of functions, pseudocubes and SPP forms.
+
+Long minimization runs (the full paper tables take CPU-hours) need
+restartable artifacts: this module round-trips the library's value
+types through plain JSON-compatible dicts.
+
+The wire format is versioned and intentionally explicit — bases and
+anchors as hex strings, point sets as sorted lists — so artifacts stay
+diffable and survive library refactors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+
+__all__ = [
+    "form_to_dict",
+    "form_from_dict",
+    "func_to_dict",
+    "func_from_dict",
+    "dumps",
+    "loads",
+]
+
+_VERSION = 1
+
+
+def _pc_to_dict(pc: Pseudocube) -> dict[str, Any]:
+    return {
+        "anchor": format(pc.anchor, "x"),
+        "basis": [format(b, "x") for b in pc.basis],
+    }
+
+
+def _pc_from_dict(n: int, data: dict[str, Any]) -> Pseudocube:
+    return Pseudocube(
+        n,
+        int(data["anchor"], 16),
+        tuple(int(b, 16) for b in data["basis"]),
+    )
+
+
+def form_to_dict(form: SppForm) -> dict[str, Any]:
+    """SPP form → JSON-compatible dict."""
+    return {
+        "version": _VERSION,
+        "kind": "spp_form",
+        "n": form.n,
+        "pseudoproducts": [_pc_to_dict(pc) for pc in form.pseudoproducts],
+    }
+
+
+def form_from_dict(data: dict[str, Any]) -> SppForm:
+    """Inverse of :func:`form_to_dict` (validates the representation)."""
+    _check(data, "spp_form")
+    n = data["n"]
+    return SppForm(
+        n, tuple(_pc_from_dict(n, pc) for pc in data["pseudoproducts"])
+    )
+
+
+def func_to_dict(func: BoolFunc | MultiBoolFunc) -> dict[str, Any]:
+    """Boolean function → JSON-compatible dict."""
+    if isinstance(func, MultiBoolFunc):
+        return {
+            "version": _VERSION,
+            "kind": "multi_bool_func",
+            "n": func.n,
+            "name": func.name,
+            "outputs": [func_to_dict(f) for f in func.outputs],
+        }
+    return {
+        "version": _VERSION,
+        "kind": "bool_func",
+        "n": func.n,
+        "on": sorted(func.on_set),
+        "dc": sorted(func.dc_set),
+    }
+
+
+def func_from_dict(data: dict[str, Any]) -> BoolFunc | MultiBoolFunc:
+    """Inverse of :func:`func_to_dict`."""
+    if data.get("kind") == "multi_bool_func":
+        _check(data, "multi_bool_func")
+        outputs = tuple(func_from_dict(d) for d in data["outputs"])
+        return MultiBoolFunc(data["n"], outputs, name=data.get("name", ""))
+    _check(data, "bool_func")
+    return BoolFunc(
+        data["n"], frozenset(data["on"]), frozenset(data.get("dc", ()))
+    )
+
+
+def _check(data: dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ValueError(f"expected kind {kind!r}, found {data.get('kind')!r}")
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+
+
+def dumps(obj: SppForm | BoolFunc | MultiBoolFunc) -> str:
+    """Serialize any supported object to a JSON string."""
+    if isinstance(obj, SppForm):
+        return json.dumps(form_to_dict(obj))
+    return json.dumps(func_to_dict(obj))
+
+
+def loads(text: str) -> SppForm | BoolFunc | MultiBoolFunc:
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "spp_form":
+        return form_from_dict(data)
+    return func_from_dict(data)

@@ -1,0 +1,14 @@
+"""Partition tries (Section 3.2) and the equivalent hash-map index."""
+
+from repro.trie.index import StructureIndex
+from repro.trie.nodes import C_NODE, NC_NODE, Leaf, TrieNode
+from repro.trie.partition_trie import PartitionTrie
+
+__all__ = [
+    "C_NODE",
+    "NC_NODE",
+    "Leaf",
+    "PartitionTrie",
+    "StructureIndex",
+    "TrieNode",
+]

@@ -1,0 +1,59 @@
+"""Hash-map structure index — a drop-in alternative to the partition trie.
+
+The partition trie's job in the minimization algorithms is to partition
+pseudoproducts into same-structure classes.  Since the structure of a
+pseudocube is a function of its direction space alone (Theorem 1 in
+affine form), a dictionary keyed by the RREF direction basis realizes
+the identical partition with one hash lookup per insertion.
+
+This backend exists (a) as the fast default for the Python
+implementation, where pointer-chasing tries pay a heavy constant
+factor, and (b) as the ablation baseline quantifying what the trie's
+prefix sharing buys (``benchmarks/test_ablation_backend.py``).  Both
+backends expose the same protocol: ``insert``, ``__contains__``,
+``groups``, ``items``, ``__len__``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.pseudocube import Pseudocube
+
+__all__ = ["StructureIndex"]
+
+
+class StructureIndex:
+    """Same-structure partition of pseudocubes, keyed by direction basis."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[int, ...], dict[int, Pseudocube]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def insert(self, pc: Pseudocube) -> bool:
+        """Insert; returns True when the pseudocube was not present."""
+        bucket = self._buckets.setdefault(pc.basis, {})
+        if pc.anchor in bucket:
+            return False
+        bucket[pc.anchor] = pc
+        self._size += 1
+        return True
+
+    def __contains__(self, pc: Pseudocube) -> bool:
+        bucket = self._buckets.get(pc.basis)
+        return bucket is not None and pc.anchor in bucket
+
+    def groups(self) -> Iterator[list[Pseudocube]]:
+        """The same-structure classes (unifiable groups of Theorem 1)."""
+        for bucket in self._buckets.values():
+            yield list(bucket.values())
+
+    def items(self) -> Iterator[Pseudocube]:
+        for bucket in self._buckets.values():
+            yield from bucket.values()

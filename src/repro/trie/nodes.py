@@ -1,0 +1,73 @@
+"""Nodes of the partition trie (Section 3.2 of the paper).
+
+An internal node is either a *C-node* (canonical variable) or an
+*NC-node* (non-canonical variable), labelled with a variable index; the
+root is unlabelled.  Leaves are Boolean vectors recording the
+complementations of the non-canonical variables along the root-to-leaf
+path (``L[i] = 0`` ⇔ the i-th non-canonical variable is complemented).
+
+Children of a node are ordered as in the paper: NC-nodes by increasing
+label, then C-nodes by increasing label, then leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+__all__ = ["TrieNode", "Leaf", "NC_NODE", "C_NODE"]
+
+NC_NODE = "NC"
+C_NODE = "C"
+
+T = TypeVar("T")
+
+
+@dataclass(slots=True)
+class Leaf(Generic[T]):
+    """A leaf: the complementation vector plus the stored payload."""
+
+    vector: tuple[int, ...]
+    payload: T
+
+
+@dataclass(slots=True)
+class TrieNode(Generic[T]):
+    """An internal node of the partition trie.
+
+    ``kind`` is ``NC_NODE``/``C_NODE`` (or None for the root) and
+    ``label`` the variable index (None for the root).  Dictionaries give
+    O(1) child lookup; :meth:`ordered_children` yields them in the
+    paper's display order.
+    """
+
+    kind: str | None = None
+    label: int | None = None
+    nc_children: dict[int, "TrieNode[T]"] = field(default_factory=dict)
+    c_children: dict[int, "TrieNode[T]"] = field(default_factory=dict)
+    leaves: dict[tuple[int, ...], Leaf[T]] = field(default_factory=dict)
+
+    def child(self, kind: str, label: int) -> "TrieNode[T] | None":
+        table = self.nc_children if kind == NC_NODE else self.c_children
+        return table.get(label)
+
+    def ensure_child(self, kind: str, label: int) -> "TrieNode[T]":
+        """Return the child of the given kind/label, creating it if absent
+        (the trie insertion step for one variable)."""
+        table = self.nc_children if kind == NC_NODE else self.c_children
+        node = table.get(label)
+        if node is None:
+            node = TrieNode(kind=kind, label=label)
+            table[label] = node
+        return node
+
+    def ordered_children(self) -> list["TrieNode[T]"]:
+        """Internal children in the paper's order: NC-nodes by label,
+        then C-nodes by label."""
+        return [self.nc_children[k] for k in sorted(self.nc_children)] + [
+            self.c_children[k] for k in sorted(self.c_children)
+        ]
+
+    @property
+    def is_leaf_parent(self) -> bool:
+        return bool(self.leaves)

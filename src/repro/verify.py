@@ -1,0 +1,61 @@
+"""Semantic verification of synthesized forms.
+
+Minimization bugs usually manifest as a cover that is merely *almost*
+right; every example, benchmark and test in this repository can assert
+full semantic equivalence through this module:
+
+* a form must cover every on-set point;
+* a form must not cover any off-set point (covering dc-points is fine);
+* two forms are equivalent iff they cover the same points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.spp_form import SppForm
+
+__all__ = ["VerificationReport", "verify_form", "assert_equivalent", "equivalent"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of checking a form against a specification."""
+
+    ok: bool
+    uncovered_on_points: tuple[int, ...]
+    covered_off_points: tuple[int, ...]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_form(form: SppForm, func: BoolFunc) -> VerificationReport:
+    """Check that ``form`` implements ``func``.
+
+    The form's on-set must include the function's on-set and avoid its
+    off-set; don't-care points may fall either way.
+    """
+    if form.n != func.n:
+        raise ValueError("form and function over different spaces")
+    covered = form.on_set()
+    uncovered = tuple(sorted(func.on_set - covered))
+    spurious = tuple(sorted(covered & func.off_set))
+    return VerificationReport(not uncovered and not spurious, uncovered, spurious)
+
+
+def assert_equivalent(form: SppForm, func: BoolFunc) -> None:
+    """Raise AssertionError with a counterexample if the form is wrong."""
+    report = verify_form(form, func)
+    if report.uncovered_on_points:
+        point = report.uncovered_on_points[0]
+        raise AssertionError(f"form misses on-set point {point:#x}")
+    if report.covered_off_points:
+        point = report.covered_off_points[0]
+        raise AssertionError(f"form covers off-set point {point:#x}")
+
+
+def equivalent(a: SppForm, b: SppForm) -> bool:
+    """True iff the two forms compute the same function."""
+    return a.n == b.n and a.on_set() == b.on_set()

@@ -1,0 +1,144 @@
+"""Tests for the arithmetic benchmark constructions."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench import arith
+
+
+def _word(func, point):
+    """Read the multi-output value at a point as an integer."""
+    value = 0
+    for o, f in enumerate(func.outputs):
+        if f.evaluate(point) == 1:
+            value |= 1 << o
+    return value
+
+
+class TestAdders:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_adr4_adds(self, a, b):
+        func = arith.adr4()
+        assert _word(func, a | (b << 4)) == a + b
+
+    def test_radd_equals_adr4(self):
+        adr = arith.adr4()
+        rad = arith.radd()
+        assert [f.on_set for f in adr.outputs] == [f.on_set for f in rad.outputs]
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_add6(self, a, b):
+        func = arith.add6()
+        assert _word(func, a | (b << 6)) == a + b
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_addm4(self, a, b, cin):
+        func = arith.addm4()
+        word = _word(func, a | (b << 4) | (cin << 8))
+        assert word & 0x1F == a + b + cin
+        assert word >> 5 == (a - b) % 8
+
+
+class TestMultiplier:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_mlp4(self, a, b):
+        func = arith.mlp4()
+        assert _word(func, a | (b << 4)) == a * b
+
+
+class TestDistRoot:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_dist(self, a, b):
+        func = arith.dist()
+        word = _word(func, a | (b << 4))
+        assert word & 0xF == abs(a - b)
+        assert word >> 4 == (1 if a < b else 0)
+
+    @given(st.integers(0, 255))
+    def test_root(self, x):
+        func = arith.root()
+        word = _word(func, x)
+        r = word & 0xF
+        assert r * r <= x < (r + 1) * (r + 1)
+        assert (word >> 4) == (1 if r * r == x else 0)
+
+
+class TestLife:
+    def test_life_rule_cases(self):
+        func = arith.life()
+        f = func[0]
+        # Dead centre, 3 neighbours → born.
+        assert f.evaluate(0b000000111 << 1) == 1
+        # Alive centre, 2 neighbours → survives.
+        assert f.evaluate(1 | (0b11 << 1)) == 1
+        # Alive centre, 1 neighbour → dies.
+        assert f.evaluate(1 | (0b1 << 1)) == 0
+        # Alive centre, 4 neighbours → dies.
+        assert f.evaluate(1 | (0b1111 << 1)) == 0
+
+    def test_life_on_set_size(self):
+        """|on| = C(8,3)·2 + C(8,2) = 112 + 28 = 140."""
+        assert len(arith.life()[0].on_set) == 140
+
+    def test_scaled_life_signature(self):
+        assert arith.life_rule(5).n == 6
+
+
+class TestSevenSegment:
+    def test_digit_patterns(self):
+        func = arith.seven_segment()
+        # Digit 1 lights segments b, c only.
+        assert _word(func, 1) == 0b0000110
+        # Digit 8 lights everything.
+        assert _word(func, 8) == 0b1111111
+
+    def test_non_bcd_inputs_are_dont_care(self):
+        func = arith.seven_segment()
+        for point in range(10, 16):
+            for f in func.outputs:
+                assert f.evaluate(point) is None
+
+    def test_dc_exploited_by_minimizer(self):
+        """The classic result: segment covers use the dc inputs to
+        shrink — each segment needs at most 4 products."""
+        from repro.minimize.exact import minimize_spp
+        from repro.verify import assert_equivalent
+
+        func = arith.seven_segment()
+        for fo in func.outputs:
+            result = minimize_spp(fo, covering="exact")
+            assert_equivalent(result.form, fo)
+            assert result.num_pseudoproducts <= 4
+
+
+class TestCsaAlu:
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7))
+    def test_csa_columns(self, a, b, c):
+        func = arith.csa(3)
+        word = _word(func, a | (b << 3) | (c << 6))
+        assert word & 0x7 == a ^ b ^ c
+        assert (word >> 3) == (a & b) | (a & c) | (b & c)
+
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7))
+    def test_cs8_three_operand_sum(self, a, b, c):
+        func = arith.cs8()
+        assert _word(func, a | (b << 3) | (c << 6)) == a + b + c
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_f51m_addsub(self, a, b):
+        func = arith.f51m()
+        word = _word(func, a | (b << 4))
+        assert word & 0x1F == a + b
+        assert word >> 5 == (a - b) % 8
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 7), st.integers(0, 1))
+    def test_alu_add_op(self, a, b, op, cin):
+        func = arith.alu()
+        word = _word(func, a | (b << 4) | (op << 8) | (cin << 11))
+        result = word & 0xF
+        if op == 0:
+            assert result == (a + b + cin) & 0xF
+            assert (word >> 4) & 1 == ((a + b + cin) >> 4) & 1
+        if op == 4:
+            assert result == a ^ b
+        assert (word >> 5) & 1 == (1 if result == 0 else 0)

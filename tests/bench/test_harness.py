@@ -1,0 +1,81 @@
+"""Tests for the experiment harness (tables/figures machinery)."""
+
+from repro.bench import harness
+from repro.bench.paper_data import FIG34_TEXT_POINTS, TABLE1, TABLE3
+
+
+class TestTable1:
+    def test_row_on_scaled_adder(self):
+        m = harness.run_table1_row("adr2")
+        assert m.function == "adr2"
+        assert m.sp_literals > m.spp_literals  # the paper's headline claim
+        assert m.spp_eppps > 0
+        assert not m.truncated
+
+    def test_budget_cap_marks_truncated(self):
+        m = harness.run_table1_row("adr3", max_pseudoproducts=50)
+        assert m.truncated
+        assert m.spp_literals > 0  # still a verified cover
+
+    def test_render_includes_paper_columns(self):
+        m = harness.run_table1_row("adr2")
+        text = harness.render_table1([m])
+        assert "paper L(SP)" in text
+        assert "adr2" in text
+
+
+class TestTable2:
+    def test_row_and_speed_ordering(self):
+        m = harness.run_table2_row("adr2", 1, naive_timeout=None)
+        assert m.comparisons_alg2 <= m.comparisons_naive
+        assert m.literals > 0
+        text = harness.render_table2([m])
+        assert "adr2(1)" in text
+
+    def test_timeout_stars_naive(self):
+        m = harness.run_table2_row("adr3", 3, naive_timeout=0.0)
+        assert m.seconds_naive is None
+        assert "*" in harness.render_table2([m])
+
+
+class TestTable3:
+    def test_row_ordering(self):
+        m = harness.run_table3_row("adr2")
+        assert m.spp_literals <= m.spp0_literals
+        assert "adr2" in harness.render_table3([m])
+
+    def test_exact_budget_stars(self):
+        m = harness.run_table3_row("adr3", exact_budget=10)
+        assert m.spp_literals is None
+        assert "*" in harness.render_table3([m])
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        points = harness.run_spp_k_sweep("adr2", ks=[0, 1, 2])
+        assert [p.k for p in points] == [0, 1, 2]
+        assert all(p.literals > 0 for p in points)
+        assert "SPP_k" in harness.render_fig34(points)
+
+
+class TestPaperData:
+    def test_table1_halving_claim(self):
+        """The stored paper numbers themselves satisfy the 'SPP ≈ half
+        of SP on average' claim (sanity of transcription)."""
+        ratios = [r.spp_literals / r.sp_literals for r in TABLE1]
+        assert 0.4 < sum(ratios) / len(ratios) < 0.75
+
+    def test_table3_midpoint_transcription(self):
+        """Av matches (|SP|+|SPP|)/2 for the rows present in Table 1."""
+        sp = {r.function: r.sp_literals for r in TABLE1}
+        spp = {r.function: r.spp_literals for r in TABLE1}
+        for row in TABLE3:
+            if row.average is None or row.function not in sp:
+                continue
+            if row.function == "mlp4":
+                continue  # the paper's own Av for mlp4 is inconsistent
+            midpoint = (sp[row.function] + spp[row.function]) / 2
+            assert abs(row.average - midpoint) <= 1
+
+    def test_fig34_exact_matches_table1(self):
+        assert FIG34_TEXT_POINTS["dist"]["spp_k"][7][0] == 422

@@ -1,0 +1,41 @@
+"""Tests for the run_tables.py harness script."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "run_tables.py"
+
+
+@pytest.fixture(scope="module")
+def run_tables():
+    spec = importlib.util.spec_from_file_location("run_tables", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules["run_tables"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestScript:
+    def test_table1_with_names(self, run_tables, capsys):
+        assert run_tables.main(["table1", "--names", "adr2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "adr2" in out
+
+    def test_table3_with_names(self, run_tables, capsys):
+        assert run_tables.main(["table3", "--names", "adr2", "--budget", "100000"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_fig34_selected_k(self, run_tables, capsys):
+        assert run_tables.main(
+            ["fig34", "--function", "adr2", "--k", "0", "--k", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SPP_k" in out
+
+    def test_bad_target_rejected(self, run_tables):
+        with pytest.raises(SystemExit):
+            run_tables.main(["table9"])

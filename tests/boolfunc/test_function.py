@@ -1,0 +1,137 @@
+"""Tests for BoolFunc / MultiBoolFunc."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+
+funcs = st.builds(
+    lambda n, on, dc: BoolFunc(n, frozenset(on) - frozenset(dc), frozenset(dc) - frozenset(on)),
+    st.just(4),
+    st.sets(st.integers(0, 15), max_size=16),
+    st.sets(st.integers(0, 15), max_size=6),
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = BoolFunc(2, frozenset({1}), frozenset({2}))
+        assert f(1) == 1 and f(2) is None and f(0) == 0
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            BoolFunc(2, frozenset({1}), frozenset({1}))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BoolFunc(2, frozenset({4}))
+        with pytest.raises(ValueError):
+            BoolFunc(0, frozenset())
+
+    def test_from_lambda(self):
+        f = BoolFunc.from_lambda(3, lambda p: p % 2 == 1)
+        assert f.on_set == frozenset({1, 3, 5, 7})
+        assert f.is_completely_specified
+
+    def test_from_truth_table(self):
+        f = BoolFunc.from_truth_table("01-0")
+        assert f.n == 2
+        assert f.on_set == frozenset({1})
+        assert f.dc_set == frozenset({2})
+
+    def test_truth_table_bad_length(self):
+        with pytest.raises(ValueError):
+            BoolFunc.from_truth_table("010")
+
+    def test_truth_table_bad_chars(self):
+        with pytest.raises(ValueError):
+            BoolFunc.from_truth_table("01x0")
+
+
+class TestSets:
+    @given(funcs)
+    def test_partition(self, f):
+        space = set(range(1 << f.n))
+        assert set(f.on_set) | set(f.dc_set) | set(f.off_set) == space
+        assert not set(f.on_set) & set(f.off_set)
+        assert f.care_set == f.on_set | f.dc_set
+
+    def test_len_and_flags(self):
+        f = BoolFunc(2, frozenset({1, 2}))
+        assert len(f) == 2
+        assert not f.is_constant_zero
+        assert BoolFunc(2, frozenset()).is_constant_zero
+
+
+class TestAlgebra:
+    @given(funcs, funcs)
+    def test_and_or_xor_on_care_points(self, f, g):
+        for op, py in ((f & g, lambda a, b: a and b),
+                       (f | g, lambda a, b: a or b),
+                       (f ^ g, lambda a, b: a != b)):
+            for p in range(16):
+                a, b = f(p), g(p)
+                if a is None or b is None:
+                    continue
+                expected = int(py(a, b))
+                got = op(p)
+                if got is not None:
+                    assert got == expected
+
+    @given(funcs)
+    def test_invert(self, f):
+        g = ~f
+        assert g.on_set == f.off_set
+        assert g.dc_set == f.dc_set
+
+    def test_or_resolves_dc_when_other_is_on(self):
+        f = BoolFunc(1, frozenset({0}))
+        g = BoolFunc(1, frozenset(), frozenset({0}))
+        assert (f | g)(0) == 1
+
+    def test_incompatible_spaces(self):
+        with pytest.raises(ValueError):
+            BoolFunc(2, frozenset()) & BoolFunc(3, frozenset())
+
+
+class TestCofactor:
+    def test_cofactor_values(self):
+        f = BoolFunc.from_lambda(3, lambda p: (p & 1) and (p & 2))
+        pos = f.cofactor(0, 1)
+        # x0 fixed to 1: result is x1, independent of x0.
+        for p in range(8):
+            assert pos(p) == (1 if p & 2 else 0)
+
+    def test_cofactor_bad_variable(self):
+        with pytest.raises(ValueError):
+            BoolFunc(2, frozenset()).cofactor(5, 0)
+
+    @given(funcs, st.integers(0, 3), st.integers(0, 1))
+    def test_cofactor_is_independent_of_variable(self, f, var, val):
+        g = f.cofactor(var, val)
+        bit = 1 << var
+        for p in range(16):
+            assert g(p) == g(p ^ bit)
+
+
+class TestMultiBoolFunc:
+    def test_from_lambda_word(self):
+        m = MultiBoolFunc.from_lambda(2, 2, lambda p: p)  # identity bits
+        assert m.num_outputs == 2
+        assert m[0].on_set == frozenset({1, 3})
+        assert m[1].on_set == frozenset({2, 3})
+
+    def test_iteration(self):
+        m = MultiBoolFunc.from_lambda(2, 3, lambda p: 0)
+        assert len(list(m)) == 3
+
+    def test_rejects_mismatched_outputs(self):
+        with pytest.raises(ValueError):
+            MultiBoolFunc(3, (BoolFunc(2, frozenset()),))
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            MultiBoolFunc(
+                2, (BoolFunc(2, frozenset()),), output_names=("a", "b")
+            )

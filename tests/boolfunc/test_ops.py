@@ -1,0 +1,60 @@
+"""Tests for function-level operators."""
+
+import pytest
+
+from repro.boolfunc import ops
+from repro.boolfunc.function import BoolFunc
+
+
+class TestPrimitives:
+    def test_variable(self):
+        x1 = ops.variable(3, 1)
+        assert x1.on_set == frozenset({2, 3, 6, 7})
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            ops.variable(3, 3)
+
+    def test_constants(self):
+        assert ops.constant(2, 0).on_set == frozenset()
+        assert ops.constant(2, 1).on_set == frozenset(range(4))
+
+
+class TestCombinators:
+    def test_conjunction_disjunction(self):
+        x0, x1 = ops.variable(2, 0), ops.variable(2, 1)
+        assert ops.conjunction([x0, x1]).on_set == frozenset({3})
+        assert ops.disjunction([x0, x1]).on_set == frozenset({1, 2, 3})
+
+    def test_exor_chain(self):
+        xs = [ops.variable(3, i) for i in range(3)]
+        parity = ops.exor(xs)
+        assert parity.on_set == frozenset(
+            p for p in range(8) if bin(p).count("1") % 2 == 1
+        )
+
+    def test_majority(self):
+        maj = ops.majority(3, [0, 1, 2])
+        assert maj.on_set == frozenset({3, 5, 6, 7})
+
+    def test_majority_even_rejected(self):
+        with pytest.raises(ValueError):
+            ops.majority(4, [0, 1])
+
+    def test_restrict(self):
+        f = ops.conjunction([ops.variable(3, 0), ops.variable(3, 1)])
+        g = ops.restrict(f, {0: 1})
+        assert g(0b010) == 1  # x0 fixed to 1: f = x1
+        assert g(0b000) == 0
+
+
+class TestTruthTable:
+    def test_roundtrip(self):
+        from repro.boolfunc.truthtable import density, maxterms, minterms, truth_table
+
+        f = BoolFunc(2, frozenset({1}), frozenset({2}))
+        assert truth_table(f) == "01-0"
+        assert BoolFunc.from_truth_table(truth_table(f)) == f
+        assert minterms(f) == [1]
+        assert maxterms(f) == [0, 3]
+        assert density(f) == 0.25

@@ -1,0 +1,109 @@
+"""Tests for ESPRESSO PLA parsing and writing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+from repro.boolfunc.pla import PlaError, parse_pla, write_pla
+
+SAMPLE_FD = """
+# a 2-input, 2-output fd PLA
+.i 2
+.o 2
+.p 3
+10 11
+01 1-
+11 01
+.e
+"""
+
+SAMPLE_FR = """
+.i 2
+.o 1
+.type fr
+00 1
+01 0
+11 1
+.e
+"""
+
+
+class TestParse:
+    def test_fd_semantics(self):
+        m = parse_pla(SAMPLE_FD)
+        assert m.n == 2 and m.num_outputs == 2
+        # Input "10" is x0=1, x1=0 → point 0b01.
+        assert m[0].evaluate(0b01) == 1
+        assert m[1].evaluate(0b01) == 1
+        # "01 1-": point 0b10 on for out0, dc for out1.
+        assert m[0].evaluate(0b10) == 1
+        assert m[1].evaluate(0b10) is None
+        # "11 01": point 0b11 on for out1 only.
+        assert m[1].evaluate(0b11) == 1
+        assert m[0].evaluate(0b11) == 0
+
+    def test_fr_semantics_unmentioned_is_dc(self):
+        m = parse_pla(SAMPLE_FR)
+        f = m[0]
+        assert f.evaluate(0b00) == 1
+        assert f.evaluate(0b10) == 0  # input "01" → point 0b10
+        assert f.evaluate(0b11) == 1
+        assert f.evaluate(0b01) is None  # never mentioned
+
+    def test_dash_expansion(self):
+        m = parse_pla(".i 3\n.o 1\n--- 1\n.e\n")
+        assert m[0].on_set == frozenset(range(8))
+
+    def test_output_names(self):
+        m = parse_pla(".i 1\n.o 2\n.ob f g\n1 11\n.e\n")
+        assert m.output_names == ("f", "g")
+
+    def test_missing_headers(self):
+        with pytest.raises(PlaError):
+            parse_pla("10 1\n")
+
+    def test_bad_directive(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 1\n.o 1\n.frobnicate\n1 1\n")
+
+    def test_bad_width(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n101 1\n")
+
+    def test_bad_input_char(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n1x 1\n")
+
+    def test_bad_output_char(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 1\n.o 1\n1 z\n")
+
+    def test_bad_type(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 1\n.o 1\n.type xyz\n1 1\n")
+
+    def test_comments_and_blank_lines(self):
+        m = parse_pla("# hello\n.i 1\n\n.o 1\n1 1  # trailing\n.e\n")
+        assert m[0].on_set == frozenset({1})
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(2, 4),
+        st.data(),
+    )
+    def test_write_then_parse_preserves_semantics(self, n, data):
+        space = 1 << n
+        outputs = []
+        for _ in range(data.draw(st.integers(1, 3))):
+            on = data.draw(st.sets(st.integers(0, space - 1), max_size=space))
+            dc = data.draw(st.sets(st.integers(0, space - 1), max_size=4)) - on
+            outputs.append(BoolFunc(n, frozenset(on), frozenset(dc)))
+        original = MultiBoolFunc(n, tuple(outputs))
+        parsed = parse_pla(write_pla(original))
+        assert parsed.n == original.n
+        assert parsed.num_outputs == original.num_outputs
+        for f, g in zip(original.outputs, parsed.outputs):
+            assert f.on_set == g.on_set
+            assert f.dc_set == g.dc_set

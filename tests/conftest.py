@@ -1,0 +1,71 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import strategies as st
+
+from repro.core import gf2
+from repro.core.pseudocube import Pseudocube
+
+
+@st.composite
+def pseudocubes(draw, min_n: int = 2, max_n: int = 7, max_degree: int | None = None):
+    """A random pseudocube in canonical affine form."""
+    n = draw(st.integers(min_n, max_n))
+    cap = n if max_degree is None else min(max_degree, n)
+    m = draw(st.integers(0, cap))
+    vectors = draw(
+        st.lists(st.integers(1, (1 << n) - 1), min_size=m, max_size=3 * m + 1)
+    )
+    basis = gf2.rref(vectors)[:m]
+    # Re-reduce in case truncation broke full reduction (it cannot —
+    # dropping trailing vectors of an RREF keeps it an RREF — but be
+    # explicit about the invariant).
+    anchor = gf2.reduce_vector(basis, draw(st.integers(0, (1 << n) - 1)))
+    return Pseudocube(n, anchor, basis)
+
+
+@st.composite
+def pseudocube_pairs_same_structure(draw, min_n: int = 2, max_n: int = 6):
+    """Two distinct pseudocubes with equal structure (Theorem 1 inputs)."""
+    pc = draw(pseudocubes(min_n=min_n, max_n=max_n))
+    if pc.degree == pc.n:  # whole space has a single coset; shrink it
+        pc = Pseudocube(pc.n, pc.anchor, pc.basis[:-1])
+    # A different anchor in a different coset of the same direction space.
+    alpha = draw(st.integers(1, (1 << pc.n) - 1))
+    other_anchor = gf2.reduce_vector(pc.basis, pc.anchor ^ alpha)
+    if other_anchor == pc.anchor:
+        other_anchor = _different_coset_anchor(pc)
+    other = Pseudocube(pc.n, other_anchor, pc.basis)
+    return pc, other
+
+
+def _different_coset_anchor(pc: Pseudocube) -> int:
+    """Any anchor in a coset of pc.basis different from pc's."""
+    for alpha in range(1, 1 << pc.n):
+        anchor = gf2.reduce_vector(pc.basis, pc.anchor ^ alpha)
+        if anchor != pc.anchor:
+            return anchor
+    raise AssertionError("pseudocube covers the whole space")
+
+
+def all_pseudocubes(n: int):
+    """Exhaustively enumerate every pseudocube of B^n (for small n).
+
+    Iterates over all (dimension, basis, anchor) canonical forms by
+    brute force over point sets — only usable for n <= 4.
+    """
+    space = list(range(1 << n))
+    seen = set()
+    for size_log in range(n + 1):
+        size = 1 << size_log
+        for points in itertools.combinations(space, size):
+            try:
+                pc = Pseudocube.from_points(n, points)
+            except ValueError:
+                continue
+            if pc not in seen:
+                seen.add(pc)
+                yield pc

@@ -1,0 +1,71 @@
+"""Unit tests for bit-vector helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitvec
+
+
+class TestBasics:
+    def test_bit(self):
+        assert bitvec.bit(0) == 1
+        assert bitvec.bit(5) == 32
+
+    def test_get_set_clear(self):
+        v = 0b1010
+        assert bitvec.get_bit(v, 1) == 1
+        assert bitvec.get_bit(v, 0) == 0
+        assert bitvec.set_bit(v, 0) == 0b1011
+        assert bitvec.clear_bit(v, 1) == 0b1000
+
+    def test_flip_bits_is_alpha_transform(self):
+        assert bitvec.flip_bits(0b1100, 0b1010) == 0b0110
+
+    def test_popcount_parity(self):
+        assert bitvec.popcount(0b1011) == 3
+        assert bitvec.parity(0b1011) == 1
+        assert bitvec.parity(0b1001) == 0
+
+    def test_lowest_highest(self):
+        assert bitvec.lowest_bit_index(0b101000) == 3
+        assert bitvec.highest_bit_index(0b101000) == 5
+
+    def test_lowest_highest_zero_raises(self):
+        with pytest.raises(ValueError):
+            bitvec.lowest_bit_index(0)
+        with pytest.raises(ValueError):
+            bitvec.highest_bit_index(0)
+
+    def test_bits_of_roundtrip(self):
+        assert list(bitvec.bits_of(0b10110)) == [1, 2, 4]
+        assert bitvec.from_bits([1, 2, 4]) == 0b10110
+        assert list(bitvec.bits_of(0)) == []
+
+    def test_mask_of_width(self):
+        assert bitvec.mask_of_width(0) == 0
+        assert bitvec.mask_of_width(4) == 0b1111
+
+
+class TestStrings:
+    def test_to_string_x0_leftmost(self):
+        # x0 = 1, x1 = 0, x2 = 1 renders "101"
+        assert bitvec.to_string(0b101, 3) == "101"
+
+    def test_from_string_inverse(self):
+        assert bitvec.from_string("101") == 0b101
+        assert bitvec.from_string("0110") == 0b0110
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bitvec.from_string("01x")
+
+    @given(st.integers(1, 12), st.data())
+    def test_roundtrip_property(self, n, data):
+        v = data.draw(st.integers(0, (1 << n) - 1))
+        assert bitvec.from_string(bitvec.to_string(v, n)) == v
+
+
+class TestAllPoints:
+    def test_all_points(self):
+        assert list(bitvec.all_points(2)) == [0, 1, 2, 3]

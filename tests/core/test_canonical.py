@@ -1,0 +1,125 @@
+"""Tests for Section 2: normal vectors and canonical matrices."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitvec import from_string
+from repro.core.canonical import (
+    canonical_columns,
+    canonical_matrix,
+    is_canonical_matrix,
+    is_k_canonical,
+    is_normal_vector,
+    is_pseudocube,
+    render_matrix,
+    row_sort_key,
+)
+from repro.core.pseudocube import Pseudocube
+
+from tests.conftest import pseudocubes
+
+FIGURE1_ROWS = [
+    "010101", "010110", "011001", "011010",
+    "110000", "110011", "111100", "111111",
+]
+FIGURE1_POINTS = [from_string(s) for s in FIGURE1_ROWS]
+
+
+class TestNormalVectors:
+    def test_length_one_is_normal(self):
+        assert is_normal_vector((0,))
+        assert is_normal_vector((1,))
+
+    def test_v_vhat_recursion(self):
+        assert is_normal_vector((0, 1))  # v, v̄
+        assert is_normal_vector((0, 0))  # v, v
+        assert is_normal_vector((0, 1, 1, 0))
+        assert is_normal_vector((0, 1, 0, 1))
+
+    def test_non_normal(self):
+        assert not is_normal_vector((0, 1, 1, 1))
+        assert not is_normal_vector((0, 1, 0))  # not a power of two
+        assert not is_normal_vector(())
+
+    def test_figure1_columns_all_normal(self):
+        for j in range(6):
+            column = tuple(int(row[j]) for row in FIGURE1_ROWS)
+            assert is_normal_vector(column)
+
+
+class TestKCanonical:
+    def test_figure1_levels(self):
+        """c0 is 2-canonical, c2 is 1-canonical, c4 is 0-canonical."""
+        col = lambda j: tuple(int(row[j]) for row in FIGURE1_ROWS)
+        assert is_k_canonical(col(0), 2)
+        assert is_k_canonical(col(2), 1)
+        assert is_k_canonical(col(4), 0)
+        assert not is_k_canonical(col(1), 0)  # constant column
+        assert not is_k_canonical(col(0), 1)
+
+    def test_patterns(self):
+        assert is_k_canonical((0, 1, 0, 1), 0)
+        assert is_k_canonical((0, 0, 1, 1), 1)
+        assert not is_k_canonical((1, 0, 1, 0), 0)
+
+
+class TestCanonicalMatrix:
+    def test_figure1_is_canonical(self):
+        assert is_canonical_matrix(FIGURE1_POINTS, 6)
+        assert canonical_columns(FIGURE1_POINTS, 6) == [0, 2, 4]
+
+    def test_row_order_matters(self):
+        shuffled = [FIGURE1_POINTS[1], FIGURE1_POINTS[0]] + FIGURE1_POINTS[2:]
+        assert not is_canonical_matrix(shuffled, 6)
+
+    def test_duplicate_rows_rejected(self):
+        assert not is_canonical_matrix([0, 0], 1)
+
+    def test_row_sort_key_x0_most_significant(self):
+        # "10" (x0=1, x1=0) sorts above "01" (x0=0, x1=1).
+        assert row_sort_key(from_string("10"), 2) > row_sort_key(from_string("01"), 2)
+
+    @given(pseudocubes(max_n=6))
+    def test_canonical_matrix_of_pseudocube(self, pc):
+        rows = canonical_matrix(pc)
+        assert is_canonical_matrix(rows, pc.n)
+
+    def test_render_contains_all_rows(self):
+        pc = Pseudocube.from_points(6, FIGURE1_POINTS)
+        text = render_matrix(pc)
+        assert "r0" in text and "r7" in text
+        # First data row is the figure's r0 = 010101.
+        first = text.splitlines()[1].split()[1:]
+        assert "".join(first) == "010101"
+
+
+class TestIsPseudocube:
+    def test_figure1(self):
+        assert is_pseudocube(set(FIGURE1_POINTS), 6)
+
+    def test_single_point(self):
+        assert is_pseudocube({5}, 3)
+
+    def test_wrong_cardinality(self):
+        assert not is_pseudocube({0, 1, 2}, 3)
+        assert not is_pseudocube(set(), 3)
+
+    def test_non_coset(self):
+        assert not is_pseudocube({0b00, 0b01, 0b10, 0b111}, 3)
+
+    @given(pseudocubes(max_n=5), st.integers(0, 31))
+    def test_agreement_with_affine_test(self, pc, extra):
+        """The matrix-based and affine pseudocube tests agree, also on
+        perturbed sets."""
+        points = set(pc.points())
+        perturbed = set(points)
+        perturbed.symmetric_difference_update({extra % (1 << pc.n)})
+        for candidate in (points, perturbed):
+            if not candidate:
+                continue
+            affine_ok = True
+            try:
+                Pseudocube.from_points(pc.n, candidate)
+            except ValueError:
+                affine_ok = False
+            assert is_pseudocube(candidate, pc.n) == affine_ok

@@ -1,0 +1,110 @@
+"""Tests for CEX expressions (Definition 1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.bitvec import from_string
+from repro.core.cex import CexExpression, cex_of
+from repro.core.exor import ExorFactor
+from repro.core.pseudocube import NotAPseudocubeError, Pseudocube
+
+from tests.conftest import pseudocubes
+
+FIGURE1_POINTS = [
+    from_string(s)
+    for s in [
+        "010101", "010110", "011001", "011010",
+        "110000", "110011", "111100", "111111",
+    ]
+]
+
+
+class TestCexOf:
+    def test_figure1_expression(self):
+        pc = Pseudocube.from_points(6, FIGURE1_POINTS)
+        cex = cex_of(pc)
+        assert str(cex) == "x1 . (x0 (+) x2 (+) x3) . (x0 (+) x4 (+) x5)"
+        assert cex.num_literals == 7
+        assert cex.num_factors == 3
+
+    def test_minterm_cex(self):
+        pc = Pseudocube.from_point(3, 0b101)
+        cex = cex_of(pc)
+        assert cex.num_factors == 3
+        assert cex.num_literals == 3
+        assert str(cex) == "x0 . x1' . x2"
+
+    def test_whole_space_cex_is_one(self):
+        cex = cex_of(Pseudocube.whole_space(3))
+        assert cex.num_factors == 0
+        assert str(cex) == "1"
+        assert cex.evaluate(0b101) == 1
+
+    @given(pseudocubes(max_n=6))
+    def test_cex_is_characteristic_function(self, pc):
+        cex = cex_of(pc)
+        members = set(pc.points())
+        for point in range(1 << pc.n):
+            assert cex.evaluate(point) == (1 if point in members else 0)
+
+    @given(pseudocubes())
+    def test_roundtrip_to_pseudocube(self, pc):
+        assert cex_of(pc).to_pseudocube() == pc
+
+    @given(pseudocubes())
+    def test_one_factor_per_non_canonical_variable(self, pc):
+        cex = cex_of(pc)
+        non_canonical = pc.non_canonical_variables()
+        assert cex.num_factors == len(non_canonical)
+        for factor, j in zip(cex.factors, non_canonical):
+            assert factor.variables()[-1] == j  # highest = non-canonical
+            # canonical variables in the factor all precede j
+            assert all(v < j for v in factor.variables()[:-1])
+
+
+class TestToPseudocube:
+    def test_inconsistent_factors_raise(self):
+        # x0 · x̄0 is unsatisfiable.
+        cex = CexExpression(2, (ExorFactor(0b01, 0), ExorFactor(0b01, 1)))
+        with pytest.raises(NotAPseudocubeError):
+            cex.to_pseudocube()
+
+    def test_constant_zero_factor_raises(self):
+        cex = CexExpression(2, (ExorFactor(0, 0),))
+        with pytest.raises(NotAPseudocubeError):
+            cex.to_pseudocube()
+
+    def test_constant_one_factor_ignored(self):
+        cex = CexExpression(2, (ExorFactor(0, 1), ExorFactor(0b01, 0)))
+        pc = cex.to_pseudocube()
+        assert set(pc.points()) == {0b01, 0b11}
+
+    def test_redundant_consistent_factor(self):
+        # x0 · x0: same constraint twice.
+        cex = CexExpression(2, (ExorFactor(0b01, 0), ExorFactor(0b01, 0)))
+        pc = cex.to_pseudocube()
+        assert set(pc.points()) == {0b01, 0b11}
+
+    def test_non_canonical_form_still_works(self):
+        # (x0 ⊕ x1) · x1 describes {11}∪... : x0⊕x1=1 and x1=1 → x0=0,x1=1.
+        cex = CexExpression(
+            2, (ExorFactor.from_literals([0, 1]), ExorFactor.from_literals([1]))
+        )
+        pc = cex.to_pseudocube()
+        assert set(pc.points()) == {0b10}
+
+    @given(pseudocubes(max_n=6))
+    def test_evaluation_matches_membership_after_roundtrip(self, pc):
+        cex = cex_of(pc)
+        pc2 = cex.to_pseudocube()
+        assert set(pc2.points()) == set(pc.points())
+
+
+class TestStructure:
+    def test_structure_tuple(self):
+        pc = Pseudocube.from_points(6, FIGURE1_POINTS)
+        cex = cex_of(pc)
+        assert cex.structure() == (0b000010, 0b001101, 0b110001)
+
+    def test_empty_expression_renders_one(self):
+        assert CexExpression(3, ()).to_string() == "1"

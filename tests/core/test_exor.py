@@ -1,0 +1,103 @@
+"""Unit tests for EXOR factors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exor import ExorFactor, norm_exor
+
+factors = st.builds(
+    ExorFactor, st.integers(0, 255), st.integers(0, 1)
+)
+
+
+class TestConstruction:
+    def test_from_literals(self):
+        f = ExorFactor.from_literals([0, 2], [5])
+        assert f.support == 0b100101
+        assert f.parity == 1
+
+    def test_from_literals_cancellation(self):
+        # x0 ⊕ x̄0 = 1: empty support, parity flipped.
+        f = ExorFactor.from_literals([0], [0])
+        assert f.support == 0
+        assert f.parity == 1
+        assert f.is_constant
+
+    def test_rejects_bad_parity(self):
+        with pytest.raises(ValueError):
+            ExorFactor(1, 2)
+
+    def test_rejects_negative_support(self):
+        with pytest.raises(ValueError):
+            ExorFactor(-1, 0)
+
+
+class TestEvaluation:
+    def test_single_variable(self):
+        f = ExorFactor(0b10, 0)  # x1
+        assert f.evaluate(0b10) == 1
+        assert f.evaluate(0b01) == 0
+
+    def test_complemented_variable(self):
+        f = ExorFactor(0b10, 1)  # x̄1
+        assert f.evaluate(0b10) == 0
+        assert f.evaluate(0b00) == 1
+
+    def test_three_way_exor(self):
+        f = ExorFactor.from_literals([0, 1, 2])
+        assert f.evaluate(0b111) == 1
+        assert f.evaluate(0b011) == 0
+
+    @given(factors, st.integers(0, 255))
+    def test_complement_flips(self, f, point):
+        assert f.complement().evaluate(point) == 1 - f.evaluate(point)
+
+    @given(factors, factors, st.integers(0, 255))
+    def test_xor_is_pointwise_xor(self, f1, f2, point):
+        assert f1.xor(f2).evaluate(point) == f1.evaluate(point) ^ f2.evaluate(point)
+
+
+class TestNormExor:
+    def test_paper_example(self):
+        """NORM_EXOR(x0 ⊕ x2 ⊕ x5, x0 ⊕ x̄1) = x1 ⊕ x2 ⊕ x̄5."""
+        f1 = ExorFactor.from_literals([0, 2, 5])
+        f2 = ExorFactor.from_literals([0], [1])
+        result = norm_exor(f1, f2)
+        assert result == ExorFactor.from_literals([1, 2], [5])
+        assert result.to_string() == "(x1 (+) x2 (+) x5')"
+
+    @given(factors, factors)
+    def test_commutative(self, f1, f2):
+        assert norm_exor(f1, f2) == norm_exor(f2, f1)
+
+    @given(factors)
+    def test_self_cancel(self, f):
+        assert norm_exor(f, f) == ExorFactor(0, 0)
+
+
+class TestDisplay:
+    def test_constant_rendering(self):
+        assert ExorFactor(0, 0).to_string() == "0"
+        assert ExorFactor(0, 1).to_string() == "1"
+
+    def test_bar_on_highest_by_default(self):
+        f = ExorFactor.from_literals([0], [3])
+        assert f.to_string() == "(x0 (+) x3')"
+
+    def test_bar_variable_override(self):
+        f = ExorFactor(0b1001, 1)
+        assert f.to_string(bar_variable=0) == "(x0' (+) x3)"
+
+    def test_single_literal_unparenthesised(self):
+        assert ExorFactor(0b100, 0).to_string() == "x2"
+        assert ExorFactor(0b100, 1).to_string() == "x2'"
+
+    def test_variables(self):
+        assert ExorFactor(0b1011, 0).variables() == (0, 1, 3)
+
+    def test_num_literals(self):
+        assert ExorFactor(0b1011, 1).num_literals == 3
+
+    def test_structure_drops_parity(self):
+        assert ExorFactor(0b11, 1).structure() == 0b11

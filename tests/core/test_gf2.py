@@ -1,0 +1,134 @@
+"""Unit and property tests for GF(2) linear algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import gf2
+
+vectors_lists = st.lists(st.integers(0, 255), max_size=10)
+
+
+class TestRref:
+    def test_empty(self):
+        assert gf2.rref([]) == ()
+        assert gf2.rank([]) == 0
+
+    def test_single(self):
+        assert gf2.rref([0b110]) == (0b110,)
+
+    def test_dependent_vectors_collapse(self):
+        assert gf2.rank([0b101, 0b011, 0b110]) == 2
+
+    def test_zero_vectors_ignored(self):
+        assert gf2.rref([0, 0b1, 0]) == (0b1,)
+
+    def test_figure1_direction_space(self):
+        # Differences of the figure 1 pseudocube rows (x0 = bit 0).
+        vs = [0b110000, 0b001100, 0b101001]
+        basis = gf2.rref(vs)
+        assert gf2.pivot_mask(basis) == 0b010101  # x0, x2, x4 canonical
+        assert gf2.is_rref(basis)
+
+    @given(vectors_lists)
+    def test_rref_invariants(self, vs):
+        basis = gf2.rref(vs)
+        assert gf2.is_rref(basis)
+
+    @given(vectors_lists)
+    def test_span_is_preserved(self, vs):
+        basis = gf2.rref(vs)
+        for v in vs:
+            assert gf2.contains(basis, v)
+
+    @given(vectors_lists, vectors_lists)
+    def test_rref_is_canonical(self, vs, extra):
+        """Same span in different presentation order → same basis."""
+        basis1 = gf2.rref(vs)
+        shuffled = list(reversed(vs))
+        # Add redundant combinations of existing vectors.
+        acc = 0
+        for v in vs:
+            acc ^= v
+            shuffled.append(acc)
+        basis2 = gf2.rref(shuffled)
+        assert basis1 == basis2
+
+
+class TestReduceInsert:
+    def test_reduce_member_is_zero(self):
+        basis = gf2.rref([0b011, 0b101])
+        assert gf2.reduce_vector(basis, 0b011 ^ 0b101) == 0
+
+    def test_insert_dependent_returns_same_object(self):
+        basis = gf2.rref([0b011, 0b101])
+        assert gf2.insert_vector(basis, 0b110) is basis
+
+    def test_insert_independent_grows(self):
+        basis = gf2.rref([0b011])
+        grown = gf2.insert_vector(basis, 0b100)
+        assert len(grown) == 2
+        assert gf2.is_rref(grown)
+
+    @given(vectors_lists, st.integers(0, 255))
+    def test_insert_matches_batch_rref(self, vs, v):
+        basis = gf2.rref(vs)
+        assert gf2.insert_vector(basis, v) == gf2.rref(list(vs) + [v])
+
+    @given(vectors_lists, st.integers(0, 255))
+    def test_reduce_is_canonical_coset_representative(self, vs, v):
+        basis = gf2.rref(vs)
+        r = gf2.reduce_vector(basis, v)
+        assert gf2.contains(basis, r ^ v)
+        assert r & gf2.pivot_mask(basis) == 0
+
+
+class TestSpanPoints:
+    def test_enumeration_size_and_membership(self):
+        basis = gf2.rref([0b011, 0b100])
+        pts = list(gf2.span_points(basis, offset=0b1000))
+        assert len(pts) == 4
+        assert len(set(pts)) == 4
+        for p in pts:
+            assert gf2.contains(basis, p ^ 0b1000)
+
+    def test_empty_basis_single_point(self):
+        assert list(gf2.span_points((), 7)) == [7]
+
+
+class TestIntersectDecompose:
+    @given(vectors_lists, vectors_lists)
+    def test_intersect_spaces_bruteforce(self, va, vb):
+        a = gf2.rref(v & 0x3F for v in va)
+        b = gf2.rref(v & 0x3F for v in vb)
+        inter = gf2.intersect_spaces(a, b, 6)
+        members_a = set(gf2.span_points(a))
+        members_b = set(gf2.span_points(b))
+        assert set(gf2.span_points(inter)) == members_a & members_b
+
+    @given(vectors_lists, vectors_lists, st.integers(0, 63))
+    def test_decompose_splits_or_rejects(self, va, vb, v):
+        a = gf2.rref(x & 0x3F for x in va)
+        b = gf2.rref(x & 0x3F for x in vb)
+        u = gf2.decompose(a, b, v)
+        joint = gf2.rref(a + b)
+        if gf2.contains(joint, v):
+            assert u is not None
+            assert gf2.contains(a, u)
+            assert gf2.contains(b, v ^ u)
+        else:
+            assert u is None
+
+
+class TestPivots:
+    def test_pivot_of(self):
+        assert gf2.pivot_of(0b1100) == 2
+
+    def test_pivot_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            gf2.pivot_of(0)
+
+    def test_is_rref_rejects_bad_bases(self):
+        assert not gf2.is_rref((0,))
+        assert not gf2.is_rref((0b10, 0b01))  # pivots decreasing
+        assert not gf2.is_rref((0b011, 0b010))  # pivot of second inside first

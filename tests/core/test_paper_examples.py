@@ -1,0 +1,104 @@
+"""Every worked example in the paper, reproduced byte for byte.
+
+These tests pin the implementation to the paper's own numbers: the
+figure 1 matrix and CEX, the NORM_EXOR example, the Section 3.1 union
+example (expressions (1), (2) and their 12-literal union), and the
+intuition example of Section 3.4.
+"""
+
+from repro.core.bitvec import from_string
+from repro.core.canonical import canonical_columns, render_matrix
+from repro.core.cex import CexExpression, cex_of
+from repro.core.exor import ExorFactor, norm_exor
+from repro.core.pseudocube import Pseudocube
+from repro.core.union import cex_union
+
+F = ExorFactor.from_literals
+
+
+class TestFigure1:
+    POINTS = [
+        from_string(s)
+        for s in [
+            "010101", "010110", "011001", "011010",
+            "110000", "110011", "111100", "111111",
+        ]
+    ]
+
+    def test_is_degree3_pseudocube(self):
+        pc = Pseudocube.from_points(6, self.POINTS)
+        assert pc.degree == 3
+        assert len(pc) == 8
+
+    def test_canonical_columns_are_0_2_4(self):
+        rows = sorted(
+            self.POINTS,
+            key=lambda p: sum(((p >> i) & 1) << (5 - i) for i in range(6)),
+        )
+        assert canonical_columns(rows, 6) == [0, 2, 4]
+
+    def test_cex_expression(self):
+        """CEX = x1 · (x0 ⊕ x2 ⊕ x3) · (x0 ⊕ x4 ⊕ x5)."""
+        pc = Pseudocube.from_points(6, self.POINTS)
+        assert str(cex_of(pc)) == "x1 . (x0 (+) x2 (+) x3) . (x0 (+) x4 (+) x5)"
+
+    def test_rendered_matrix_matches_figure(self):
+        pc = Pseudocube.from_points(6, self.POINTS)
+        data_rows = [
+            "".join(line.split()[1:]) for line in render_matrix(pc).splitlines()[1:]
+        ]
+        assert data_rows == [
+            "010101", "010110", "011001", "011010",
+            "110000", "110011", "111100", "111111",
+        ]
+
+
+class TestNormExorExample:
+    def test_section31_norm_exor(self):
+        """f1 ⊕ f2 with f1 = x0⊕x2⊕x5, f2 = x0⊕x̄1 normalizes to
+        x1 ⊕ x2 ⊕ x̄5 (footnote rules)."""
+        f1 = F([0, 2, 5])
+        f2 = F([0], [1])
+        assert norm_exor(f1, f2) == F([1, 2], [5])
+
+
+class TestSection31Union:
+    """Expressions (1), (2) of the paper and their union."""
+
+    CEX1 = CexExpression(9, (F([0], [1]), F([4]), F([0, 2], [5]), F([3, 6]), F([3, 8])))
+    CEX2 = CexExpression(9, (F([0, 1]), F([], [4]), F([0, 2, 5]), F([3, 6]), F([3], [8])))
+
+    def test_components_have_10_literals(self):
+        assert self.CEX1.num_literals == 10
+        assert self.CEX2.num_literals == 10
+
+    def test_same_structure(self):
+        assert self.CEX1.structure() == self.CEX2.structure()
+
+    def test_canonical_variables_before_union(self):
+        p1 = self.CEX1.to_pseudocube()
+        assert p1.canonical_variables() == (0, 2, 3, 7)
+
+    def test_union_text_and_literals(self):
+        union = cex_union(self.CEX1, self.CEX2)
+        assert str(union) == (
+            "(x0 (+) x1 (+) x4) . (x1 (+) x2 (+) x5') . "
+            "(x3 (+) x6) . (x0 (+) x1 (+) x3 (+) x8)"
+        )
+        # "which contains 12 literals, while (1) and (2) have 10 each"
+        assert union.num_literals == 12
+
+    def test_union_canonical_variables(self):
+        """The canonical variables of CEX(P) are x0, x1, x2, x3, x7."""
+        p = cex_union(self.CEX1, self.CEX2).to_pseudocube()
+        assert p.canonical_variables() == (0, 1, 2, 3, 7)
+
+
+class TestSection34Example:
+    def test_ascent_finds_x2_x1_xor_x4(self):
+        """x1·x2·x̄4 + x̄1·x2·x4 unify into x2·(x1 ⊕ x4)."""
+        a = CexExpression(5, (F([1]), F([2]), F([], [4]))).to_pseudocube()
+        b = CexExpression(5, (F([], [1]), F([2]), F([4]))).to_pseudocube()
+        union = a.union(b)
+        assert union is not None
+        assert str(cex_of(union)) == "x2 . (x1 (+) x4)"

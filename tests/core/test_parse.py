@@ -1,0 +1,114 @@
+"""Tests for expression parsing."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.cex import cex_of
+from repro.core.parse import ExpressionSyntaxError, parse_cex, parse_spp
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+
+from tests.conftest import pseudocubes
+
+
+class TestParseCex:
+    def test_single_variable(self):
+        cex = parse_cex("x0")
+        assert cex.num_factors == 1
+        assert cex.evaluate(0b1) == 1
+
+    def test_complemented_postfix_and_prefix(self):
+        assert parse_cex("x1'").factors == parse_cex("~x1").factors
+        assert parse_cex("!x1").factors == parse_cex("~x1").factors
+
+    def test_double_negation(self):
+        assert parse_cex("~~x1").factors == parse_cex("x1").factors
+        assert parse_cex("~x1'").factors == parse_cex("x1").factors
+
+    def test_figure1_expression(self):
+        cex = parse_cex("x1 . (x0 (+) x2 (+) x3) . (x0 (+) x4 (+) x5)", n=6)
+        pc = cex.to_pseudocube()
+        assert pc.degree == 3
+        assert pc.canonical_variables() == (0, 2, 4)
+
+    def test_caret_and_unicode_xor(self):
+        a = parse_cex("(x0 ^ x1)")
+        b = parse_cex("(x0 (+) x1)")
+        c = parse_cex("(x0 ⊕ x1)")
+        assert a.factors == b.factors == c.factors
+
+    def test_adjacency_product(self):
+        cex = parse_cex("(x0 (+) x1)(x2 (+) x3)")
+        assert cex.num_factors == 2
+
+    def test_star_and_middot_products(self):
+        assert parse_cex("x0 * x1").num_factors == 2
+
+    def test_xor_cancellation(self):
+        cex = parse_cex("(x0 (+) x0 (+) x1)")
+        assert cex.factors[0].support == 0b10
+
+    def test_constant_literals(self):
+        assert parse_cex("1").factors[0].parity == 1
+        assert parse_cex("0").factors[0].parity == 0
+
+    def test_n_inference(self):
+        assert parse_cex("x5").n == 6
+        assert parse_cex("x5", n=8).n == 8
+
+    def test_n_too_small(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_cex("x5", n=3)
+
+    def test_rejects_sum(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_cex("x0 + x1")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_cex("x0 @ x1")
+        with pytest.raises(ExpressionSyntaxError):
+            parse_cex("(x0")
+
+    def test_custom_variable_prefix(self):
+        cex = parse_cex("(a0 (+) a2)", var="a")
+        assert cex.factors[0].support == 0b101
+
+    def test_wrong_prefix_rejected(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_cex("(y0 (+) y1)", var="x")
+
+    @given(pseudocubes(max_n=6))
+    def test_roundtrip_print_parse(self, pc):
+        """str(cex_of(pc)) parses back to the same pseudocube."""
+        cex = cex_of(pc)
+        parsed = parse_cex(str(cex), n=pc.n)
+        assert parsed.to_pseudocube() == pc
+
+
+class TestParseSpp:
+    def test_sum_of_products(self):
+        form = parse_spp("x0 . x1 + x0' . x1'", n=2)
+        assert form.num_pseudoproducts == 2
+        assert form.on_set() == {0b00, 0b11}
+
+    def test_unsatisfiable_product_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spp("x0 . x0'")
+
+    def test_roundtrip_with_str(self):
+        pcs = (
+            Pseudocube.from_points(3, [0b001, 0b110]),
+            Pseudocube.from_point(3, 0b111),
+        )
+        form = SppForm(3, pcs)
+        parsed = parse_spp(str(form), n=3)
+        assert parsed.on_set() == form.on_set()
+
+    def test_paper_intro_example_parses(self):
+        """The SPP expression from the paper's introduction."""
+        text = ("(x0 (+) x1') . x4 . (x0 (+) x3 (+) x6') + x4 . x3' + "
+                "(x0 (+) x2 (+) x3) . (x2 (+) x4) . (x1 (+) x2 (+) x3) . "
+                "(x2 (+) x3 (+) x4) . (x1 (+) x2 (+) x4 (+) x5)")
+        form = parse_spp(text, n=7)
+        assert form.num_pseudoproducts == 3

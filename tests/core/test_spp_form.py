@@ -1,0 +1,67 @@
+"""Tests for SPP forms."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+
+from tests.conftest import pseudocubes
+
+
+def _form(pcs):
+    return SppForm(pcs[0].n, tuple(pcs))
+
+
+class TestEvaluation:
+    def test_empty_form_is_zero(self):
+        form = SppForm(3, ())
+        assert form.evaluate(0) == 0
+        assert form.on_set() == set()
+        assert str(form) == "0"
+
+    def test_single_pseudoproduct(self):
+        pc = Pseudocube.from_points(3, [0b011, 0b100])
+        form = SppForm(3, (pc,))
+        assert form.on_set() == {0b011, 0b100}
+        assert form.evaluate(0b011) == 1
+        assert form.evaluate(0b000) == 0
+
+    @given(st.lists(pseudocubes(min_n=4, max_n=4), min_size=1, max_size=4))
+    def test_on_set_is_union(self, pcs):
+        form = _form(pcs)
+        expected = set()
+        for pc in pcs:
+            expected |= set(pc.points())
+        assert form.on_set() == expected
+        for p in range(16):
+            assert form.evaluate(p) == (1 if p in expected else 0)
+
+
+class TestMetrics:
+    @given(st.lists(pseudocubes(min_n=3, max_n=5), min_size=1, max_size=4))
+    def test_literals_and_factors_additive(self, pcs):
+        if len({pc.n for pc in pcs}) != 1:
+            return
+        form = _form(pcs)
+        assert form.num_literals == sum(pc.num_literals for pc in pcs)
+        assert form.num_exor_factors == sum(pc.n - pc.degree for pc in pcs)
+        assert form.num_pseudoproducts == len(pcs)
+
+    def test_is_sp(self):
+        cube = Pseudocube.from_cube(3, 0b011, 0b001)
+        xor = Pseudocube.from_points(3, [0b001, 0b110])
+        assert SppForm(3, (cube,)).is_sp()
+        assert not SppForm(3, (cube, xor)).is_sp()
+
+    def test_covers(self):
+        pc = Pseudocube.from_cube(3, 0b001, 0b001)
+        form = SppForm(3, (pc,))
+        assert form.covers([0b001, 0b011])
+        assert not form.covers([0b000])
+
+    def test_to_string_joins_with_plus(self):
+        a = Pseudocube.from_point(2, 0)
+        b = Pseudocube.from_point(2, 3)
+        text = str(SppForm(2, (a, b)))
+        assert " + " in text

@@ -1,0 +1,63 @@
+"""Tests for structures (Definition 2) and Theorem 1."""
+
+from hypothesis import given
+
+from repro.core.canonical import is_pseudocube
+from repro.core.cex import cex_of
+from repro.core.pseudocube import Pseudocube
+from repro.core.structure import same_structure, structure_key, structure_of
+
+from tests.conftest import pseudocube_pairs_same_structure, pseudocubes
+
+
+class TestStructureOf:
+    def test_definition2_example_shape(self):
+        """STR drops complementations: structure equals the CEX supports."""
+        pc = Pseudocube.from_points(3, [0b011, 0b100])
+        assert structure_of(pc) == cex_of(pc).structure()
+
+    @given(pseudocubes())
+    def test_structure_matches_cex_supports(self, pc):
+        assert structure_of(pc) == cex_of(pc).structure()
+
+    @given(pseudocubes())
+    def test_structure_key_is_basis(self, pc):
+        assert structure_key(pc) == pc.basis
+
+
+class TestTheorem1:
+    @given(pseudocube_pairs_same_structure())
+    def test_same_structure_pairs(self, pair):
+        p1, p2 = pair
+        assert same_structure(p1, p2)
+        assert structure_of(p1) == structure_of(p2)
+        # Same structure ⇒ union is a pseudocube.
+        union_points = set(p1.points()) | set(p2.points())
+        assert is_pseudocube(union_points, p1.n)
+
+    @given(pseudocubes(min_n=3, max_n=5), pseudocubes(min_n=3, max_n=5))
+    def test_structure_iff_direction_space(self, p1, p2):
+        """STR(P1) == STR(P2) exactly when the direction bases match
+        (the affine reformulation of Definition 2 used throughout)."""
+        if p1.n != p2.n:
+            return
+        assert (structure_of(p1) == structure_of(p2)) == (p1.basis == p2.basis)
+
+    @given(pseudocubes(min_n=2, max_n=4), pseudocubes(min_n=2, max_n=4))
+    def test_only_if_direction(self, p1, p2):
+        """Distinct same-degree pseudocubes whose union is a pseudocube
+        must share their structure (Theorem 1, only-if)."""
+        if p1.n != p2.n or p1 == p2 or p1.degree != p2.degree:
+            return
+        union_points = set(p1.points()) | set(p2.points())
+        if len(union_points) != 2 * len(p1):
+            return  # overlapping: not a candidate union
+        if is_pseudocube(union_points, p1.n):
+            assert same_structure(p1, p2)
+
+    @given(pseudocube_pairs_same_structure())
+    def test_same_structure_disjoint(self, pair):
+        """Two distinct pseudocubes with the same structure are disjoint
+        (remark after Definition 2)."""
+        p1, p2 = pair
+        assert set(p1.points()).isdisjoint(p2.points())

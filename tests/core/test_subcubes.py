@@ -1,0 +1,76 @@
+"""Tests for Theorem 2 (sub-pseudocube enumeration)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+
+from repro.core.pseudocube import Pseudocube
+from repro.core.subcubes import constrain, sub_pseudocubes
+
+from tests.conftest import pseudocubes
+
+
+class TestConstrain:
+    def test_single_canonical_variable(self):
+        pc = Pseudocube.whole_space(2)
+        # x0 = 1 → the cube {01, 11} (little-endian ints {1, 3}).
+        child = constrain(pc, 0b01, 1)
+        assert set(child.points()) == {0b01, 0b11}
+
+    def test_xor_constraint(self):
+        pc = Pseudocube.whole_space(2)
+        child = constrain(pc, 0b11, 1)  # x0 ⊕ x1 = 1
+        assert set(child.points()) == {0b01, 0b10}
+
+    def test_rejects_empty_y(self):
+        pc = Pseudocube.whole_space(2)
+        with pytest.raises(ValueError):
+            constrain(pc, 0, 0)
+
+    def test_rejects_non_canonical_y(self):
+        pc = Pseudocube.from_points(3, [0b000, 0b011])  # canonical: x0
+        with pytest.raises(ValueError):
+            constrain(pc, 0b010, 0)
+
+    def test_rejects_bad_b(self):
+        pc = Pseudocube.whole_space(2)
+        with pytest.raises(ValueError):
+            constrain(pc, 0b01, 2)
+
+
+class TestEnumeration:
+    @given(pseudocubes(min_n=2, max_n=6))
+    def test_cardinality_theorem2(self, pc):
+        """Exactly 2^{m+1} - 2 distinct children of degree m-1."""
+        children = list(sub_pseudocubes(pc))
+        m = pc.degree
+        assert len(children) == (1 << (m + 1)) - 2
+        assert len(set(children)) == len(children)
+
+    @given(pseudocubes(min_n=2, max_n=6))
+    def test_children_are_proper_subsets(self, pc):
+        parent_points = set(pc.points())
+        for child in sub_pseudocubes(pc):
+            assert child.degree == pc.degree - 1
+            assert set(child.points()) < parent_points
+
+    @given(pseudocubes(min_n=2, max_n=5, max_degree=3))
+    def test_completeness(self, pc):
+        """Theorem 2 yields ALL pseudocubes P ⊂ R of degree m-1."""
+        if pc.degree == 0:
+            assert list(sub_pseudocubes(pc)) == []
+            return
+        points = sorted(pc.points())
+        size = len(points) // 2
+        brute = set()
+        for subset in itertools.combinations(points, size):
+            try:
+                child = Pseudocube.from_points(pc.n, subset)
+            except ValueError:
+                continue
+            brute.add(child)
+        assert set(sub_pseudocubes(pc)) == brute
+
+    def test_degree_zero_has_no_children(self):
+        assert list(sub_pseudocubes(Pseudocube.from_point(4, 7))) == []

@@ -1,0 +1,84 @@
+"""Tests for Algorithm 1 (symbolic union) against the affine union."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.cex import CexExpression, cex_of
+from repro.core.exor import ExorFactor
+from repro.core.pseudocube import Pseudocube
+from repro.core.union import UnionError, cex_union
+
+from tests.conftest import pseudocube_pairs_same_structure
+
+F = ExorFactor.from_literals
+
+
+def _paper_pair() -> tuple[CexExpression, CexExpression]:
+    """Expressions (1) and (2) of Section 3.1."""
+    c1 = CexExpression(
+        9, (F([0], [1]), F([4]), F([0, 2], [5]), F([3, 6]), F([3, 8]))
+    )
+    c2 = CexExpression(
+        9, (F([0, 1]), F([], [4]), F([0, 2, 5]), F([3, 6]), F([3], [8]))
+    )
+    return c1, c2
+
+
+class TestPaperExample:
+    def test_union_expression(self):
+        c1, c2 = _paper_pair()
+        result = cex_union(c1, c2)
+        assert str(result) == (
+            "(x0 (+) x1 (+) x4) . (x1 (+) x2 (+) x5') . "
+            "(x3 (+) x6) . (x0 (+) x1 (+) x3 (+) x8)"
+        )
+        # 12 literals although the components have 10 each (Section 3.3).
+        assert result.num_literals == 12
+        assert c1.num_literals == c2.num_literals == 10
+
+    def test_canonical_variables_of_union(self):
+        c1, c2 = _paper_pair()
+        union = cex_union(c1, c2).to_pseudocube()
+        assert union.canonical_variables() == (0, 1, 2, 3, 7)
+
+    def test_matches_affine_union(self):
+        c1, c2 = _paper_pair()
+        p = c1.to_pseudocube().union(c2.to_pseudocube())
+        assert cex_of(p) == cex_union(c1, c2)
+
+
+class TestErrors:
+    def test_different_structures_rejected(self):
+        a = cex_of(Pseudocube.from_points(3, [0b000, 0b011]))
+        b = cex_of(Pseudocube.from_points(3, [0b000, 0b101]))
+        with pytest.raises(UnionError):
+            cex_union(a, b)
+
+    def test_identical_rejected(self):
+        a = cex_of(Pseudocube.from_point(3, 5))
+        with pytest.raises(UnionError):
+            cex_union(a, a)
+
+    def test_different_spaces_rejected(self):
+        a = cex_of(Pseudocube.from_point(3, 5))
+        b = cex_of(Pseudocube.from_point(4, 5))
+        with pytest.raises(UnionError):
+            cex_union(a, b)
+
+
+class TestAgainstAffine:
+    @given(pseudocube_pairs_same_structure())
+    def test_symbolic_equals_affine(self, pair):
+        """Algorithm 1 on CEX expressions produces exactly the CEX of
+        the affine union, factor for factor."""
+        p1, p2 = pair
+        symbolic = cex_union(cex_of(p1), cex_of(p2))
+        affine = cex_of(p1.union(p2))
+        assert symbolic == affine
+
+    @given(pseudocube_pairs_same_structure())
+    def test_union_is_linear_time_shape(self, pair):
+        """The output has exactly one factor fewer than the inputs."""
+        p1, p2 = pair
+        result = cex_union(cex_of(p1), cex_of(p2))
+        assert result.num_factors == cex_of(p1).num_factors - 1

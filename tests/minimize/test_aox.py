@@ -1,0 +1,69 @@
+"""Tests for the AND-OR-EXOR baseline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.exor import ExorFactor
+from repro.minimize.aox import AoxForm, minimize_aox
+from repro.minimize.sp import minimize_sp
+from repro.verify import verify_form
+
+random_funcs = st.builds(
+    lambda on: BoolFunc(4, frozenset(on)),
+    st.sets(st.integers(0, 15), min_size=1, max_size=15),
+)
+
+
+class TestAoxForm:
+    def test_zero_correction_is_plain_sop(self):
+        func = BoolFunc(3, frozenset({1, 3}))
+        sp = minimize_sp(func)
+        form = AoxForm(3, sp.form, ExorFactor(0, 0))
+        assert form.on_set() == set(func.on_set)
+        assert form.num_literals == sp.num_literals
+        assert "(+)" not in str(form) or "(+)" in str(sp.form)
+
+    def test_evaluate_xors_correction(self):
+        func = BoolFunc(2, frozenset({0b00, 0b11}))  # XNOR
+        result = minimize_aox(func)
+        for p in range(4):
+            assert result.form.evaluate(p) == (1 if p in func.on_set else 0)
+
+
+class TestMinimizeAox:
+    def test_parity_collapses(self):
+        """Odd parity needs 2^{n-1} products as SP but is a bare
+        correction term in AOX form."""
+        func = BoolFunc.from_lambda(4, lambda p: p.bit_count() % 2 == 1)
+        sp = minimize_sp(func, covering="exact")
+        aox = minimize_aox(func, max_width=4)
+        assert aox.num_literals == 4  # the factor x0^x1^x2^x3 alone
+        assert aox.num_literals < sp.num_literals
+
+    def test_never_worse_than_sp(self):
+        """The constant-0 correction is always tried, so AOX ≤ SP."""
+        for on in ({1, 2}, {0, 7}, {1, 2, 3, 4}):
+            func = BoolFunc(3, frozenset(on))
+            assert (
+                minimize_aox(func).num_literals
+                <= minimize_sp(func).num_literals
+            )
+
+    @given(random_funcs)
+    @settings(max_examples=20, deadline=None)
+    def test_result_verifies(self, func):
+        result = minimize_aox(func)
+        assert verify_form(result.form, func).ok
+
+    def test_dont_cares_respected(self):
+        func = BoolFunc(3, frozenset({1}), frozenset({6}))
+        result = minimize_aox(func)
+        report = verify_form(result.form, func)
+        assert report.ok
+
+    def test_tried_counts_search_space(self):
+        func = BoolFunc(3, frozenset({1}))
+        result = minimize_aox(func, max_width=1)
+        # 1 constant + 3 variables x 2 polarities
+        assert result.tried == 7

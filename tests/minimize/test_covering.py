@@ -1,0 +1,163 @@
+"""Tests for the unate covering solvers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.minimize.covering import (
+    CoveringProblem,
+    build_covering,
+    solve,
+    solve_exact,
+    solve_greedy,
+)
+
+
+def _problem(masks, costs):
+    num_rows = max(m.bit_length() for m in masks)
+    return CoveringProblem(num_rows, list(masks), list(costs), list(range(len(masks))))
+
+
+class TestBuild:
+    def test_build_covering_drops_useless_columns(self):
+        problem = build_covering(
+            rows=[10, 20],
+            candidates=["a", "b", "c"],
+            covered_rows_of=lambda c: {"a": [10], "b": [20, 99], "c": [99]}[c],
+            cost_of=lambda c: 1,
+        )
+        assert problem.num_columns == 2  # "c" covers nothing relevant
+        assert problem.is_feasible()
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ValueError):
+            CoveringProblem(1, [1], [0], ["x"])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CoveringProblem(1, [1], [1, 2], ["x"])
+
+
+class TestGreedy:
+    def test_simple_cover(self):
+        problem = _problem([0b011, 0b110, 0b100], [1, 1, 1])
+        solution = solve_greedy(problem)
+        covered = 0
+        for i in solution.selected:
+            covered |= problem.column_masks[i]
+        assert covered == 0b111
+
+    def test_infeasible_raises(self):
+        problem = _problem([0b001], [1])
+        problem.num_rows = 2
+        with pytest.raises(ValueError):
+            solve_greedy(problem)
+
+    def test_redundancy_eliminated(self):
+        # Columns 0 and 1 suffice; greedy might also pick extras.
+        problem = _problem([0b0011, 0b1100, 0b0110], [1, 1, 1])
+        solution = solve_greedy(problem)
+        assert len(solution.selected) == 2
+
+    def test_empty_universe(self):
+        problem = CoveringProblem(0, [], [], [])
+        assert solve_greedy(problem).cost == 0
+
+    def test_improvement_pass_escapes_ratio_trap(self):
+        """Pure ratio greedy picks the 3-row column and pays 6; the
+        1-removal improvement (or the gain strategy) recovers the
+        4-cost optimum."""
+        problem = _problem([0b0111, 0b1100, 0b0011, 0b1000], [2, 2, 2, 2])
+        assert solve_greedy(problem).cost == 4
+
+    def test_greedy_matches_exact_on_small_random(self):
+        """Not required in general, but on these tiny instances the
+        improved greedy should be within 1.5x of optimal."""
+        import random
+
+        rng = random.Random(7)
+        for _ in range(50):
+            cols = [rng.randrange(1, 64) for _ in range(8)] + [63]
+            costs = [rng.randint(1, 4) for _ in range(9)]
+            problem = CoveringProblem(6, cols, costs, list(range(9)))
+            greedy = solve_greedy(problem).cost
+            exact = solve_exact(problem).cost
+            assert exact <= greedy <= 1.5 * exact
+
+
+class TestExact:
+    def test_beats_or_matches_greedy(self):
+        # Greedy trap: the big cheap column first, then two more needed.
+        masks = [0b0111, 0b1100, 0b0011, 0b1000]
+        costs = [2, 2, 2, 2]
+        problem = _problem(masks, costs)
+        exact = solve_exact(problem)
+        greedy = solve_greedy(problem)
+        assert exact.optimal
+        assert exact.cost <= greedy.cost
+        assert exact.cost == 4  # columns 1 and 2
+
+    def test_weighted_instance(self):
+        # One expensive column covers all; two cheap ones also cover all.
+        problem = _problem([0b11, 0b01, 0b10], [5, 1, 1])
+        solution = solve_exact(problem)
+        assert solution.optimal
+        assert solution.cost == 2
+        assert sorted(solution.selected) == [1, 2]
+
+    def test_essential_column(self):
+        # Row 2 only covered by column 0.
+        problem = _problem([0b100, 0b011], [3, 1])
+        solution = solve_exact(problem)
+        assert solution.cost == 4
+
+    @given(
+        st.lists(st.integers(1, 63), min_size=1, max_size=8),
+        st.data(),
+    )
+    def test_exact_optimal_vs_bruteforce(self, masks, data):
+        universe = 0
+        for m in masks:
+            universe |= m
+        num_rows = universe.bit_length()
+        # Make instance feasible: ensure full coverage.
+        if universe != (1 << num_rows) - 1:
+            masks = masks + [(1 << num_rows) - 1]
+        costs = [data.draw(st.integers(1, 5)) for _ in masks]
+        problem = CoveringProblem(num_rows, list(masks), costs, list(range(len(masks))))
+        solution = solve_exact(problem)
+        assert solution.optimal
+        # Brute force over all subsets.
+        best = None
+        for subset in range(1 << len(masks)):
+            covered = 0
+            cost = 0
+            for i in range(len(masks)):
+                if (subset >> i) & 1:
+                    covered |= masks[i]
+                    cost += costs[i]
+            if covered == problem.universe and (best is None or cost < best):
+                best = cost
+        assert solution.cost == best
+
+    def test_node_limit_degrades_gracefully(self):
+        masks = [0b01, 0b10, 0b11]
+        problem = _problem(masks, [1, 1, 3])
+        solution = solve_exact(problem, node_limit=1)
+        covered = 0
+        for i in solution.selected:
+            covered |= masks[i]
+        assert covered == problem.universe  # still a valid cover
+
+
+class TestDispatch:
+    def test_solve_modes(self):
+        problem = _problem([0b11], [1])
+        assert solve(problem, "greedy").cost == 1
+        assert solve(problem, "exact").cost == 1
+        assert solve(problem, "auto").cost == 1
+
+    def test_unknown_mode(self):
+        problem = _problem([0b1], [1])
+        with pytest.raises(ValueError):
+            solve(problem, "magic")

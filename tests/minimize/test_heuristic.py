@@ -1,0 +1,141 @@
+"""Tests for the SPP_k heuristic (Algorithm 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc
+from repro.minimize.exact import minimize_spp
+from repro.minimize.heuristic import minimize_spp_k
+from repro.minimize.sp import minimize_sp
+from repro.verify import assert_equivalent
+
+small_funcs = st.builds(
+    lambda on: BoolFunc(4, frozenset(on)),
+    st.sets(st.integers(0, 15), min_size=1, max_size=16),
+)
+
+
+class TestCorrectness:
+    @given(small_funcs, st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_result_implements_function(self, func, k):
+        result = minimize_spp_k(func, k)
+        assert_equivalent(result.form, func)
+
+    def test_k_out_of_range(self):
+        func = BoolFunc(3, frozenset({1}))
+        with pytest.raises(ValueError):
+            minimize_spp_k(func, 3)
+        with pytest.raises(ValueError):
+            minimize_spp_k(func, -1)
+
+    def test_empty_function(self):
+        result = minimize_spp_k(BoolFunc(3, frozenset()), 0)
+        assert result.form.num_pseudoproducts == 0
+
+    def test_paper_section34_intuition(self):
+        """Even at k=0 the ascent combines x1x2x̄4-style prime pairs
+        into x2(x1 ⊕ x4)-style pseudoproducts."""
+        # f over 3 vars: on-set where the SP primes are the two minterm
+        # cubes {x0 x1' , x0' x1} (an XOR): SPP_0 must beat SP.
+        func = BoolFunc(3, frozenset({0b001, 0b010, 0b101, 0b110}))
+        r0 = minimize_spp_k(func, 0, covering="exact")
+        sp = minimize_sp(func, covering="exact")
+        assert r0.num_literals < sp.num_literals
+
+
+class TestBounds:
+    @given(small_funcs)
+    @settings(max_examples=20, deadline=None)
+    def test_between_sp_and_exact(self, func):
+        """With exact covering: SPP ≤ SPP_0 ≤ SP in literal count."""
+        sp = minimize_sp(func, covering="exact")
+        r0 = minimize_spp_k(func, 0, covering="exact")
+        exact = minimize_spp(func, covering="exact")
+        assert exact.num_literals <= r0.num_literals <= sp.num_literals
+
+    @given(small_funcs)
+    @settings(max_examples=12, deadline=None)
+    def test_monotone_in_k(self, func):
+        """Deeper descent (larger k) never worsens the exact-covered
+        literal count: the candidate set only grows."""
+        costs = [
+            minimize_spp_k(func, k, covering="exact").num_literals
+            for k in range(func.n)
+        ]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    @given(small_funcs)
+    @settings(max_examples=12, deadline=None)
+    def test_full_descent_is_exact(self, func):
+        """k = n-1 means 'we are looking for the optimal SPP solution'."""
+        full = minimize_spp_k(func, func.n - 1, covering="exact")
+        exact = minimize_spp(func, covering="exact")
+        assert full.num_literals == exact.num_literals
+
+
+class TestInitialCover:
+    def test_pla_rows_as_cover(self):
+        """A non-prime cover (raw minterms) still yields a valid SPP_k."""
+        from repro.core.pseudocube import Pseudocube
+
+        func = BoolFunc(3, frozenset({1, 2, 4, 7}))
+        cover = [Pseudocube.from_point(3, p) for p in func.on_set]
+        result = minimize_spp_k(func, 0, initial_cover=cover, covering="exact")
+        assert_equivalent(result.form, func)
+        # The ascent from minterms finds the single parity pseudoproduct.
+        assert result.num_literals == 3
+
+    def test_incomplete_cover_rejected(self):
+        from repro.core.pseudocube import Pseudocube
+
+        func = BoolFunc(3, frozenset({1, 2}))
+        with pytest.raises(ValueError, match="cover"):
+            minimize_spp_k(func, 0, initial_cover=[Pseudocube.from_point(3, 1)])
+
+    def test_cover_outside_care_rejected(self):
+        from repro.core.pseudocube import Pseudocube
+
+        func = BoolFunc(3, frozenset({1}))
+        bad = [Pseudocube.from_point(3, 1), Pseudocube.from_point(3, 5)]
+        with pytest.raises(ValueError, match="care"):
+            minimize_spp_k(func, 0, initial_cover=bad)
+
+    def test_wrong_space_rejected(self):
+        from repro.core.pseudocube import Pseudocube
+
+        func = BoolFunc(3, frozenset({1}))
+        with pytest.raises(ValueError, match="space"):
+            minimize_spp_k(func, 0, initial_cover=[Pseudocube.from_point(4, 1)])
+
+
+class TestBudget:
+    def test_comparison_budget_still_verifies(self):
+        func = BoolFunc(4, frozenset(range(1, 15)))
+        tight = minimize_spp_k(func, 2, max_comparisons=5)
+        assert_equivalent(tight.form, func)
+
+    @given(small_funcs)
+    @settings(max_examples=10, deadline=None)
+    def test_budget_never_breaks_equivalence(self, func):
+        for budget in (1, 100):
+            result = minimize_spp_k(func, func.n - 1, max_comparisons=budget)
+            assert_equivalent(result.form, func)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        func = BoolFunc(4, frozenset({1, 2, 4, 8, 7, 11}))
+        result = minimize_spp_k(func, 2)
+        stats = result.heuristic
+        assert stats is not None
+        assert stats.k == 2
+        assert stats.num_primes > 0
+        assert stats.candidates == result.num_candidates
+        assert stats.descended >= 0
+
+    def test_k0_descends_nothing(self):
+        func = BoolFunc(4, frozenset({1, 2, 4, 8}))
+        result = minimize_spp_k(func, 0)
+        assert result.heuristic.descended == 0

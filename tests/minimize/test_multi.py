@@ -1,0 +1,73 @@
+"""Tests for joint multi-output minimization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+from repro.minimize.exact import minimize_spp
+from repro.minimize.multi import minimize_spp_multi
+from repro.verify import assert_equivalent
+
+multi_funcs = st.builds(
+    lambda ons: MultiBoolFunc(
+        4, tuple(BoolFunc(4, frozenset(on)) for on in ons)
+    ),
+    st.lists(
+        st.sets(st.integers(0, 15), min_size=1, max_size=10),
+        min_size=1,
+        max_size=3,
+    ),
+)
+
+
+class TestCorrectness:
+    @given(multi_funcs)
+    @settings(max_examples=25, deadline=None)
+    def test_every_output_verified(self, func):
+        result = minimize_spp_multi(func)
+        for form, fo in zip(result.forms, func.outputs):
+            assert_equivalent(form, fo)
+
+    def test_empty_output_handled(self):
+        func = MultiBoolFunc(
+            3, (BoolFunc(3, frozenset()), BoolFunc(3, frozenset({1})))
+        )
+        result = minimize_spp_multi(func)
+        assert result.forms[0].num_pseudoproducts == 0
+        assert_equivalent(result.forms[1], func[1])
+
+
+class TestSharing:
+    def test_identical_outputs_share_everything(self):
+        """Two copies of the same function must cost one function, not
+        two (the whole point of joint minimization)."""
+        f = BoolFunc(4, frozenset({0b0011, 0b1100, 0b0101, 0b1010}))
+        func = MultiBoolFunc(4, (f, f))
+        joint = minimize_spp_multi(func)
+        separate = minimize_spp(f)
+        assert joint.shared_literals <= separate.num_literals * 2
+        # All selected pseudoproducts drive both outputs.
+        assert joint.forms[0].pseudoproducts == joint.forms[1].pseudoproducts
+        assert joint.shared_literals <= joint.total_output_literals
+
+    def test_joint_never_beaten_by_separate_on_shared_cost(self):
+        """Shared cost of the joint solution ≤ sum of separate costs
+        (separate solutions are feasible for the joint problem)."""
+        outputs = (
+            BoolFunc(4, frozenset({1, 2, 4, 8})),
+            BoolFunc(4, frozenset({1, 2, 4, 8, 15})),
+        )
+        func = MultiBoolFunc(4, outputs)
+        joint = minimize_spp_multi(func, covering="exact")
+        separate_cost = sum(
+            minimize_spp(fo, covering="exact").num_literals for fo in outputs
+        )
+        assert joint.shared_literals <= separate_cost
+
+    @given(multi_funcs)
+    @settings(max_examples=15, deadline=None)
+    def test_forms_draw_from_shared_pool(self, func):
+        result = minimize_spp_multi(func)
+        pool = set(result.shared_pseudoproducts)
+        for form in result.forms:
+            assert set(form.pseudoproducts) <= pool

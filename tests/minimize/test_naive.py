@@ -1,0 +1,51 @@
+"""Tests for the naive (Luccio–Pagli) baseline generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc
+from repro.minimize.eppp import GenerationBudgetExceeded, generate_eppp
+from repro.minimize.naive import generate_eppp_naive
+
+small_funcs = st.builds(
+    lambda on: BoolFunc(4, frozenset(on)),
+    st.sets(st.integers(0, 15), min_size=1, max_size=12),
+)
+
+
+class TestEquivalenceWithAlgorithm2:
+    @given(small_funcs)
+    @settings(max_examples=25, deadline=None)
+    def test_same_eppp_set(self, func):
+        """The naive algorithm and Algorithm 2 compute the same EPPP
+        set; only the number of comparisons differs (Section 3.3)."""
+        grouped = generate_eppp(func)
+        naive = generate_eppp_naive(func)
+        assert set(grouped.eppps) == set(naive.eppps)
+
+    @given(small_funcs)
+    @settings(max_examples=25, deadline=None)
+    def test_naive_does_full_pairwise_work(self, func):
+        naive = generate_eppp_naive(func)
+        for step in naive.steps:
+            assert step.comparisons == step.naive_comparisons
+
+    @given(small_funcs)
+    @settings(max_examples=25, deadline=None)
+    def test_grouped_never_does_more_comparisons(self, func):
+        grouped = generate_eppp(func)
+        naive = generate_eppp_naive(func)
+        assert grouped.total_comparisons <= naive.total_comparisons
+
+
+class TestLimits:
+    def test_timeout_raises(self):
+        func = BoolFunc(6, frozenset(range(48)))
+        with pytest.raises(GenerationBudgetExceeded):
+            generate_eppp_naive(func, max_seconds=0.0)
+
+    def test_budget_raises(self):
+        func = BoolFunc(4, frozenset(range(16)))
+        with pytest.raises(GenerationBudgetExceeded):
+            generate_eppp_naive(func, max_pseudoproducts=10)

@@ -1,0 +1,77 @@
+"""Tests for the structural analysis module."""
+
+from repro.analysis import (
+    comparison_savings,
+    form_profile,
+    generation_profile,
+)
+from repro.boolfunc.function import BoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+from repro.minimize.exact import minimize_spp
+
+
+class TestGenerationProfile:
+    def test_profile_fields_consistent(self):
+        func = BoolFunc(4, frozenset({0, 3, 5, 6, 9, 10, 12, 15}))
+        profile = generation_profile(func)
+        assert profile.n == 4
+        assert profile.total_eppps >= 1
+        assert profile.total_comparisons <= profile.total_naive_comparisons
+        assert profile.peak_level_size > 0
+        assert profile.savings_factor >= 1.0
+
+    def test_single_point_profile(self):
+        profile = generation_profile(BoolFunc(3, frozenset({5})))
+        assert profile.total_eppps == 1
+        assert profile.savings_factor == 1.0
+
+    def test_savings_grow_with_structure(self):
+        """A function with many structure classes saves a lot (§3.3)."""
+        func = BoolFunc(4, frozenset(range(12)))
+        assert comparison_savings(func) > 2.0
+
+    def test_capped_profile(self):
+        func = BoolFunc(4, frozenset(range(16)))
+        profile = generation_profile(func, max_pseudoproducts=20)
+        assert profile.total_eppps > 0
+
+
+class TestStructureCensus:
+    def test_census_shape(self):
+        from repro.analysis import structure_census
+
+        func = BoolFunc(4, frozenset({0, 3, 5, 6, 9, 10}))
+        census = structure_census(func)
+        # Degree 0: one structure class holding every point.
+        size, classes = census[0]
+        assert size == 6 and classes == 1
+        for degree, (size, classes) in census.items():
+            assert 1 <= classes <= max(size, 1)
+
+
+class TestFormProfile:
+    def test_sp_form_is_two_level(self):
+        form = SppForm(3, (Pseudocube.from_cube(3, 0b011, 0b001),))
+        profile = form_profile(form)
+        assert profile.is_two_level
+        assert profile.num_exor_gates == 0
+        assert profile.max_factor_width == 1
+
+    def test_xor_form_counts_gates(self):
+        func = BoolFunc(3, frozenset({1, 2, 4, 7}))  # odd parity
+        form = minimize_spp(func).form
+        profile = form_profile(form)
+        assert not profile.is_two_level
+        assert profile.max_factor_width == 3
+        assert profile.degree_histogram == {2: 1}
+
+    def test_histogram_and_fanin(self):
+        pcs = (
+            Pseudocube.from_point(3, 1),
+            Pseudocube.from_points(3, [0b010, 0b100]),
+        )
+        profile = form_profile(SppForm(3, pcs))
+        assert profile.degree_histogram == {0: 1, 1: 1}
+        assert profile.max_product_fanin == 3
+        assert profile.num_pseudoproducts == 2

@@ -1,0 +1,94 @@
+"""Edge cases across the whole pipeline: tiny spaces, constants,
+degenerate shapes."""
+
+import pytest
+
+from repro import (
+    BoolFunc,
+    minimize_sp,
+    minimize_spp,
+    minimize_spp_bounded,
+    minimize_spp_k,
+)
+from repro.boolfunc.function import MultiBoolFunc
+from repro.core.cex import cex_of
+from repro.core.pseudocube import Pseudocube
+from repro.minimize.multi import minimize_spp_multi
+from repro.minimize.naive import generate_eppp_naive
+from repro.minimize.eppp import generate_eppp
+from repro.verify import assert_equivalent
+
+
+class TestOneVariable:
+    def test_identity(self):
+        func = BoolFunc(1, frozenset({1}))
+        for result in (minimize_spp(func), minimize_sp(func),
+                       minimize_spp_k(func, 0), minimize_spp_bounded(func, 1)):
+            assert_equivalent(result.form, func)
+            assert result.num_literals == 1
+
+    def test_negation(self):
+        func = BoolFunc(1, frozenset({0}))
+        result = minimize_spp(func)
+        assert_equivalent(result.form, func)
+        assert str(result.form) == "x0'"
+
+    def test_constant_one(self):
+        func = BoolFunc(1, frozenset({0, 1}))
+        result = minimize_spp(func)
+        assert result.num_literals == 0  # CEX of B^1 is the constant 1
+        assert_equivalent(result.form, func)
+
+
+class TestConstants:
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_constant_zero_everywhere(self, n):
+        func = BoolFunc(n, frozenset())
+        assert minimize_spp(func).form.num_pseudoproducts == 0
+        assert minimize_sp(func).form.num_pseudoproducts == 0
+        assert minimize_spp_k(func, 0).form.num_pseudoproducts == 0
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_tautology_everywhere(self, n):
+        func = BoolFunc(n, frozenset(range(1 << n)))
+        for result in (minimize_spp(func), minimize_spp_k(func, 0)):
+            assert_equivalent(result.form, func)
+
+    def test_all_dont_care(self):
+        """on empty, dc everything: nothing to cover."""
+        func = BoolFunc(3, frozenset(), frozenset(range(8)))
+        assert minimize_spp(func).form.num_pseudoproducts == 0
+
+
+class TestDegenerate:
+    def test_two_point_space(self):
+        """n=1 naive and grouped generation agree."""
+        func = BoolFunc(1, frozenset({0, 1}))
+        a = generate_eppp(func)
+        b = generate_eppp_naive(func)
+        assert set(a.eppps) == set(b.eppps)
+
+    def test_single_output_multibool(self):
+        func = MultiBoolFunc(2, (BoolFunc(2, frozenset({1, 2})),))
+        result = minimize_spp_multi(func)
+        assert_equivalent(result.forms[0], func[0])
+
+    def test_cex_of_point_in_one_var_space(self):
+        pc = Pseudocube.from_point(1, 0)
+        assert str(cex_of(pc)) == "x0'"
+
+    def test_minimize_function_equal_to_single_minterm(self):
+        func = BoolFunc(5, frozenset({17}))
+        result = minimize_spp(func)
+        assert result.num_literals == 5
+        assert_equivalent(result.form, func)
+
+    def test_dc_only_difference(self):
+        """Same on-set, different dc: covers may differ but both verify."""
+        plain = BoolFunc(3, frozenset({1, 2}))
+        with_dc = BoolFunc(3, frozenset({1, 2}), frozenset({4, 7}))
+        r1 = minimize_spp(plain, covering="exact")
+        r2 = minimize_spp(with_dc, covering="exact")
+        assert_equivalent(r1.form, plain)
+        assert_equivalent(r2.form, with_dc)
+        assert r2.num_literals <= r1.num_literals

@@ -1,0 +1,152 @@
+"""Tests for BLIF and Verilog export.
+
+Correctness is established by *simulating* the emitted netlists with a
+small evaluator for each format and comparing against the SPP form on
+every input assignment.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+from repro.export.blif import spp_to_blif
+from repro.export.verilog import spp_to_verilog
+from repro.minimize.exact import minimize_spp
+
+from tests.conftest import pseudocubes
+
+
+def _simulate_blif(text: str, assignment: dict[str, int]) -> int:
+    """Tiny BLIF interpreter for single-output models with .names."""
+    lines = [line for line in text.splitlines() if line and not line.startswith("#")]
+    inputs: list[str] = []
+    output = ""
+    nets = dict(assignment)
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith(".inputs"):
+            inputs = line.split()[1:]
+        elif line.startswith(".outputs"):
+            output = line.split()[1]
+        elif line.startswith(".names"):
+            signals = line.split()[1:]
+            *ins, out = signals
+            patterns = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("."):
+                patterns.append(lines[i].split())
+                i += 1
+            value = 0
+            for pattern in patterns:
+                if len(pattern) == 1:  # constant-1 node: "1"
+                    value = int(pattern[0])
+                    continue
+                bits, out_bit = pattern
+                assert out_bit == "1"
+                if all(
+                    b == "-" or int(b) == nets[ins[j]] for j, b in enumerate(bits)
+                ):
+                    value = 1
+                    break
+            nets[out] = value
+            continue
+        i += 1
+    assert set(inputs) <= set(assignment)
+    return nets[output]
+
+
+def _simulate_verilog(text: str, assignment: dict[str, int]) -> dict[str, int]:
+    """Evaluate `assign out = expr;` lines with Python's eval."""
+    results = {}
+    for match in re.finditer(r"assign\s+(\w+)\s*=\s*([^;]+);", text):
+        name, expr = match.group(1), match.group(2)
+        expr = " ".join(expr.split())  # collapse line breaks
+        expr = expr.replace("1'b1", "1").replace("1'b0", "0")
+        value = eval(expr, {"__builtins__": {}}, dict(assignment))  # noqa: S307
+        results[name] = value & 1
+    return results
+
+
+def _names(n):
+    return [f"x{i}" for i in range(n)]
+
+
+class TestBlif:
+    @given(st.lists(pseudocubes(min_n=4, max_n=4), min_size=0, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_blif_simulates_to_form(self, pcs):
+        form = SppForm(4, tuple(pcs))
+        text = spp_to_blif(form)
+        for point in range(16):
+            assignment = {f"x{i}": (point >> i) & 1 for i in range(4)}
+            assert _simulate_blif(text, assignment) == form.evaluate(point)
+
+    def test_constant_one_pseudoproduct(self):
+        form = SppForm(3, (Pseudocube.whole_space(3),))
+        text = spp_to_blif(form)
+        assignment = {f"x{i}": 0 for i in range(3)}
+        assert _simulate_blif(text, assignment) == 1
+
+    def test_empty_form_is_constant_zero(self):
+        text = spp_to_blif(SppForm(2, ()))
+        assert _simulate_blif(text, {"x0": 1, "x1": 1}) == 0
+
+    def test_header_and_names(self):
+        form = SppForm(2, (Pseudocube.from_point(2, 3),))
+        text = spp_to_blif(form, model="m", input_names=["a", "b"], output_name="y")
+        assert ".model m" in text
+        assert ".inputs a b" in text
+        assert ".outputs y" in text
+
+    def test_bad_input_names(self):
+        with pytest.raises(ValueError):
+            spp_to_blif(SppForm(2, ()), input_names=["only_one"])
+
+    def test_minimized_function_round_trip(self):
+        func = BoolFunc.from_lambda(4, lambda p: p.bit_count() % 2 == 1)
+        form = minimize_spp(func).form
+        text = spp_to_blif(form)
+        for point in range(16):
+            assignment = {f"x{i}": (point >> i) & 1 for i in range(4)}
+            assert _simulate_blif(text, assignment) == (point.bit_count() % 2)
+
+
+class TestVerilog:
+    @given(st.lists(pseudocubes(min_n=4, max_n=4), min_size=0, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_verilog_simulates_to_form(self, pcs):
+        form = SppForm(4, tuple(pcs))
+        text = spp_to_verilog({"f": form})
+        for point in range(16):
+            assignment = {f"x{i}": (point >> i) & 1 for i in range(4)}
+            assert _simulate_verilog(text, assignment)["f"] == form.evaluate(point)
+
+    def test_multi_output_module(self):
+        a = SppForm(2, (Pseudocube.from_point(2, 0),))
+        b = SppForm(2, (Pseudocube.from_points(2, [1, 2]),))
+        text = spp_to_verilog({"f": a, "g": b}, module="pair")
+        assert "module pair" in text
+        values = _simulate_verilog(text, {"x0": 1, "x1": 0})
+        assert values == {"f": 0, "g": 1}
+
+    def test_empty_form(self):
+        text = spp_to_verilog({"f": SppForm(2, ())})
+        assert "1'b0" in text
+
+    def test_mixed_spaces_rejected(self):
+        with pytest.raises(ValueError):
+            spp_to_verilog({"f": SppForm(2, ()), "g": SppForm(3, ())})
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            spp_to_verilog({})
+
+    def test_bad_input_names(self):
+        with pytest.raises(ValueError):
+            spp_to_verilog({"f": SppForm(2, ())}, input_names=["a"])

@@ -1,0 +1,79 @@
+"""Wider-space fuzzing of the full pipeline (n = 5, 6).
+
+Slower than the n≤4 property tests but still seconds: every engine must
+verify on random medium-width functions, including incompletely
+specified ones, and the engines' cost relationships must hold.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BoolFunc,
+    minimize_aox,
+    minimize_sp,
+    minimize_spp,
+    minimize_spp_bounded,
+    minimize_spp_k,
+)
+from repro.minimize.eppp import generate_eppp
+from repro.minimize.naive import generate_eppp_naive
+from repro.verify import assert_equivalent, verify_form
+
+
+def _func(n, on, dc):
+    on = frozenset(on)
+    return BoolFunc(n, on, frozenset(dc) - on)
+
+
+funcs5 = st.builds(
+    _func,
+    st.just(5),
+    st.sets(st.integers(0, 31), min_size=1, max_size=20),
+    st.sets(st.integers(0, 31), max_size=6),
+)
+funcs6 = st.builds(
+    _func,
+    st.just(6),
+    st.sets(st.integers(0, 63), min_size=1, max_size=24),
+    st.sets(st.integers(0, 63), max_size=8),
+)
+
+
+class TestFiveVariables:
+    @given(funcs5)
+    @settings(max_examples=15, deadline=None)
+    def test_all_engines_verify(self, func):
+        for form in (
+            minimize_spp(func).form,
+            minimize_sp(func).form,
+            minimize_spp_k(func, 1).form,
+            minimize_spp_bounded(func, 2).form,
+        ):
+            assert_equivalent(form, func)
+        assert verify_form(minimize_aox(func).form, func).ok
+
+    @given(funcs5)
+    @settings(max_examples=10, deadline=None)
+    def test_naive_agrees_at_width_five(self, func):
+        grouped = generate_eppp(func)
+        naive = generate_eppp_naive(func)
+        assert set(grouped.eppps) == set(naive.eppps)
+
+
+class TestSixVariables:
+    @given(funcs6)
+    @settings(max_examples=8, deadline=None)
+    def test_exact_and_heuristic_verify(self, func):
+        exact = minimize_spp(func)
+        spp0 = minimize_spp_k(func, 0)
+        assert_equivalent(exact.form, func)
+        assert_equivalent(spp0.form, func)
+
+    @given(funcs6)
+    @settings(max_examples=8, deadline=None)
+    def test_cost_relations(self, func):
+        sp = minimize_sp(func, covering="exact").num_literals
+        spp = minimize_spp(func, covering="exact").num_literals
+        two = minimize_spp_bounded(func, 2, covering="exact").num_literals
+        assert spp <= two <= sp

@@ -1,0 +1,87 @@
+"""Cross-module pipeline properties.
+
+These hypothesis tests exercise whole pipelines end to end on random
+functions: every engine must produce a semantically correct form, the
+engines must respect the cost ordering theory predicts, and printing /
+parsing / exporting must be lossless.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BoolFunc,
+    MultiBoolFunc,
+    minimize_sp,
+    minimize_spp,
+    minimize_spp_bounded,
+    minimize_spp_k,
+    minimize_spp_multi,
+    parse_spp,
+    spp_to_verilog,
+)
+from repro.verify import assert_equivalent, verify_form
+
+random_funcs = st.builds(
+    lambda on, dc: BoolFunc(4, frozenset(on) - frozenset(dc), frozenset(dc) - frozenset(on)),
+    st.sets(st.integers(0, 15), min_size=1, max_size=14),
+    st.sets(st.integers(0, 15), max_size=5),
+)
+
+
+class TestAllEnginesCorrect:
+    @given(random_funcs)
+    @settings(max_examples=25, deadline=None)
+    def test_every_engine_verifies(self, func):
+        engines = [
+            minimize_sp(func).form,
+            minimize_spp(func).form,
+            minimize_spp_k(func, 1).form,
+            minimize_spp_bounded(func, 2).form,
+        ]
+        for form in engines:
+            assert_equivalent(form, func)
+
+    @given(random_funcs)
+    @settings(max_examples=20, deadline=None)
+    def test_cost_ordering(self, func):
+        """exact SPP ≤ 2-SPP ≤ SP under exact covering."""
+        sp = minimize_sp(func, covering="exact").num_literals
+        two = minimize_spp_bounded(func, 2, covering="exact").num_literals
+        spp = minimize_spp(func, covering="exact").num_literals
+        assert spp <= two <= sp
+
+
+class TestRoundTrips:
+    @given(random_funcs)
+    @settings(max_examples=20, deadline=None)
+    def test_print_parse_roundtrip(self, func):
+        form = minimize_spp(func).form
+        if form.num_pseudoproducts == 0:
+            return
+        parsed = parse_spp(str(form), n=form.n)
+        assert parsed.on_set() == form.on_set()
+
+    @given(random_funcs)
+    @settings(max_examples=15, deadline=None)
+    def test_verilog_export_mentions_every_variable_used(self, func):
+        form = minimize_spp(func).form
+        text = spp_to_verilog({"f": form})
+        assert "module" in text and "assign f" in text
+
+
+class TestMultiOutputPipeline:
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 15), min_size=1, max_size=8),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_joint_minimization_verifies_and_is_reported(self, ons):
+        func = MultiBoolFunc(4, tuple(BoolFunc(4, frozenset(on)) for on in ons))
+        result = minimize_spp_multi(func)
+        for form, fo in zip(result.forms, func.outputs):
+            report = verify_form(form, fo)
+            assert report.ok, (report.uncovered_on_points, report.covered_off_points)

@@ -1,0 +1,23 @@
+"""The README's code examples must actually run and print what they
+claim."""
+
+from repro import BoolFunc, assert_equivalent, minimize_sp, minimize_spp
+
+
+class TestQuickstart:
+    def test_readme_quickstart_block(self):
+        f = BoolFunc.from_lambda(4, lambda p: p.bit_count() == 1 or p == 0b1111)
+
+        sp = minimize_sp(f)
+        spp = minimize_spp(f)
+
+        assert_equivalent(spp.form, f)
+        assert sp.num_literals == 20
+        assert spp.num_literals == 12
+
+    def test_package_docstring_example(self):
+        f = BoolFunc.from_lambda(4, lambda p: bin(p).count("1") % 2 == 1)
+        spp = minimize_spp(f)
+        sp = minimize_sp(f)
+        assert spp.num_literals < sp.num_literals
+        assert_equivalent(spp.form, f)

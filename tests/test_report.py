@@ -1,0 +1,28 @@
+"""Tests for table rendering."""
+
+from repro.report import format_value, render_table
+
+
+class TestFormatValue:
+    def test_none_is_star(self):
+        assert format_value(None) == "*"
+
+    def test_float_two_decimals(self):
+        assert format_value(1.234) == "1.23"
+
+    def test_int_and_str(self):
+        assert format_value(42) == "42"
+        assert format_value("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["name", "v"], [["long-name", 1], ["x", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+        assert "long-name" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,71 @@
+"""Tests for JSON serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+from repro.core.spp_form import SppForm
+from repro.minimize.exact import minimize_spp
+from repro.serialize import (
+    dumps,
+    form_from_dict,
+    form_to_dict,
+    func_from_dict,
+    func_to_dict,
+    loads,
+)
+
+from tests.conftest import pseudocubes
+
+
+class TestForms:
+    @given(st.lists(pseudocubes(min_n=4, max_n=4), max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, pcs):
+        form = SppForm(4, tuple(pcs))
+        restored = loads(dumps(form))
+        assert restored == form
+
+    def test_roundtrip_of_minimized_form(self):
+        func = BoolFunc(4, frozenset({1, 2, 4, 8, 15}))
+        form = minimize_spp(func).form
+        assert form_from_dict(form_to_dict(form)) == form
+
+    def test_validation_rejects_corrupt_basis(self):
+        func = BoolFunc(3, frozenset({1, 2}))
+        data = form_to_dict(minimize_spp(func).form)
+        data["pseudoproducts"][0]["basis"] = ["6", "6"]  # not RREF
+        with pytest.raises(ValueError):
+            form_from_dict(data)
+
+    def test_kind_mismatch(self):
+        func = BoolFunc(3, frozenset({1}))
+        with pytest.raises(ValueError):
+            form_from_dict(func_to_dict(func))
+
+
+class TestFunctions:
+    @given(
+        st.sets(st.integers(0, 15), max_size=16),
+        st.sets(st.integers(0, 15), max_size=4),
+    )
+    def test_roundtrip_boolfunc(self, on, dc):
+        func = BoolFunc(4, frozenset(on) - frozenset(dc), frozenset(dc) - frozenset(on))
+        assert loads(dumps(func)) == func
+
+    def test_roundtrip_multiboolfunc(self):
+        func = MultiBoolFunc(
+            3,
+            (BoolFunc(3, frozenset({1})), BoolFunc(3, frozenset({2}), frozenset({3}))),
+            name="pair",
+        )
+        restored = loads(dumps(func))
+        assert restored.name == "pair"
+        assert restored.outputs == func.outputs
+
+    def test_version_check(self):
+        data = func_to_dict(BoolFunc(2, frozenset()))
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            func_from_dict(data)

@@ -1,0 +1,63 @@
+"""Tests for semantic verification."""
+
+import pytest
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+from repro.verify import assert_equivalent, equivalent, verify_form
+
+
+def _minterm_form(n, points):
+    return SppForm(n, tuple(Pseudocube.from_point(n, p) for p in points))
+
+
+class TestVerifyForm:
+    def test_exact_match(self):
+        func = BoolFunc(3, frozenset({1, 5}))
+        report = verify_form(_minterm_form(3, [1, 5]), func)
+        assert report
+        assert report.ok
+
+    def test_missing_point(self):
+        func = BoolFunc(3, frozenset({1, 5}))
+        report = verify_form(_minterm_form(3, [1]), func)
+        assert not report
+        assert report.uncovered_on_points == (5,)
+
+    def test_spurious_point(self):
+        func = BoolFunc(3, frozenset({1}))
+        report = verify_form(_minterm_form(3, [1, 2]), func)
+        assert not report
+        assert report.covered_off_points == (2,)
+
+    def test_dc_points_may_fall_either_way(self):
+        func = BoolFunc(3, frozenset({1}), frozenset({2}))
+        assert verify_form(_minterm_form(3, [1]), func).ok
+        assert verify_form(_minterm_form(3, [1, 2]), func).ok
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            verify_form(_minterm_form(2, [1]), BoolFunc(3, frozenset()))
+
+
+class TestAssertEquivalent:
+    def test_passes_silently(self):
+        func = BoolFunc(2, frozenset({3}))
+        assert_equivalent(_minterm_form(2, [3]), func)
+
+    def test_raises_with_counterexample(self):
+        func = BoolFunc(2, frozenset({3}))
+        with pytest.raises(AssertionError, match="misses"):
+            assert_equivalent(SppForm(2, ()), func)
+        with pytest.raises(AssertionError, match="covers"):
+            assert_equivalent(_minterm_form(2, [0, 3]), func)
+
+
+class TestEquivalent:
+    def test_forms(self):
+        a = _minterm_form(2, [1, 2])
+        b = SppForm(2, (Pseudocube.from_points(2, [1, 2]),))
+        assert equivalent(a, b)
+        assert not equivalent(a, _minterm_form(2, [1]))
+        assert not equivalent(a, _minterm_form(3, [1, 2]))

@@ -1,0 +1,47 @@
+"""Tests for the dict-backed structure index, including agreement with
+the partition trie."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pseudocube import Pseudocube
+from repro.trie.index import StructureIndex
+from repro.trie.partition_trie import PartitionTrie
+
+from tests.conftest import pseudocubes
+
+
+class TestBasics:
+    def test_insert_contains_len(self):
+        index = StructureIndex()
+        pc = Pseudocube.from_point(4, 9)
+        assert not index
+        assert index.insert(pc)
+        assert pc in index
+        assert not index.insert(pc)
+        assert len(index) == 1
+        assert bool(index)
+
+    def test_groups_by_structure(self):
+        index = StructureIndex()
+        a = Pseudocube.from_points(3, [0b000, 0b011])
+        b = Pseudocube.from_points(3, [0b100, 0b111])
+        c = Pseudocube.from_points(3, [0b000, 0b101])
+        for pc in (a, b, c):
+            index.insert(pc)
+        groups = sorted((len(g) for g in index.groups()))
+        assert groups == [1, 2]
+
+
+class TestAgreementWithTrie:
+    @given(st.lists(pseudocubes(min_n=5, max_n=5), max_size=25))
+    def test_same_partition_as_trie(self, pcs):
+        """The hash index and the partition trie induce exactly the same
+        same-structure partition (the property Algorithm 2 relies on)."""
+        index = StructureIndex()
+        trie = PartitionTrie()
+        for pc in pcs:
+            assert index.insert(pc) == trie.insert(pc)
+        index_groups = {frozenset(g) for g in index.groups()}
+        trie_groups = {frozenset(g) for g in trie.groups()}
+        assert index_groups == trie_groups

@@ -1,0 +1,35 @@
+"""Tests for trie node plumbing."""
+
+from repro.trie.nodes import C_NODE, NC_NODE, Leaf, TrieNode
+
+
+class TestTrieNode:
+    def test_ensure_child_creates_once(self):
+        root = TrieNode()
+        a = root.ensure_child(NC_NODE, 3)
+        b = root.ensure_child(NC_NODE, 3)
+        assert a is b
+        assert a.kind == NC_NODE and a.label == 3
+
+    def test_child_lookup(self):
+        root = TrieNode()
+        root.ensure_child(C_NODE, 1)
+        assert root.child(C_NODE, 1) is not None
+        assert root.child(C_NODE, 2) is None
+        assert root.child(NC_NODE, 1) is None
+
+    def test_ordered_children_nc_before_c(self):
+        """Paper ordering: NC-nodes by label, then C-nodes by label."""
+        root = TrieNode()
+        root.ensure_child(C_NODE, 0)
+        root.ensure_child(NC_NODE, 5)
+        root.ensure_child(NC_NODE, 2)
+        root.ensure_child(C_NODE, 7)
+        kinds = [(c.kind, c.label) for c in root.ordered_children()]
+        assert kinds == [(NC_NODE, 2), (NC_NODE, 5), (C_NODE, 0), (C_NODE, 7)]
+
+    def test_leaf_parent_flag(self):
+        node = TrieNode()
+        assert not node.is_leaf_parent
+        node.leaves[(0, 1)] = Leaf((0, 1), "payload")
+        assert node.is_leaf_parent
