@@ -37,10 +37,17 @@ __all__ = [
     "QUICK_TABLE2",
     "QUICK_TABLE3",
     "QUICK_FIG34",
+    "FULL_TABLE2",
+    "FULL_TABLE3",
+    "FULL_FIG34",
     "run_table1_row",
     "run_table2_row",
     "run_table3_row",
     "run_spp_k_sweep",
+    "run_table1_rows",
+    "run_table2_rows",
+    "run_table3_rows",
+    "run_fig34_sweeps",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -62,6 +69,12 @@ QUICK_TABLE2 = [
 ]
 QUICK_TABLE3 = ["adr3", "dist3", "mlp2", "csa2", "life6"]
 QUICK_FIG34 = ["dist3", "life6"]
+
+# Full-table row lists (reachable with --full): every paper row whose
+# benchmark function is registered.
+FULL_TABLE2 = [(row.function, row.output) for row in TABLE2]
+FULL_TABLE3 = [row.function for row in TABLE3]
+FULL_FIG34 = ["dist", "f51m"]
 
 
 @dataclass
@@ -278,6 +291,225 @@ def run_spp_k_sweep(
             seconds += r.seconds
         points.append(SweepPoint(name, k, literals, seconds))
     return points
+
+
+# ----------------------------------------------------------------------
+# Engine-routed runners (parallel + cached; see repro.engine)
+# ----------------------------------------------------------------------
+#
+# The sequential ``run_*_row`` functions above stay the reference
+# implementation; these fan the same measurements across a worker pool
+# through the batch engine, so table rows run in parallel, repeated
+# minimizations hit the result cache, and a row that explodes degrades
+# down the ladder (marked "capped") instead of wedging the whole table.
+
+def _engine_outputs(name: str) -> list[tuple[int, BoolFunc]]:
+    func = get_benchmark(name)
+    return [(o, f) for o, f in enumerate(func.outputs) if f.on_set]
+
+
+def run_table1_rows(
+    names: list[str],
+    *,
+    covering: str = "greedy",
+    max_pseudoproducts: int | None = None,
+    workers: int | None = None,
+    timeout: float | None = None,
+    cache=None,
+) -> list[Table1Measurement]:
+    """Table 1 via the batch engine: every (output × method) is one job."""
+    from repro.engine import Job, run_batch
+
+    jobs: list[Job] = []
+    keys: list[tuple[str, str]] = []
+    for name in names:
+        for o, fo in _engine_outputs(name):
+            jobs.append(Job(fo, method="sp", covering=covering, label=f"{name}[{o}]/sp"))
+            keys.append((name, "sp"))
+            jobs.append(
+                Job(
+                    fo,
+                    method="exact",
+                    covering=covering,
+                    max_pseudoproducts=max_pseudoproducts,
+                    label=f"{name}[{o}]/spp",
+                )
+            )
+            keys.append((name, "spp"))
+    batch = run_batch(jobs, workers=workers, timeout=timeout, cache=cache)
+    rows = {n: Table1Measurement(n, 0, 0, 0, 0, 0, 0, 0.0, 0.0) for n in names}
+    for (name, kind), outcome in zip(keys, batch):
+        record = outcome.record
+        if record is None:
+            raise RuntimeError(f"job {outcome.job.display_label} failed: {outcome.attempts}")
+        m = rows[name]
+        if kind == "sp":
+            m.sp_primes += record["extras"].get("num_primes", record["candidates"])
+            m.sp_literals += record["literals"]
+            m.sp_products += record["pseudoproducts"]
+            m.seconds_sp += record["seconds"]
+        else:
+            m.spp_eppps += record["candidates"]
+            m.spp_literals += record["literals"]
+            m.spp_products += record["pseudoproducts"]
+            m.seconds_spp += record["seconds"]
+            if record.get("truncated") or record.get("degraded"):
+                m.truncated = True
+    return [rows[n] for n in names]
+
+
+def run_table2_rows(
+    pairs: list[tuple[str, int]],
+    *,
+    naive_timeout: float | None = 60.0,
+    covering: str = "greedy",
+    max_pseudoproducts: int | None = None,
+    workers: int | None = None,
+) -> list[Table2Measurement]:
+    """Table 2 rows in parallel.
+
+    A row here is a timing *race* (naive [5] vs Algorithm 2 on the same
+    output), not a single minimization, so it goes through the engine's
+    generic process-pool map rather than the job/cache path.
+    """
+    from repro.engine import parallel_map
+
+    return parallel_map(
+        _table2_row_task,
+        [
+            (name, output, naive_timeout, covering, max_pseudoproducts)
+            for name, output in pairs
+        ],
+        workers=workers,
+        star=True,
+    )
+
+
+def _table2_row_task(
+    name: str,
+    output: int,
+    naive_timeout: float | None,
+    covering: str,
+    max_pseudoproducts: int | None,
+) -> Table2Measurement:
+    return run_table2_row(
+        name,
+        output,
+        naive_timeout=naive_timeout,
+        covering=covering,
+        max_pseudoproducts=max_pseudoproducts,
+    )
+
+
+def run_table3_rows(
+    names: list[str],
+    *,
+    covering: str = "greedy",
+    exact_budget: int | None = None,
+    workers: int | None = None,
+    timeout: float | None = None,
+    cache=None,
+) -> list[Table3Measurement]:
+    """Table 3 via the batch engine (SP + SPP_0 + exact SPP per output).
+
+    An exact job that was budget-truncated or degraded down the ladder
+    reproduces the paper's starred cells (None fields), mirroring the
+    sequential runner's ``GenerationBudgetExceeded`` behavior.
+    """
+    from repro.engine import Job, run_batch
+
+    jobs: list[Job] = []
+    keys: list[tuple[str, str]] = []
+    for name in names:
+        for o, fo in _engine_outputs(name):
+            label = f"{name}[{o}]"
+            jobs.append(Job(fo, method="sp", covering=covering, label=f"{label}/sp"))
+            keys.append((name, "sp"))
+            jobs.append(
+                Job(fo, method="heuristic", k=0, covering=covering, label=f"{label}/spp0")
+            )
+            keys.append((name, "spp0"))
+            jobs.append(
+                Job(
+                    fo,
+                    method="exact",
+                    covering=covering,
+                    max_pseudoproducts=exact_budget,
+                    label=f"{label}/spp",
+                )
+            )
+            keys.append((name, "spp"))
+    batch = run_batch(jobs, workers=workers, timeout=timeout, cache=cache)
+    sp_literals = {n: 0 for n in names}
+    rows = {n: Table3Measurement(n, 0.0, 0, 0.0, 0, 0.0) for n in names}
+    starred: set[str] = set()
+    for (name, kind), outcome in zip(keys, batch):
+        record = outcome.record
+        if record is None:
+            raise RuntimeError(f"job {outcome.job.display_label} failed: {outcome.attempts}")
+        m = rows[name]
+        if kind == "sp":
+            sp_literals[name] += record["literals"]
+        elif kind == "spp0":
+            m.spp0_literals += record["literals"]
+            m.spp0_seconds += record["seconds"]
+        else:
+            if record.get("truncated") or record.get("degraded"):
+                starred.add(name)
+            elif name not in starred:
+                m.spp_literals += record["literals"]
+                m.spp_seconds += record["seconds"]
+    for name in names:
+        m = rows[name]
+        if name in starred:
+            m.spp_literals = None
+            m.spp_seconds = None
+            m.average = float("nan")
+        else:
+            m.average = (sp_literals[name] + m.spp_literals) / 2
+    return [rows[n] for n in names]
+
+
+def run_fig34_sweeps(
+    names: list[str],
+    *,
+    ks: list[int] | None = None,
+    covering: str = "greedy",
+    workers: int | None = None,
+    timeout: float | None = None,
+    cache=None,
+) -> list[SweepPoint]:
+    """The figures 3/4 sweep via the batch engine: one job per
+    (function, output, k); the shared ``k=0`` work caches across sweeps."""
+    from repro.engine import Job, run_batch
+
+    jobs: list[Job] = []
+    keys: list[tuple[str, int]] = []
+    for name in names:
+        func = get_benchmark(name)
+        sweep = ks if ks is not None else list(range(func.n))
+        for k in sweep:
+            for o, fo in _engine_outputs(name):
+                jobs.append(
+                    Job(
+                        fo,
+                        method="heuristic",
+                        k=k,
+                        covering=covering,
+                        label=f"{name}[{o}]/k{k}",
+                    )
+                )
+                keys.append((name, k))
+    batch = run_batch(jobs, workers=workers, timeout=timeout, cache=cache)
+    points: dict[tuple[str, int], SweepPoint] = {}
+    for (name, k), outcome in zip(keys, batch):
+        record = outcome.record
+        if record is None:
+            raise RuntimeError(f"job {outcome.job.display_label} failed: {outcome.attempts}")
+        point = points.setdefault((name, k), SweepPoint(name, k, 0, 0.0))
+        point.literals += record["literals"]
+        point.seconds += record["seconds"]
+    return [points[key] for key in dict.fromkeys(keys)]
 
 
 # ----------------------------------------------------------------------

@@ -6,7 +6,9 @@
     spp-minimize minimize circuit.pla --method heuristic -k 2 --output 3
     spp-minimize benchmarks --list
     spp-minimize benchmarks --dump adr4 > adr4.pla
-    spp-minimize tables table1 --quick
+    spp-minimize tables table1 --full --jobs 8
+    spp-minimize batch adr4 life circuit.pla --jobs 4 --timeout 30 \\
+        --cache-dir .spp-cache --resume
 
 (`python -m repro ...` is equivalent.)
 """
@@ -14,6 +16,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench import harness
@@ -26,9 +29,24 @@ from repro.minimize.bounded import minimize_spp_bounded
 from repro.minimize.exact import SppResult, minimize_spp
 from repro.minimize.heuristic import minimize_spp_k
 from repro.minimize.sp import minimize_sp
-from repro.verify import verify_form
+from repro.verify import VerificationReport, verify_form
 
 __all__ = ["main"]
+
+
+def _fail_verification(label: str, report: VerificationReport) -> None:
+    """Print a counterexample-bearing failure line and exit with 2."""
+    details = []
+    if report.uncovered_on_points:
+        points = report.uncovered_on_points
+        details.append(f"misses on-set point {points[0]:#x}"
+                       + (f" (+{len(points) - 1} more)" if len(points) > 1 else ""))
+    if report.covered_off_points:
+        points = report.covered_off_points
+        details.append(f"covers off-set point {points[0]:#x}"
+                       + (f" (+{len(points) - 1} more)" if len(points) > 1 else ""))
+    print(f"{label}: VERIFICATION FAILED: {'; '.join(details)}", file=sys.stderr)
+    raise SystemExit(2)
 
 
 def _minimize_one(fo: BoolFunc, label: str, args: argparse.Namespace):
@@ -40,8 +58,7 @@ def _minimize_one(fo: BoolFunc, label: str, args: argparse.Namespace):
               f"({aox.tried} corrections tried, {aox.seconds:.2f}s)")
         report = verify_form(aox.form, fo)
         if not report:
-            print(f"{label}: VERIFICATION FAILED", file=sys.stderr)
-            raise SystemExit(2)
+            _fail_verification(label, report)
         if args.show:
             print("   ", aox.form)
         return None  # AOX forms are not exportable SPP forms
@@ -75,8 +92,7 @@ def _minimize_one(fo: BoolFunc, label: str, args: argparse.Namespace):
         form = result.form
     report = verify_form(form, fo)
     if not report:
-        print(f"{label}: VERIFICATION FAILED: {report}", file=sys.stderr)
-        raise SystemExit(2)
+        _fail_verification(label, report)
     if args.show:
         for pc in form.pseudoproducts:
             print("   ", cex_of(pc))
@@ -123,8 +139,7 @@ def _minimize_multi(func: MultiBoolFunc, args: argparse.Namespace) -> None:
     for o, (form, fo) in enumerate(zip(result.forms, func.outputs)):
         report = verify_form(form, fo)
         if not report:
-            print(f"output {o}: VERIFICATION FAILED", file=sys.stderr)
-            raise SystemExit(2)
+            _fail_verification(f"output {o}", report)
         forms[f"f{o}"] = form
         if args.show:
             print(f"output {o}:")
@@ -162,28 +177,142 @@ def _cmd_benchmarks(args: argparse.Namespace) -> None:
         print(f"{name:<10} {spec.n_inputs:>3} {spec.n_outputs:>4}  {flag:<9}  {spec.notes}")
 
 
+def _tables_cache(args: argparse.Namespace):
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.engine import ResultCache
+
+    return ResultCache(cache_dir=args.cache_dir)
+
+
 def _cmd_tables(args: argparse.Namespace) -> None:
+    parallel = args.jobs != 1
+    cache = _tables_cache(args)
     if args.table == "table1":
         if args.quick:
             names = harness.QUICK_TABLE1
         else:
             names = [row.function for row in TABLE1]
         cap = 200_000 if args.quick else None
-        rows = [harness.run_table1_row(n, max_pseudoproducts=cap) for n in names]
+        if parallel:
+            rows = harness.run_table1_rows(
+                names, max_pseudoproducts=cap, workers=args.jobs,
+                timeout=args.timeout, cache=cache,
+            )
+        else:
+            rows = [harness.run_table1_row(n, max_pseudoproducts=cap) for n in names]
         print(harness.render_table1(rows))
     elif args.table == "table2":
-        pairs = harness.QUICK_TABLE2
-        rows = [harness.run_table2_row(n, o) for n, o in pairs]
+        pairs = harness.QUICK_TABLE2 if args.quick else harness.FULL_TABLE2
+        cap = 200_000 if args.quick else None
+        if parallel:
+            rows = harness.run_table2_rows(
+                pairs, workers=args.jobs, max_pseudoproducts=cap
+            )
+        else:
+            rows = [
+                harness.run_table2_row(n, o, max_pseudoproducts=cap) for n, o in pairs
+            ]
         print(harness.render_table2(rows))
     elif args.table == "table3":
-        names = harness.QUICK_TABLE3
-        rows3 = [harness.run_table3_row(n) for n in names]
+        names = harness.QUICK_TABLE3 if args.quick else harness.FULL_TABLE3
+        budget = 200_000 if args.quick else None
+        if parallel:
+            rows3 = harness.run_table3_rows(
+                names, exact_budget=budget, workers=args.jobs,
+                timeout=args.timeout, cache=cache,
+            )
+        else:
+            rows3 = [harness.run_table3_row(n, exact_budget=budget) for n in names]
         print(harness.render_table3(rows3))
     else:  # fig34
-        points = []
-        for name in harness.QUICK_FIG34:
-            points.extend(harness.run_spp_k_sweep(name))
+        names = harness.QUICK_FIG34 if args.quick else harness.FULL_FIG34
+        if parallel:
+            points = harness.run_fig34_sweeps(
+                names, workers=args.jobs, timeout=args.timeout, cache=cache
+            )
+        else:
+            points = []
+            for name in names:
+                points.extend(harness.run_spp_k_sweep(name))
         print(harness.render_fig34(points))
+
+
+def _batch_jobs(args: argparse.Namespace) -> list:
+    """Expand PLA paths / benchmark names into one Job per live output."""
+    from repro.engine import Job
+
+    jobs = []
+    for target in args.targets:
+        if target in BENCHMARKS:
+            func: MultiBoolFunc = get_benchmark(target)
+            name = target
+        else:
+            func = parse_pla_file(target)
+            name = target.rsplit("/", 1)[-1]
+        for o, fo in enumerate(func.outputs):
+            if not fo.on_set:
+                continue
+            jobs.append(
+                Job(
+                    fo,
+                    method=args.method,
+                    k=args.k,
+                    bound=args.bound,
+                    covering=args.covering,
+                    backend=args.backend,
+                    max_pseudoproducts=args.max_pseudoproducts,
+                    label=f"{name}[{o}]",
+                )
+            )
+    return jobs
+
+
+def _cmd_batch(args: argparse.Namespace) -> None:
+    from repro.engine import Manifest, ResultCache, run_batch
+
+    jobs = _batch_jobs(args)
+    if not jobs:
+        print("nothing to do: every requested output is constant 0")
+        return
+    cache = ResultCache(cache_dir=args.cache_dir)
+    manifest = None
+    manifest_dir = args.manifest_dir
+    if manifest_dir is None and args.cache_dir is not None:
+        manifest_dir = str(args.cache_dir) + "/manifest"
+    if manifest_dir is not None:
+        manifest = Manifest(manifest_dir)
+    if args.resume and manifest is None:
+        print("batch: --resume needs --manifest-dir or --cache-dir", file=sys.stderr)
+        raise SystemExit(2)
+
+    def show(outcome) -> None:
+        label = outcome.job.display_label
+        if not outcome.ok:
+            print(f"{label:<24} FAILED after {len(outcome.attempts)} attempts")
+            return
+        record = outcome.record
+        rung = record["rung"] + (" (degraded)" if record.get("degraded") else "")
+        print(
+            f"{label:<24} {rung:<22} {record['literals']:>5} literals "
+            f"{record['pseudoproducts']:>4} pps  {record['seconds']:>7.2f}s  "
+            f"[{outcome.source}]"
+        )
+
+    result = run_batch(
+        jobs,
+        workers=args.jobs,
+        timeout=args.timeout,
+        memory_mb=args.memory_mb,
+        cache=cache,
+        manifest=manifest,
+        resume=args.resume,
+        progress=show,
+    )
+    print(f"batch: {result.summary()}")
+    print(f"cache: {cache.stats.summary()}")
+    if not result.ok:
+        raise SystemExit(1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,8 +348,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tab = sub.add_parser("tables", help="regenerate a paper table/figure")
     p_tab.add_argument("table", choices=["table1", "table2", "table3", "fig34"])
-    p_tab.add_argument("--quick", action="store_true", default=True)
+    mode = p_tab.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", dest="quick", action="store_true", default=True,
+        help="scaled-down instances and capped budgets (default)",
+    )
+    mode.add_argument(
+        "--full", dest="quick", action="store_false",
+        help="the paper's full row lists, uncapped (CPU-hours)",
+    )
+    p_tab.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="route rows through the batch engine on N workers (0 = inline engine)",
+    )
+    p_tab.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-attempt deadline for engine-routed rows")
+    p_tab.add_argument("--cache-dir", default=None,
+                       help="persistent result cache for engine-routed rows")
     p_tab.set_defaults(handler=_cmd_tables)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="minimize many functions in parallel through the batch engine",
+        description="Fan the outputs of PLA files and/or named benchmarks "
+        "across a worker pool, with result caching, per-attempt deadlines "
+        "and the exact→bounded→heuristic→SP degradation ladder.",
+    )
+    p_batch.add_argument("targets", nargs="+",
+                         help="PLA paths and/or registered benchmark names")
+    p_batch.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                         metavar="N", help="worker processes (0 = run inline)")
+    p_batch.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-attempt deadline before degrading a rung")
+    p_batch.add_argument("--memory-mb", type=int, default=None, metavar="MB",
+                         help="per-attempt address-space budget")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="content-addressed result cache directory")
+    p_batch.add_argument("--manifest-dir", default=None,
+                         help="batch manifest directory (default: CACHE_DIR/manifest)")
+    p_batch.add_argument("--resume", action="store_true",
+                         help="skip jobs already completed in the manifest")
+    p_batch.add_argument(
+        "--method", choices=["exact", "heuristic", "bounded", "sp"], default="exact"
+    )
+    p_batch.add_argument("-k", type=int, default=0, help="heuristic descent depth")
+    p_batch.add_argument("--bound", type=int, default=2, help="factor width bound")
+    p_batch.add_argument("--covering", choices=["greedy", "exact", "auto"],
+                         default="greedy")
+    p_batch.add_argument("--backend", choices=["index", "trie"], default="index")
+    p_batch.add_argument("--max-pseudoproducts", type=int, default=None)
+    p_batch.set_defaults(handler=_cmd_batch)
     return parser
 
 

@@ -1,0 +1,47 @@
+"""repro.engine — parallel batch minimization engine.
+
+The paper's experiments are embarrassingly parallel sweeps (every
+output of every benchmark, every ``k``) over minimizations that are
+individually expensive and occasionally explosive (EPPP generation on
+hard functions).  This package supplies the execution layer those
+workloads need:
+
+* :mod:`repro.engine.job` — a :class:`Job` describes one minimization
+  (function + method + normalized params) and derives a canonical
+  content hash from the truth table, so identical work is recognizable
+  across entry points;
+* :mod:`repro.engine.cache` — a content-addressed result cache
+  (in-memory LRU + optional on-disk JSON store) with hit/miss/eviction
+  counters;
+* :mod:`repro.engine.ladder` — the degradation ladder
+  (exact → bounded → heuristic ``SPP_0`` → two-level SP) walked when a
+  rung exceeds its deadline or memory budget;
+* :mod:`repro.engine.scheduler` — a worker-pool scheduler on
+  :class:`concurrent.futures.ProcessPoolExecutor` that fans a batch of
+  jobs across cores and enforces per-job deadlines;
+* :mod:`repro.engine.batch` — per-job manifest records making an
+  interrupted batch resumable.
+"""
+
+from repro.engine.batch import BatchResult, JobOutcome, Manifest
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.job import Job, job_from_dict, job_to_dict
+from repro.engine.ladder import Rung, execute_rung, ladder_for
+from repro.engine.scheduler import DeadlineExceeded, parallel_map, run_batch
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "DeadlineExceeded",
+    "Job",
+    "JobOutcome",
+    "Manifest",
+    "ResultCache",
+    "Rung",
+    "execute_rung",
+    "job_from_dict",
+    "job_to_dict",
+    "ladder_for",
+    "parallel_map",
+    "run_batch",
+]

@@ -1,0 +1,141 @@
+"""Batch results and the on-disk manifest that makes them resumable.
+
+A batch over the full paper tables is CPU-hours of work; an interrupted
+run must not start over.  The :class:`Manifest` persists one JSON
+record per completed job under ``<root>/jobs/<hash>.json`` (written
+atomically), plus a human-readable ``manifest.json`` summary.  A rerun
+with ``resume=True`` loads completed hashes and skips their jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine.cache import CacheStats
+from repro.engine.job import Job
+from repro.serialize import dump_json_file, load_json_file
+
+__all__ = ["JobOutcome", "BatchResult", "Manifest"]
+
+# How an outcome's record was obtained.
+SOURCE_COMPUTED = "computed"
+SOURCE_CACHE = "cache"
+SOURCE_MANIFEST = "manifest"
+SOURCE_FAILED = "failed"
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job in a batch."""
+
+    job: Job
+    record: dict[str, Any] | None
+    source: str
+    attempts: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+    @property
+    def rung(self) -> str | None:
+        return self.record.get("rung") if self.record else None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.record and self.record.get("degraded"))
+
+    @property
+    def literals(self) -> int | None:
+        return self.record.get("literals") if self.record else None
+
+
+@dataclass
+class BatchResult:
+    """All outcomes of one :func:`repro.engine.scheduler.run_batch` call."""
+
+    outcomes: list[JobOutcome]
+    seconds: float = 0.0
+    cache_stats: CacheStats | None = None
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def by_source(self, source: str) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.source == source]
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.source] = counts.get(o.source, 0) + 1
+        if any(o.degraded for o in self.outcomes):
+            counts["degraded"] = sum(1 for o in self.outcomes if o.degraded)
+        return counts
+
+    def summary(self) -> str:
+        parts = [f"{len(self.outcomes)} jobs"]
+        parts.extend(f"{v} {k}" for k, v in sorted(self.counts().items()))
+        parts.append(f"{self.seconds:.2f}s wall")
+        return ", ".join(parts)
+
+
+class Manifest:
+    """Per-job JSON records under a directory; the resume index."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+
+    def path_for(self, key: str) -> Path:
+        return self.jobs_dir / f"{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The completed record for ``key``, or None."""
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            return load_json_file(path)
+        except ValueError:
+            return None  # half-written or corrupt: recompute
+
+    def store(self, key: str, record: dict[str, Any]) -> None:
+        dump_json_file(self.path_for(key), record)
+
+    def completed_keys(self) -> set[str]:
+        if not self.jobs_dir.is_dir():
+            return set()
+        return {p.stem for p in self.jobs_dir.glob("*.json")}
+
+    def write_summary(self, result: BatchResult) -> None:
+        """Write ``manifest.json`` describing the batch as a whole."""
+        dump_json_file(
+            self.root / "manifest.json",
+            {
+                "version": 1,
+                "kind": "engine_manifest",
+                "jobs": [
+                    {
+                        "hash": o.job.content_hash,
+                        "label": o.job.label,
+                        "source": o.source,
+                        "rung": o.rung,
+                        "degraded": o.degraded,
+                        "literals": o.literals,
+                        "attempts": o.attempts,
+                    }
+                    for o in result.outcomes
+                ],
+                "seconds": result.seconds,
+                "counts": result.counts(),
+            },
+        )

@@ -1,0 +1,115 @@
+"""Content-addressed result cache: in-memory LRU + optional disk store.
+
+Repeated minimizations of the same function are ubiquitous — the
+``tables`` command re-minimizes benchmark outputs shared between
+tables, k-sweeps redo the ``k=0`` rung, and a rerun batch redoes
+everything.  Records are keyed by the job content hash
+(:mod:`repro.engine.job`), so a hit is guaranteed to be the same
+computation.
+
+Two tiers:
+
+* an in-memory LRU (``max_entries``, counted per record) serving
+  within-process reuse;
+* an optional on-disk JSON store under ``cache_dir/objects/<h2>/<hash>.json``
+  (two-level fan-out keeps directories small), serving reuse across
+  processes and runs.  Disk hits are promoted into the LRU.
+
+All counters (hits, misses, evictions, …) are exposed via
+:class:`CacheStats` for the CLI summary and the tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.serialize import dump_json_file, load_json_file
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ResultCache` lifetime."""
+
+    hits: int = 0        # served from the in-memory LRU
+    disk_hits: int = 0   # served from the disk store
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def total_hits(self) -> int:
+        return self.hits + self.disk_hits
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_hits} hits ({self.disk_hits} from disk), "
+            f"{self.misses} misses, {self.evictions} evictions"
+        )
+
+
+class ResultCache:
+    """LRU + optional disk store for engine result records."""
+
+    def __init__(self, max_entries: int = 4096, cache_dir: str | Path | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = CacheStats()
+        self._lru: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path | None:
+        """Disk location of ``key`` (None when disk store is disabled)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look up a record; None on miss."""
+        record = self._lru.get(key)
+        if record is not None:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return record
+        path = self.path_for(key)
+        if path is not None and path.is_file():
+            try:
+                record = load_json_file(path)
+            except ValueError:
+                record = None  # corrupt entry: treat as a miss
+            if record is not None:
+                self.stats.disk_hits += 1
+                self._insert(key, record)
+                return record
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        """Store a record under ``key`` in both tiers."""
+        self._insert(key, record)
+        self.stats.stores += 1
+        path = self.path_for(key)
+        if path is not None:
+            dump_json_file(path, record)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._lru
+
+    # ------------------------------------------------------------------
+
+    def _insert(self, key: str, record: dict[str, Any]) -> None:
+        self._lru[key] = record
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1

@@ -1,0 +1,146 @@
+"""The degradation ladder: what to run when the ideal rung won't fit.
+
+EPPP generation is exactly the step the paper warns explodes on hard
+functions, and exact covering is NP-hard on top of it.  When a rung
+blows its deadline or memory budget, the scheduler walks down this
+ladder, trading optimality for a guaranteed answer:
+
+    exact SPP  →  bounded (2-SPP)  →  heuristic SPP_0  →  two-level SP
+
+Every rung below the top yields a *verified but non-optimal* cover; the
+rung that produced the answer is recorded in the result so downstream
+consumers (tables, manifests) can star degraded cells.  The final SP
+rung is cheap (Quine–McCluskey + greedy covering) and serves as the
+never-fails floor — a two-level form always exists.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.job import Job, job_to_dict
+from repro.minimize.bounded import minimize_spp_bounded
+from repro.minimize.exact import minimize_spp
+from repro.minimize.heuristic import minimize_spp_k
+from repro.minimize.sp import minimize_sp
+from repro.serialize import form_to_dict
+from repro.verify import verify_form
+
+__all__ = ["Rung", "ladder_for", "execute_rung", "RECORD_VERSION"]
+
+RECORD_VERSION = 1
+
+# Keep exact generation bounded in memory even when the caller sets no
+# explicit budget: a deadline can kill a runaway rung, but only after it
+# has already swallowed the worker's RAM.  A capped generation still
+# yields a verified upper-bound cover (see minimize_spp).
+_DEFAULT_EXACT_CAP = 2_000_000
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of the ladder: a method plus its fixed parameters."""
+
+    name: str
+    method: str
+    params: dict[str, Any]
+
+
+def ladder_for(job: Job) -> tuple[Rung, ...]:
+    """The rung sequence for ``job``, most faithful first."""
+    sp = Rung("sp", "sp", {})
+    spp0 = Rung("heuristic-k0", "heuristic", {"k": 0})
+    if job.method == "exact":
+        cap = job.max_pseudoproducts
+        if cap is None:
+            cap = _DEFAULT_EXACT_CAP
+        return (
+            Rung("exact", "exact", {"max_pseudoproducts": cap}),
+            Rung("bounded-2", "bounded", {"bound": 2}),
+            spp0,
+            sp,
+        )
+    if job.method == "bounded":
+        return (
+            Rung(f"bounded-{job.bound}", "bounded", {"bound": job.bound}),
+            spp0,
+            sp,
+        )
+    if job.method == "heuristic":
+        head = Rung(f"heuristic-k{job.k}", "heuristic", {"k": job.k})
+        if job.k > 0:
+            return (head, spp0, sp)
+        return (head, sp)
+    return (sp,)
+
+
+def execute_rung(job: Job, rung: Rung) -> dict[str, Any]:
+    """Run one rung of ``job`` and return a result record.
+
+    The produced form is verified against the function before the
+    record is built — a wrong answer is an error, never a result.
+    """
+    func = job.func
+    t0 = time.perf_counter()
+    extras: dict[str, Any] = {}
+    truncated = False
+    if rung.method == "sp":
+        sp = minimize_sp(func, covering=job.covering)
+        form = sp.form
+        candidates = sp.num_primes
+        optimal = False
+        extras["num_primes"] = sp.num_primes
+    else:
+        if rung.method == "exact":
+            result = minimize_spp(
+                func,
+                backend=job.backend,
+                covering=job.covering,
+                max_pseudoproducts=rung.params["max_pseudoproducts"],
+                on_limit="stop",
+            )
+            truncated = bool(result.generation and result.generation.truncated)
+            optimal = result.covering_optimal and not truncated
+            if result.generation is not None:
+                extras["comparisons"] = result.generation.total_comparisons
+        elif rung.method == "bounded":
+            result = minimize_spp_bounded(
+                func,
+                rung.params["bound"],
+                backend=job.backend,
+                covering=job.covering,
+            )
+            optimal = False
+        else:  # heuristic
+            result = minimize_spp_k(
+                func,
+                rung.params["k"],
+                backend=job.backend,
+                covering=job.covering,
+            )
+            optimal = False
+        form = result.form
+        candidates = result.num_candidates
+    report = verify_form(form, func)
+    if not report:
+        raise AssertionError(
+            f"rung {rung.name} produced a wrong cover: "
+            f"misses {len(report.uncovered_on_points)} on-points, "
+            f"covers {len(report.covered_off_points)} off-points"
+        )
+    return {
+        "version": RECORD_VERSION,
+        "kind": "engine_record",
+        "job": job_to_dict(job),
+        "rung": rung.name,
+        "literals": form.num_literals,
+        "pseudoproducts": form.num_pseudoproducts,
+        "candidates": candidates,
+        "seconds": time.perf_counter() - t0,
+        "optimal": optimal,
+        "truncated": truncated,
+        "form": form_to_dict(form),
+        "extras": extras,
+    }

@@ -1,0 +1,388 @@
+"""Worker-pool scheduler: fan jobs across cores, enforce deadlines.
+
+Batches run on a :class:`concurrent.futures.ProcessPoolExecutor` (one
+task = one rung of one job).  Deadlines are enforced *inside* the
+worker with ``SIGALRM`` — every minimization loop here is pure Python,
+so the alarm interrupts it promptly, the worker stays healthy, and no
+pool teardown is needed on an ordinary timeout.  A worker that dies
+anyway (e.g. the kernel OOM killer) breaks the pool; the scheduler
+rebuilds it, advances the victim one rung down the ladder, and resubmits
+every in-flight task.
+
+Degradation walk: a rung that times out, exhausts its memory budget, or
+errors is abandoned and the next rung of
+:func:`repro.engine.ladder.ladder_for` is submitted.  The **final**
+rung (two-level SP) runs without a deadline so every job terminates
+with a verified answer; the record notes ``degraded: true`` and the
+rung that produced it.
+
+``workers=0`` runs everything inline in the calling process (same
+ladder, same deadline mechanism) — handy for tests and debugging.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+from repro.engine.batch import (
+    SOURCE_CACHE,
+    SOURCE_COMPUTED,
+    SOURCE_FAILED,
+    SOURCE_MANIFEST,
+    BatchResult,
+    JobOutcome,
+    Manifest,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.job import Job
+from repro.engine.ladder import Rung, execute_rung, ladder_for
+
+__all__ = ["DeadlineExceeded", "run_batch", "parallel_map"]
+
+
+class DeadlineExceeded(Exception):
+    """A rung ran past its per-attempt deadline."""
+
+
+@contextlib.contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`DeadlineExceeded` in this thread after ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer``, which only works in a process's
+    main thread on POSIX; anywhere else the context degrades to a
+    no-op (the ladder still protects the batch via the error path).
+
+    The timer re-fires on an interval rather than one-shot: if the
+    signal happens to be delivered while the interpreter is inside a
+    frame whose exceptions are discarded as "unraisable" (a GC
+    callback, a ``__del__``), the raise is silently dropped — the next
+    firing delivers it in a normal frame.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise DeadlineExceeded(f"deadline of {seconds}s exceeded")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except (ValueError, AttributeError):  # non-main thread / no SIGALRM
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds, min(0.05, seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@contextlib.contextmanager
+def _memory_cap(megabytes: int | None):
+    """Best-effort address-space cap: allocations past it raise
+    :class:`MemoryError`, which the ladder turns into a degradation."""
+    if not megabytes or megabytes <= 0:
+        yield
+        return
+    try:
+        import resource
+    except ImportError:
+        yield
+        return
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    wanted = megabytes * 1024 * 1024
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (wanted, hard))
+    except (ValueError, OSError):
+        yield
+        return
+    try:
+        yield
+    finally:
+        resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+
+
+def _run_rung_task(
+    job: Job, rung: Rung, timeout: float | None, memory_mb: int | None
+) -> dict[str, Any]:
+    """One pool task: run a single rung under its budgets.
+
+    Always returns a status dict (never raises) so pool plumbing only
+    breaks when the worker process itself dies.
+    """
+    t0 = time.perf_counter()
+    try:
+        with _deadline(timeout), _memory_cap(memory_mb):
+            record = execute_rung(job, rung)
+        return {"status": "ok", "record": record}
+    except DeadlineExceeded:
+        return {"status": "timeout", "seconds": time.perf_counter() - t0}
+    except MemoryError:
+        return {"status": "memory", "seconds": time.perf_counter() - t0}
+    except Exception as exc:  # noqa: BLE001 — report, degrade, continue
+        return {
+            "status": "error",
+            "seconds": time.perf_counter() - t0,
+            "message": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def _make_executor(workers: int) -> ProcessPoolExecutor:
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+    else:  # pragma: no cover — non-POSIX fallback
+        ctx = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+
+class _Pending:
+    """Mutable ladder position of one scheduled job."""
+
+    __slots__ = ("index", "job", "ladder", "rung_idx", "attempts")
+
+    def __init__(self, index: int, job: Job, ladder: Sequence[Rung]):
+        self.index = index
+        self.job = job
+        self.ladder = ladder
+        self.rung_idx = 0
+        self.attempts: list[dict[str, Any]] = []
+
+
+def run_batch(
+    jobs: Sequence[Job],
+    *,
+    workers: int | None = None,
+    timeout: float | None = None,
+    memory_mb: int | None = None,
+    cache: ResultCache | None = None,
+    manifest: Manifest | None = None,
+    resume: bool = False,
+    progress: Callable[[JobOutcome], None] | None = None,
+) -> BatchResult:
+    """Run ``jobs`` through cache, manifest, pool and ladder.
+
+    Resolution order per job: manifest record (when ``resume``), then
+    result cache, then computation.  ``timeout`` is the per-attempt
+    deadline; each ladder rung gets the full budget and the final rung
+    runs unbounded so the batch always terminates.  Duplicate jobs
+    (equal content hashes) are computed once and served to the
+    followers from the cache.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers=0`` runs inline.
+    """
+    t_start = time.perf_counter()
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if cache is None:
+        cache = ResultCache(max_entries=2 * len(jobs) + 16)
+
+    outcomes: dict[int, JobOutcome] = {}
+    to_run: list[_Pending] = []
+    followers: dict[str, list[int]] = {}
+    scheduled: dict[str, _Pending] = {}
+
+    def finish(index: int, job: Job, record, source, attempts=()) -> None:
+        outcome = JobOutcome(job, record, source, list(attempts))
+        outcomes[index] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    for index, job in enumerate(jobs):
+        key = job.content_hash
+        if resume and manifest is not None:
+            record = manifest.load(key)
+            if record is not None:
+                finish(index, job, record, SOURCE_MANIFEST)
+                continue
+        record = cache.get(key)
+        if record is not None:
+            if manifest is not None:
+                manifest.store(key, record)
+            finish(index, job, record, SOURCE_CACHE)
+            continue
+        if key in scheduled:
+            followers.setdefault(key, []).append(index)
+            continue
+        pending = _Pending(index, job, ladder_for(job))
+        scheduled[key] = pending
+        to_run.append(pending)
+
+    def resolve(pending: _Pending, record, *, failed_message: str | None = None) -> None:
+        """Terminal state for a scheduled job (+ its duplicate followers)."""
+        key = pending.job.content_hash
+        if record is not None:
+            record["degraded"] = pending.rung_idx > 0
+            if record["degraded"]:
+                record["optimal"] = False
+            record["attempts"] = pending.attempts
+            cache.put(key, record)
+            if manifest is not None:
+                manifest.store(key, record)
+            finish(pending.index, pending.job, record, SOURCE_COMPUTED, pending.attempts)
+        else:
+            attempts = list(pending.attempts)
+            if failed_message:
+                attempts.append({"status": "failed", "message": failed_message})
+            finish(pending.index, pending.job, None, SOURCE_FAILED, attempts)
+        for follower_index in followers.get(key, ()):
+            follower_record = cache.get(key) if record is not None else None
+            source = SOURCE_CACHE if follower_record is not None else SOURCE_FAILED
+            finish(follower_index, jobs[follower_index], follower_record, source)
+
+    def rung_timeout(pending: _Pending) -> float | None:
+        # The last rung is the never-fails floor: no deadline.
+        if pending.rung_idx >= len(pending.ladder) - 1:
+            return None
+        return timeout
+
+    if workers == 0:
+        for pending in to_run:
+            _run_inline(pending, timeout, memory_mb, resolve)
+    else:
+        _run_pooled(to_run, workers, timeout, memory_mb, rung_timeout, resolve)
+
+    result = BatchResult(
+        outcomes=[outcomes[i] for i in sorted(outcomes)],
+        seconds=time.perf_counter() - t_start,
+        cache_stats=cache.stats,
+    )
+    if manifest is not None:
+        manifest.write_summary(result)
+    return result
+
+
+def _run_inline(
+    pending: _Pending,
+    timeout: float | None,
+    memory_mb: int | None,
+    resolve: Callable[..., None],
+) -> None:
+    while True:
+        last = pending.rung_idx >= len(pending.ladder) - 1
+        rung = pending.ladder[pending.rung_idx]
+        result = _run_rung_task(
+            pending.job, rung, None if last else timeout, memory_mb
+        )
+        if result["status"] == "ok":
+            resolve(pending, result["record"])
+            return
+        pending.attempts.append(
+            {
+                "rung": rung.name,
+                "status": result["status"],
+                "seconds": round(result.get("seconds", 0.0), 3),
+                **({"message": result["message"]} if "message" in result else {}),
+            }
+        )
+        if last:
+            resolve(pending, None, failed_message=result.get("message"))
+            return
+        pending.rung_idx += 1
+
+
+def _run_pooled(
+    to_run: list[_Pending],
+    workers: int,
+    timeout: float | None,
+    memory_mb: int | None,
+    rung_timeout: Callable[[_Pending], float | None],
+    resolve: Callable[..., None],
+) -> None:
+    executor = _make_executor(workers)
+    in_flight: dict[Future, _Pending] = {}
+
+    def submit(pending: _Pending) -> None:
+        rung = pending.ladder[pending.rung_idx]
+        future = executor.submit(
+            _run_rung_task, pending.job, rung, rung_timeout(pending), memory_mb
+        )
+        in_flight[future] = pending
+
+    def advance(pending: _Pending, status: str, seconds: float, message=None) -> None:
+        rung = pending.ladder[pending.rung_idx]
+        attempt = {"rung": rung.name, "status": status, "seconds": round(seconds, 3)}
+        if message:
+            attempt["message"] = message
+        pending.attempts.append(attempt)
+        if pending.rung_idx >= len(pending.ladder) - 1:
+            resolve(pending, None, failed_message=message)
+        else:
+            pending.rung_idx += 1
+            submit(pending)
+
+    try:
+        for pending in to_run:
+            submit(pending)
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                pending = in_flight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    # The worker died hard (OOM kill, segfault).  The pool
+                    # is unusable and every in-flight task was lost:
+                    # rebuild, demote the victim one rung, resubmit peers.
+                    survivors = list(in_flight.values())
+                    in_flight.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = _make_executor(workers)
+                    advance(pending, "crash", 0.0, "worker process died")
+                    for peer in survivors:
+                        submit(peer)
+                    continue
+                except Exception as exc:  # pickling/plumbing failure
+                    advance(pending, "error", 0.0, f"{type(exc).__name__}: {exc}")
+                    continue
+                if result["status"] == "ok":
+                    resolve(pending, result["record"])
+                else:
+                    advance(
+                        pending,
+                        result["status"],
+                        result.get("seconds", 0.0),
+                        result.get("message"),
+                    )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    items: Iterable[Any],
+    *,
+    workers: int | None = None,
+    star: bool = False,
+) -> list[Any]:
+    """Order-preserving parallel map over a process pool.
+
+    The escape hatch for batch work that is not a single minimization
+    job (e.g. Table 2's naive-vs-Algorithm-2 timing races): ``fn`` must
+    be picklable (a module-level callable).  ``workers in (0, 1)`` or a
+    single item runs inline.  ``star=True`` unpacks each item as
+    positional arguments.
+    """
+    items = list(items)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(items) <= 1:
+        return [fn(*item) if star else fn(item) for item in items]
+    executor = _make_executor(min(workers, len(items)))
+    try:
+        futures = [
+            executor.submit(fn, *item) if star else executor.submit(fn, item)
+            for item in items
+        ]
+        return [f.result() for f in futures]
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.boolfunc.function import BoolFunc
 from repro.core.pseudocube import Pseudocube
 from repro.core.spp_form import SppForm
 from repro.minimize import covering as cov
 from repro.minimize.cost import literal_cost
-from repro.minimize.eppp import EpppResult, generate_eppp
+from repro.minimize.eppp import EpppResult, GenerationBudgetExceeded, generate_eppp
 from repro.minimize.qm import prime_implicants
 
 __all__ = ["SppResult", "minimize_spp", "cover_with"]
@@ -132,6 +132,7 @@ def minimize_spp(
     cost: Callable[[Pseudocube], int] = literal_cost,
     max_pseudoproducts: int | None = None,
     on_limit: str = "raise",
+    fallback: Callable[[BoolFunc], SppResult] | None = None,
 ) -> SppResult:
     """Minimize ``func`` as an SPP form (Algorithm 2).
 
@@ -142,6 +143,13 @@ def minimize_spp(
     much — verified exhaustively for n ≤ 4 and by the halving argument
     in docs/THEORY.md), and skipping generation avoids enumerating the
     astronomically many sub-pseudocubes of a large coset.
+
+    ``fallback`` is the degradation hook used by :mod:`repro.engine`:
+    when generation blows the ``max_pseudoproducts`` budget under
+    ``on_limit="raise"``, the fallback minimizer (e.g. bounded or
+    ``SPP_0``) is invoked instead of propagating
+    :class:`~repro.minimize.eppp.GenerationBudgetExceeded`, and its
+    result is returned with ``covering_optimal`` forced off.
     """
     if not func.on_set:
         return SppResult(SppForm(func.n, ()), 0, None, True, 0.0, 0.0)
@@ -160,12 +168,17 @@ def minimize_spp(
                 seconds_generation=time.perf_counter() - t0,
                 seconds_covering=0.0,
             )
-    generation = generate_eppp(
-        func,
-        backend=backend,
-        max_pseudoproducts=max_pseudoproducts,
-        on_limit=on_limit,
-    )
+    try:
+        generation = generate_eppp(
+            func,
+            backend=backend,
+            max_pseudoproducts=max_pseudoproducts,
+            on_limit=on_limit,
+        )
+    except GenerationBudgetExceeded:
+        if fallback is None:
+            raise
+        return replace(fallback(func), covering_optimal=False)
     candidates = generation.eppps
     if generation.truncated:
         # A capped generation may have lost the mid-degree pseudoproducts

@@ -12,6 +12,8 @@ diffable and survive library refactors.
 from __future__ import annotations
 
 import json
+import os
+from pathlib import Path
 from typing import Any
 
 from repro.boolfunc.function import BoolFunc, MultiBoolFunc
@@ -25,6 +27,9 @@ __all__ = [
     "func_from_dict",
     "dumps",
     "loads",
+    "canonical_dumps",
+    "dump_json_file",
+    "load_json_file",
 ]
 
 _VERSION = 1
@@ -100,6 +105,34 @@ def _check(data: dict[str, Any], kind: str) -> None:
         raise ValueError(f"expected kind {kind!r}, found {data.get('kind')!r}")
     if data.get("version") != _VERSION:
         raise ValueError(f"unsupported version {data.get('version')!r}")
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, compact separators.
+
+    Content hashing (``repro.engine.job``) and on-disk cache records
+    require byte-stable encodings; plain ``json.dumps`` preserves dict
+    insertion order, which is an implementation detail of the caller.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def dump_json_file(path: str | Path, obj: Any) -> None:
+    """Atomically write ``obj`` as canonical JSON to ``path``.
+
+    Written via a same-directory temp file + ``os.replace`` so a reader
+    (or a resumed batch) never observes a half-written record.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(canonical_dumps(obj), encoding="ascii")
+    os.replace(tmp, path)
+
+
+def load_json_file(path: str | Path) -> Any:
+    """Read a JSON file written by :func:`dump_json_file`."""
+    return json.loads(Path(path).read_text(encoding="ascii"))
 
 
 def dumps(obj: SppForm | BoolFunc | MultiBoolFunc) -> str:

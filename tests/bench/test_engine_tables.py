@@ -1,0 +1,77 @@
+"""Engine-routed table runners agree with the sequential reference."""
+
+import math
+
+import pytest
+
+from repro.bench import harness
+
+
+class TestTable1:
+    def test_matches_sequential_row(self):
+        seq = harness.run_table1_row("adr2")
+        eng = harness.run_table1_rows(["adr2"], workers=0)[0]
+        assert (seq.sp_primes, seq.sp_literals, seq.sp_products) == (
+            eng.sp_primes, eng.sp_literals, eng.sp_products
+        )
+        assert (seq.spp_eppps, seq.spp_literals, seq.spp_products) == (
+            eng.spp_eppps, eng.spp_literals, eng.spp_products
+        )
+        assert not eng.truncated
+
+    def test_multiple_rows_keep_order(self):
+        rows = harness.run_table1_rows(["adr2", "csa2"], workers=0)
+        assert [m.function for m in rows] == ["adr2", "csa2"]
+
+    def test_budget_cap_marks_truncated(self):
+        eng = harness.run_table1_rows(["adr3"], max_pseudoproducts=50, workers=0)[0]
+        assert eng.truncated
+        assert eng.spp_literals > 0
+
+    def test_renders(self):
+        rows = harness.run_table1_rows(["adr2"], workers=0)
+        assert "adr2" in harness.render_table1(rows)
+
+
+class TestTable2:
+    def test_parallel_rows_match_sequential(self):
+        seq = harness.run_table2_row("adr2", 1, naive_timeout=None)
+        eng = harness.run_table2_rows([("adr2", 1)], naive_timeout=None, workers=2)[0]
+        assert eng.function == "adr2" and eng.output == 1
+        assert eng.literals == seq.literals
+        assert eng.comparisons_alg2 == seq.comparisons_alg2
+        assert eng.comparisons_naive == seq.comparisons_naive
+
+
+class TestTable3:
+    def test_matches_sequential_row(self):
+        seq = harness.run_table3_row("adr2")
+        eng = harness.run_table3_rows(["adr2"], workers=0)[0]
+        assert seq.spp0_literals == eng.spp0_literals
+        assert seq.spp_literals == eng.spp_literals
+        assert seq.average == pytest.approx(eng.average)
+
+    def test_exact_budget_stars(self):
+        eng = harness.run_table3_rows(["adr3"], exact_budget=10, workers=0)[0]
+        assert eng.spp_literals is None
+        assert eng.spp_seconds is None
+        assert math.isnan(eng.average)
+        assert "*" in harness.render_table3([eng])
+
+
+class TestFig34:
+    def test_matches_sequential_sweep(self):
+        seq = harness.run_spp_k_sweep("adr2", ks=[0, 1])
+        eng = harness.run_fig34_sweeps(["adr2"], ks=[0, 1], workers=0)
+        assert [(p.function, p.k, p.literals) for p in seq] == [
+            (p.function, p.k, p.literals) for p in eng
+        ]
+
+    def test_cache_reuses_shared_k0_work(self):
+        from repro.engine import ResultCache
+
+        cache = ResultCache()
+        harness.run_fig34_sweeps(["adr2"], ks=[0], workers=0, cache=cache)
+        assert cache.stats.total_hits == 0
+        harness.run_fig34_sweeps(["adr2"], ks=[0], workers=0, cache=cache)
+        assert cache.stats.total_hits >= 1

@@ -1,0 +1,59 @@
+"""Tests for BatchResult and the on-disk manifest."""
+
+from repro.bench.suite import get_benchmark
+from repro.engine import Job, Manifest, run_batch
+from repro.engine.batch import BatchResult, JobOutcome
+from repro.serialize import load_json_file
+
+
+def _job():
+    return Job(get_benchmark("adr2")[1], label="adr2[1]")
+
+
+class TestManifest:
+    def test_load_missing_is_none(self, tmp_path):
+        assert Manifest(tmp_path).load("0" * 64) is None
+
+    def test_store_load_round_trip(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        record = {"rung": "exact", "literals": 7}
+        manifest.store("a" * 64, record)
+        assert manifest.load("a" * 64) == record
+        assert manifest.completed_keys() == {"a" * 64}
+
+    def test_corrupt_record_recomputed(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        path = manifest.path_for("b" * 64)
+        path.parent.mkdir(parents=True)
+        path.write_text("oops", encoding="ascii")
+        assert manifest.load("b" * 64) is None
+
+    def test_write_summary(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        result = run_batch([_job()], workers=0, manifest=manifest)
+        manifest.write_summary(result)
+        summary = load_json_file(tmp_path / "manifest.json")
+        assert summary["kind"] == "engine_manifest"
+        assert summary["jobs"][0]["label"] == "adr2[1]"
+        assert summary["jobs"][0]["rung"] == "exact"
+        assert summary["counts"]["computed"] == 1
+
+
+class TestBatchResult:
+    def test_summary_and_counts(self):
+        job = _job()
+        ok = JobOutcome(job, {"rung": "sp", "degraded": True, "literals": 3}, "computed")
+        bad = JobOutcome(job, None, "failed")
+        result = BatchResult([ok, bad], seconds=1.5)
+        assert not result.ok
+        counts = result.counts()
+        assert counts["computed"] == 1 and counts["failed"] == 1
+        assert counts["degraded"] == 1
+        assert "2 jobs" in result.summary()
+        assert result.by_source("failed") == [bad]
+
+    def test_outcome_properties(self):
+        outcome = JobOutcome(_job(), None, "failed")
+        assert not outcome.ok
+        assert outcome.rung is None and outcome.literals is None
+        assert outcome.degraded is False

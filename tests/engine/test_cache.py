@@ -1,0 +1,71 @@
+"""Tests for the two-tier result cache."""
+
+from repro.engine.cache import ResultCache
+
+
+def _record(i):
+    return {"kind": "engine_record", "literals": i}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("a" * 64) is None
+        cache.put("a" * 64, _record(1))
+        assert cache.get("a" * 64) == _record(1)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("k1", _record(1))
+        cache.put("k2", _record(2))
+        cache.get("k1")  # k1 becomes most-recent; k2 is now the LRU
+        cache.put("k3", _record(3))
+        assert cache.stats.evictions == 1
+        assert "k2" not in cache
+        assert "k1" in cache and "k3" in cache
+
+    def test_len_tracks_entries(self):
+        cache = ResultCache(max_entries=8)
+        for i in range(5):
+            cache.put(f"k{i}", _record(i))
+        assert len(cache) == 5
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = ResultCache(cache_dir=tmp_path)
+        first.put("ab" * 32, _record(7))
+        assert first.path_for("ab" * 32).is_file()
+
+        second = ResultCache(cache_dir=tmp_path)
+        assert second.get("ab" * 32) == _record(7)
+        assert second.stats.disk_hits == 1
+        assert second.stats.total_hits == 1
+        # Promoted into the LRU: the next get is a memory hit.
+        assert second.get("ab" * 32) == _record(7)
+        assert second.stats.hits == 1
+
+    def test_eviction_does_not_remove_disk_entry(self, tmp_path):
+        cache = ResultCache(max_entries=1, cache_dir=tmp_path)
+        cache.put("k1" * 32, _record(1))
+        cache.put("k2" * 32, _record(2))  # evicts k1 from memory
+        assert cache.stats.evictions == 1
+        assert cache.get("k1" * 32) == _record(1)  # served from disk
+        assert cache.stats.disk_hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        path = cache.path_for("cd" * 32)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="ascii")
+        assert cache.get("cd" * 32) is None
+        assert cache.stats.misses == 1
+
+    def test_two_level_fanout_layout(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = "fe" * 32
+        cache.put(key, _record(1))
+        assert (tmp_path / "objects" / "fe" / f"{key}.json").is_file()

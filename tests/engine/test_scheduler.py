@@ -1,0 +1,188 @@
+"""Tests for the batch scheduler: parallelism, deadlines, degradation."""
+
+import pytest
+
+from repro.bench.suite import get_benchmark
+from repro.engine import (
+    DeadlineExceeded,
+    Job,
+    Manifest,
+    ResultCache,
+    parallel_map,
+    run_batch,
+)
+from repro.engine.scheduler import _deadline
+from repro.minimize.exact import minimize_spp
+
+
+def _jobs(*names, method="exact"):
+    jobs = []
+    for name in names:
+        func = get_benchmark(name)
+        for o, fo in enumerate(func.outputs):
+            if fo.on_set:
+                jobs.append(Job(fo, method=method, label=f"{name}[{o}]"))
+    return jobs
+
+
+class TestDeadlineContext:
+    def test_no_deadline_is_noop(self):
+        with _deadline(None):
+            pass
+        with _deadline(0):
+            pass
+
+    def test_deadline_fires(self):
+        with pytest.raises(DeadlineExceeded):
+            with _deadline(0.02):
+                while True:
+                    pass
+
+    def test_deadline_cleared_after_exit(self):
+        import time
+
+        with _deadline(0.05):
+            pass
+        time.sleep(0.08)  # would raise if the timer leaked
+
+
+class TestInlineBatch:
+    def test_matches_sequential_minimize(self):
+        jobs = _jobs("adr2", "adr3")
+        assert len(jobs) >= 4
+        result = run_batch(jobs, workers=0)
+        assert result.ok
+        for outcome in result:
+            assert outcome.rung == "exact"
+            assert not outcome.degraded
+            assert outcome.literals == minimize_spp(outcome.job.func).num_literals
+
+    def test_outcomes_preserve_job_order(self):
+        jobs = _jobs("adr2")
+        result = run_batch(jobs, workers=0)
+        assert [o.job.label for o in result] == [j.label for j in jobs]
+
+    def test_duplicate_jobs_computed_once(self):
+        job = _jobs("adr2")[0]
+        twin = Job(job.func, method=job.method, label="twin")
+        cache = ResultCache()
+        result = run_batch([job, twin], workers=0, cache=cache)
+        assert result.ok
+        sources = [o.source for o in result]
+        assert sources == ["computed", "cache"]
+        assert result.outcomes[0].literals == result.outcomes[1].literals
+
+
+class TestPooledBatch:
+    def test_pooled_matches_sequential(self):
+        jobs = _jobs("adr2", "adr3")
+        result = run_batch(jobs, workers=4)
+        assert result.ok
+        for outcome in result:
+            assert outcome.literals == minimize_spp(outcome.job.func).num_literals
+
+    def test_progress_callback_sees_every_job(self):
+        seen = []
+        result = run_batch(_jobs("adr2"), workers=2, progress=lambda o: seen.append(o))
+        assert len(seen) == len(result)
+
+
+class TestCacheIntegration:
+    def test_second_batch_hits_cache_per_job(self, tmp_path):
+        jobs = _jobs("adr2", "adr3")
+        cache = ResultCache(cache_dir=tmp_path)
+        first = run_batch(jobs, workers=0, cache=cache)
+        assert first.ok and all(o.source == "computed" for o in first)
+
+        fresh = ResultCache(cache_dir=tmp_path)  # cold memory, warm disk
+        second = run_batch(jobs, workers=0, cache=fresh)
+        assert all(o.source == "cache" for o in second)
+        assert fresh.stats.total_hits >= len(jobs)  # >= 1 hit per job
+        assert [o.literals for o in second] == [o.literals for o in first]
+
+
+# An alarm that fires while the interpreter is inside a frame whose
+# exceptions are discarded (e.g. hypothesis's gc callback) is reported
+# as "unraisable"; the deadline still lands via the timer's re-fire
+# interval, so the stray report is expected noise here.
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+class TestDegradation:
+    def test_tiny_deadline_walks_the_ladder(self):
+        life = get_benchmark("life")[0]
+        result = run_batch(
+            [Job(life, method="exact", label="life[0]")], workers=0, timeout=0.02
+        )
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.degraded
+        assert outcome.rung != "exact"
+        assert outcome.record["optimal"] is False
+        rungs_tried = [a["rung"] for a in outcome.attempts]
+        assert rungs_tried[0] == "exact"
+        assert all(a["status"] == "timeout" for a in outcome.attempts)
+
+    def test_degraded_record_lands_in_manifest(self, tmp_path):
+        life = get_benchmark("life")[0]
+        manifest = Manifest(tmp_path)
+        result = run_batch(
+            [Job(life, method="exact", label="life[0]")],
+            workers=0,
+            timeout=0.02,
+            manifest=manifest,
+        )
+        stored = manifest.load(result.outcomes[0].job.content_hash)
+        assert stored is not None
+        assert stored["rung"] == result.outcomes[0].rung
+        assert stored["degraded"] is True
+        assert stored["attempts"]
+
+    def test_generous_deadline_stays_on_top_rung(self):
+        result = run_batch(_jobs("adr2"), workers=0, timeout=60.0)
+        assert all(o.rung == "exact" for o in result)
+
+
+class TestResume:
+    def test_resume_skips_completed_hashes(self, tmp_path):
+        jobs = _jobs("adr2")
+        manifest = Manifest(tmp_path)
+        first = run_batch(jobs, workers=0, manifest=manifest)
+        assert first.ok
+        assert manifest.completed_keys() == {j.content_hash for j in jobs}
+
+        resumed = run_batch(jobs, workers=0, manifest=manifest, resume=True)
+        assert all(o.source == "manifest" for o in resumed)
+        assert [o.literals for o in resumed] == [o.literals for o in first]
+
+    def test_partial_manifest_computes_only_the_rest(self, tmp_path):
+        jobs = _jobs("adr2")
+        manifest = Manifest(tmp_path)
+        run_batch(jobs[:1], workers=0, manifest=manifest)
+
+        resumed = run_batch(jobs, workers=0, manifest=manifest, resume=True)
+        assert resumed.outcomes[0].source == "manifest"
+        assert all(o.source == "computed" for o in resumed.outcomes[1:])
+
+    def test_without_resume_manifest_is_write_only(self, tmp_path):
+        jobs = _jobs("adr2")[:1]
+        manifest = Manifest(tmp_path)
+        run_batch(jobs, workers=0, manifest=manifest)
+        again = run_batch(jobs, workers=0, manifest=manifest, resume=False)
+        assert again.outcomes[0].source == "computed"
+
+
+class TestParallelMap:
+    def test_inline_and_pooled_agree(self):
+        items = [(2,), (3,), (4,)]
+        inline = parallel_map(_square, items, workers=1, star=True)
+        pooled = parallel_map(_square, items, workers=2, star=True)
+        assert inline == pooled == [4, 9, 16]
+
+    def test_preserves_order(self):
+        items = [(i,) for i in range(8)]
+        assert parallel_map(_square, items, workers=4, star=True) == [
+            i * i for i in range(8)
+        ]
+
+
+def _square(x):
+    return x * x

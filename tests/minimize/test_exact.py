@@ -146,6 +146,111 @@ class TestCandidatePruning:
         assert not optimal  # pruning forfeits the optimality proof
         assert_equivalent(form, func)
 
+    def test_feasibility_witness_repair_loop(self):
+        """When the most efficient candidates miss an on-point, the
+        repair loop appends a witness from the pruned tail (the
+        ``missing`` loop in ``_prune_candidates``)."""
+        from repro.minimize.exact import _prune_candidates
+
+        func = BoolFunc(4, frozenset({0, 1, 15}))
+        pair = Pseudocube.from_points(4, (0, 1))       # eff 3/2: ranked first
+        single0 = Pseudocube.from_points(4, (0,))      # eff 4
+        single1 = Pseudocube.from_points(4, (1,))      # eff 4
+        witness = Pseudocube.from_points(4, (15,))     # eff 4, listed last:
+        # the only cover of point 15 sits beyond the keep horizon.
+        candidates = [pair, single0, single1, witness]
+        kept = _prune_candidates(func, candidates, literal_cost, 2)
+        assert len(kept) == 3
+        assert kept[:2] == [pair, single0]
+        assert kept[2] is witness  # repaired in from the tail
+        covered = set()
+        for pc in kept:
+            covered.update(pc.points())
+        assert func.on_set <= covered
+
+    def test_no_repair_when_keep_already_feasible(self):
+        from repro.minimize.exact import _prune_candidates
+
+        func = BoolFunc(4, frozenset({0, 1}))
+        pair = Pseudocube.from_points(4, (0, 1))
+        singles = [Pseudocube.from_points(4, (p,)) for p in (0, 1)]
+        kept = _prune_candidates(func, [pair, *singles], literal_cost, 1)
+        assert kept == [pair]
+
+    def test_repair_stops_once_all_points_are_witnessed(self):
+        """Only as many tail candidates are pulled in as the uncovered
+        points require — not the whole tail."""
+        from repro.minimize.exact import _prune_candidates
+
+        func = BoolFunc(4, frozenset({0, 1, 14, 15}))
+        pair = Pseudocube.from_points(4, (0, 1))
+        tail_hit = Pseudocube.from_points(4, (14, 15))  # repairs both at once
+        tail_spare = Pseudocube.from_points(4, (15,))
+        kept = _prune_candidates(
+            func, [pair, tail_hit, tail_spare], literal_cost, 1
+        )
+        assert tail_hit in kept
+        assert tail_spare not in kept
+
+    def test_exact_covering_on_pruned_instance_not_proved_optimal(self):
+        """Even ``covering="exact"`` cannot claim optimality after the
+        candidate list was pruned."""
+        from repro.minimize.exact import cover_with
+        from repro.minimize.eppp import generate_eppp
+
+        func = BoolFunc(4, frozenset(range(3, 16)))
+        generation = generate_eppp(func)
+        full_form, full_optimal, _ = cover_with(
+            func, generation.eppps, covering="exact"
+        )
+        assert full_optimal
+        _, pruned_optimal, _ = cover_with(
+            func, generation.eppps, covering="exact", max_candidates=3
+        )
+        assert not pruned_optimal
+
+
+class TestGenerationFallbackHook:
+    """The engine's degradation hook on minimize_spp (see repro.engine)."""
+
+    def _hard_func(self):
+        from repro.bench.suite import get_benchmark
+
+        return get_benchmark("adr3")[2]
+
+    def test_budget_exceeded_raises_without_fallback(self):
+        from repro.minimize.eppp import GenerationBudgetExceeded
+        import pytest
+
+        with pytest.raises(GenerationBudgetExceeded):
+            minimize_spp(self._hard_func(), max_pseudoproducts=10, on_limit="raise")
+
+    def test_fallback_invoked_and_marked_non_optimal(self):
+        from repro.minimize.heuristic import minimize_spp_k
+
+        func = self._hard_func()
+        calls = []
+
+        def fallback(f):
+            calls.append(f)
+            return minimize_spp_k(f, 0)
+
+        result = minimize_spp(
+            func, max_pseudoproducts=10, on_limit="raise", fallback=fallback
+        )
+        assert calls == [func]
+        assert result.covering_optimal is False
+        assert_equivalent(result.form, func)
+
+    def test_fallback_not_invoked_within_budget(self):
+        func = BoolFunc(3, frozenset({1, 2}))
+
+        def fallback(f):  # pragma: no cover — must not run
+            raise AssertionError("fallback must not be called")
+
+        result = minimize_spp(func, max_pseudoproducts=10_000, fallback=fallback)
+        assert_equivalent(result.form, func)
+
 
 class TestCostFunctions:
     def test_alternative_costs_run(self):

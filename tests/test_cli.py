@@ -108,3 +108,90 @@ class TestTables:
     def test_table2_runs(self, capsys):
         assert main(["tables", "table2"]) == 0
         assert "naive" in capsys.readouterr().out
+
+    def test_quick_is_the_default(self):
+        args = build_parser().parse_args(["tables", "table1"])
+        assert args.quick is True
+
+    def test_full_flag_disables_quick(self):
+        args = build_parser().parse_args(["tables", "table1", "--full"])
+        assert args.quick is False
+
+    def test_quick_flag_still_accepted(self):
+        args = build_parser().parse_args(["tables", "table1", "--quick"])
+        assert args.quick is True
+
+    def test_quick_and_full_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "table1", "--quick", "--full"])
+
+    def test_table1_through_engine(self, capsys):
+        assert main(["tables", "table1", "--jobs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "adr2" in out
+
+
+class TestBatch:
+    def test_batch_matches_sequential_minimize(self, tmp_path, capsys):
+        from repro.bench.suite import get_benchmark
+        from repro.minimize.exact import minimize_spp
+
+        assert main(["batch", "adr2", "adr3", "--jobs", "4",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if "literals" in ln]
+        assert len(lines) >= 4  # >= 4 benchmark outputs
+        expected = {}
+        for name in ("adr2", "adr3"):
+            func = get_benchmark(name)
+            for o, fo in enumerate(func.outputs):
+                if fo.on_set:
+                    expected[f"{name}[{o}]"] = minimize_spp(fo).num_literals
+        for line in lines:
+            label, count = line.split()[0], int(line.split("literals")[0].split()[-1])
+            assert expected[label] == count
+
+    def test_second_run_hits_cache_per_job(self, tmp_path, capsys):
+        assert main(["batch", "adr2", "--jobs", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["batch", "adr2", "--jobs", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[cache]") == 3  # every adr2 job served from cache
+        assert "3 hits" in out
+
+    def test_timeout_degrades_and_manifest_records_rung(self, tmp_path, capsys):
+        assert main(["batch", "life", "--jobs", "0", "--timeout", "0.02",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        import json
+
+        manifest = json.loads(
+            (tmp_path / "manifest" / "manifest.json").read_text()
+        )
+        entry = manifest["jobs"][0]
+        assert entry["degraded"] is True
+        assert entry["rung"] != "exact"
+        assert [a["rung"] for a in entry["attempts"]][0] == "exact"
+
+    def test_resume_skips_completed(self, tmp_path, capsys):
+        assert main(["batch", "adr2", "--jobs", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["batch", "adr2", "--jobs", "0", "--resume",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[manifest]") == 3
+
+    def test_resume_without_manifest_dir_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "adr2", "--resume"])
+
+    def test_pla_file_target(self, tmp_path, capsys):
+        pla = tmp_path / "f.pla"
+        pla.write_text(".i 2\n.o 1\n01 1\n10 1\n.e\n")
+        assert main(["batch", str(pla), "--jobs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "f.pla[0]" in out and "1 computed" in out
