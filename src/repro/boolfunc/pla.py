@@ -12,6 +12,10 @@ use — ``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``, ``.type`` (``f``,
   — points never mentioned are **don't care**;
 * type ``f``: ``1`` on-set; everything else is off.
 
+Malformed input raises :class:`PlaError` — a structured
+:class:`repro.errors.ParseError` carrying the offending file and line,
+so the CLI can print ``circuit.pla:12: …`` instead of a traceback.
+
 The writer emits minterm-exact ``fr`` PLAs, so a round trip preserves
 function semantics exactly.
 """
@@ -23,12 +27,13 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.boolfunc.function import BoolFunc, MultiBoolFunc
+from repro.errors import ParseError
 
 __all__ = ["parse_pla", "parse_pla_file", "write_pla", "PlaError"]
 
 
-class PlaError(ValueError):
-    """Malformed PLA input."""
+class PlaError(ParseError):
+    """Malformed PLA input (with file/line context when known)."""
 
 
 @dataclass
@@ -36,31 +41,53 @@ class _PlaBody:
     n_inputs: int
     n_outputs: int
     pla_type: str
-    rows: list[tuple[str, str]]
+    rows: list[tuple[int, str, str]]  # (line number, input part, output part)
     name: str
     output_names: tuple[str, ...]
 
 
-def _tokenize(text: str) -> Iterator[list[str]]:
-    for raw in text.splitlines():
+def _tokenize(text: str) -> Iterator[tuple[int, list[str]]]:
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if line:
-            yield line.split()
+            yield lineno, line.split()
 
 
-def _parse_header(text: str) -> _PlaBody:
+def _directive_int(tokens: list[str], lineno: int, file: str | None) -> int:
+    if len(tokens) < 2:
+        raise PlaError(
+            f"directive {tokens[0]!r} needs a value", file=file, line=lineno
+        )
+    try:
+        value = int(tokens[1])
+    except ValueError:
+        raise PlaError(
+            f"directive {tokens[0]!r} needs an integer, got {tokens[1]!r}",
+            file=file, line=lineno,
+        ) from None
+    if value < 0:
+        raise PlaError(
+            f"directive {tokens[0]!r} must be non-negative, got {value}",
+            file=file, line=lineno,
+        )
+    return value
+
+
+def _parse_header(text: str, file: str | None) -> _PlaBody:
     n_inputs = n_outputs = -1
     pla_type = "fd"
-    rows: list[tuple[str, str]] = []
+    rows: list[tuple[int, str, str]] = []
     name = ""
     output_names: tuple[str, ...] = ()
-    for tokens in _tokenize(text):
+    for lineno, tokens in _tokenize(text):
         key = tokens[0]
         if key == ".i":
-            n_inputs = int(tokens[1])
+            n_inputs = _directive_int(tokens, lineno, file)
         elif key == ".o":
-            n_outputs = int(tokens[1])
+            n_outputs = _directive_int(tokens, lineno, file)
         elif key == ".type":
+            if len(tokens) < 2:
+                raise PlaError(".type needs a value", file=file, line=lineno)
             pla_type = tokens[1]
         elif key == ".ilb":
             pass  # input labels: accepted, not needed
@@ -71,10 +98,14 @@ def _parse_header(text: str) -> _PlaBody:
         elif key == ".e" or key == ".end":
             break
         elif key.startswith("."):
-            raise PlaError(f"unsupported PLA directive {key!r}")
+            raise PlaError(
+                f"unsupported PLA directive {key!r}", file=file, line=lineno
+            )
         else:
             if n_inputs < 0 or n_outputs < 0:
-                raise PlaError("cube line before .i/.o headers")
+                raise PlaError(
+                    "cube line before .i/.o headers", file=file, line=lineno
+                )
             if len(tokens) == 2:
                 in_part, out_part = tokens
             elif len(tokens) == 1 and n_outputs == 0:
@@ -83,18 +114,26 @@ def _parse_header(text: str) -> _PlaBody:
                 in_part = tokens[0]
                 out_part = "".join(tokens[1:])
             if len(in_part) != n_inputs:
-                raise PlaError(f"input part {in_part!r} has wrong width")
+                raise PlaError(
+                    f"input part {in_part!r} has wrong width "
+                    f"(expected {n_inputs})",
+                    file=file, line=lineno,
+                )
             if len(out_part) != n_outputs:
-                raise PlaError(f"output part {out_part!r} has wrong width")
-            rows.append((in_part, out_part))
+                raise PlaError(
+                    f"output part {out_part!r} has wrong width "
+                    f"(expected {n_outputs})",
+                    file=file, line=lineno,
+                )
+            rows.append((lineno, in_part, out_part))
     if n_inputs < 0 or n_outputs < 0:
-        raise PlaError("missing .i/.o headers")
+        raise PlaError("missing .i/.o headers", file=file)
     if pla_type not in ("f", "fd", "fr", "fdr"):
-        raise PlaError(f"unsupported .type {pla_type!r}")
+        raise PlaError(f"unsupported .type {pla_type!r}", file=file)
     return _PlaBody(n_inputs, n_outputs, pla_type, rows, name, output_names)
 
 
-def _expand_cube(in_part: str) -> Iterator[int]:
+def _expand_cube(in_part: str, lineno: int, file: str | None) -> Iterator[int]:
     """All minterms matched by an input cube over {0,1,-}."""
     fixed = 0
     free_positions = []
@@ -104,7 +143,9 @@ def _expand_cube(in_part: str) -> Iterator[int]:
         elif ch == "-":
             free_positions.append(i)
         elif ch != "0":
-            raise PlaError(f"invalid input character {ch!r}")
+            raise PlaError(
+                f"invalid input character {ch!r}", file=file, line=lineno
+            )
     for combo in range(1 << len(free_positions)):
         point = fixed
         for j, pos in enumerate(free_positions):
@@ -113,15 +154,21 @@ def _expand_cube(in_part: str) -> Iterator[int]:
         yield point
 
 
-def parse_pla(text: str, name: str = "") -> MultiBoolFunc:
-    """Parse PLA text into a multi-output function."""
-    body = _parse_header(text)
+def parse_pla(text: str, name: str = "", file: str | None = None) -> MultiBoolFunc:
+    """Parse PLA text into a multi-output function.
+
+    ``file`` (defaulting to ``name`` when that looks like a path) is
+    attached to any :class:`PlaError` for ``file:line:`` messages.
+    """
+    if file is None and name:
+        file = name
+    body = _parse_header(text, file)
     n, m = body.n_inputs, body.n_outputs
     on: list[set[int]] = [set() for _ in range(m)]
     off: list[set[int]] = [set() for _ in range(m)]
     dc: list[set[int]] = [set() for _ in range(m)]
-    for in_part, out_part in body.rows:
-        points = list(_expand_cube(in_part))
+    for lineno, in_part, out_part in body.rows:
+        points = list(_expand_cube(in_part, lineno, file))
         for o, ch in enumerate(out_part):
             if ch == "1" or ch == "4":
                 on[o].update(points)
@@ -134,7 +181,9 @@ def parse_pla(text: str, name: str = "") -> MultiBoolFunc:
             elif ch in ("-", "2", "~"):
                 pass  # fr: unspecified
             else:
-                raise PlaError(f"invalid output character {ch!r}")
+                raise PlaError(
+                    f"invalid output character {ch!r}", file=file, line=lineno
+                )
     outputs = []
     for o in range(m):
         if body.pla_type in ("fr", "fdr"):
@@ -150,8 +199,14 @@ def parse_pla(text: str, name: str = "") -> MultiBoolFunc:
 
 
 def parse_pla_file(path: str, name: str = "") -> MultiBoolFunc:
-    with open(path, encoding="ascii") as handle:
-        return parse_pla(handle.read(), name=name or path)
+    try:
+        with open(path, encoding="ascii") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise PlaError(f"cannot read PLA file: {exc.strerror}", file=path) from exc
+    except UnicodeDecodeError as exc:
+        raise PlaError(f"PLA file is not ASCII text: {exc}", file=path) from exc
+    return parse_pla(text, name=name or path, file=path)
 
 
 def write_pla(func: MultiBoolFunc) -> str:

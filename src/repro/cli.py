@@ -25,6 +25,7 @@ from repro.bench.suite import BENCHMARKS, get_benchmark
 from repro.boolfunc.function import BoolFunc, MultiBoolFunc
 from repro.boolfunc.pla import parse_pla_file, write_pla
 from repro.core.cex import cex_of
+from repro.errors import ReproError
 from repro.minimize.bounded import minimize_spp_bounded
 from repro.minimize.exact import SppResult, minimize_spp
 from repro.minimize.heuristic import minimize_spp_k
@@ -289,7 +290,8 @@ def _cmd_batch(args: argparse.Namespace) -> None:
     def show(outcome) -> None:
         label = outcome.job.display_label
         if not outcome.ok:
-            print(f"{label:<24} FAILED after {len(outcome.attempts)} attempts")
+            verdict = "QUARANTINED" if outcome.source == "quarantined" else "FAILED"
+            print(f"{label:<24} {verdict} after {len(outcome.attempts)} attempts")
             return
         record = outcome.record
         rung = record["rung"] + (" (degraded)" if record.get("degraded") else "")
@@ -308,6 +310,8 @@ def _cmd_batch(args: argparse.Namespace) -> None:
         manifest=manifest,
         resume=args.resume,
         progress=show,
+        crash_cap=args.crash_cap,
+        retry_backoff=args.retry_backoff,
     )
     print(f"batch: {result.summary()}")
     print(f"cache: {cache.stats.summary()}")
@@ -388,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="batch manifest directory (default: CACHE_DIR/manifest)")
     p_batch.add_argument("--resume", action="store_true",
                          help="skip jobs already completed in the manifest")
+    p_batch.add_argument("--crash-cap", type=int, default=3, metavar="N",
+                         help="attributed worker crashes before a job is "
+                         "quarantined (default 3)")
+    p_batch.add_argument("--retry-backoff", type=float, default=0.1, metavar="S",
+                         help="base of the capped exponential crash-retry "
+                         "backoff (default 0.1s)")
     p_batch.add_argument(
         "--method", choices=["exact", "heuristic", "bounded", "sp"], default="exact"
     )
@@ -402,8 +412,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point.  Structured errors (:mod:`repro.errors`) become a
+    clean one-line message plus their taxonomy exit code: 2 usage /
+    verification, 3 parse, 4 corrupt record, 5 quarantined, 1 batch
+    failures, 70 internal."""
     args = build_parser().parse_args(argv)
-    args.handler(args)
+    try:
+        args.handler(args)
+    except ReproError as exc:
+        print(f"spp-minimize: error: {exc}", file=sys.stderr)
+        return exc.exit_code
     return 0
 
 

@@ -19,11 +19,25 @@ workloads need:
 * :mod:`repro.engine.scheduler` — a worker-pool scheduler on
   :class:`concurrent.futures.ProcessPoolExecutor` that fans a batch of
   jobs across cores and enforces per-job deadlines;
-* :mod:`repro.engine.batch` — per-job manifest records making an
-  interrupted batch resumable.
+* :mod:`repro.engine.batch` — per-job manifest records (atomic,
+  checksummed, journal-backed) making an interrupted batch resumable
+  even after a hard kill.
+
+Failure behaviour — crash supervision, poison-job quarantine, corrupt
+record quarantine — is exercised on demand through the deterministic
+fault-injection hooks of :mod:`repro.faults`.
 """
 
-from repro.engine.batch import BatchResult, JobOutcome, Manifest
+from repro.engine.batch import (
+    SOURCE_CACHE,
+    SOURCE_COMPUTED,
+    SOURCE_FAILED,
+    SOURCE_MANIFEST,
+    SOURCE_QUARANTINED,
+    BatchResult,
+    JobOutcome,
+    Manifest,
+)
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.job import Job, job_from_dict, job_to_dict
 from repro.engine.ladder import Rung, execute_rung, ladder_for
@@ -38,6 +52,11 @@ __all__ = [
     "Manifest",
     "ResultCache",
     "Rung",
+    "SOURCE_CACHE",
+    "SOURCE_COMPUTED",
+    "SOURCE_FAILED",
+    "SOURCE_MANIFEST",
+    "SOURCE_QUARANTINED",
     "execute_rung",
     "job_from_dict",
     "job_to_dict",

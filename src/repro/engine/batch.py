@@ -3,19 +3,35 @@
 A batch over the full paper tables is CPU-hours of work; an interrupted
 run must not start over.  The :class:`Manifest` persists one JSON
 record per completed job under ``<root>/jobs/<hash>.json`` (written
-atomically), plus a human-readable ``manifest.json`` summary.  A rerun
-with ``resume=True`` loads completed hashes and skips their jobs.
+atomically with a checksum envelope), mirrors every completion into an
+append-only ``events.jsonl`` journal, and writes a human-readable
+``manifest.json`` summary.  A rerun with ``resume=True`` loads
+completed hashes and skips their jobs.
+
+Crash safety: per-job files are tmp+fsync+rename so a killed run never
+leaves a half-written record; a record that nevertheless fails to
+decode or verify is quarantined to ``<root>/quarantine/`` and the
+journal serves as its fallback.  The journal itself is append-only, so
+a ``kill -9`` mid-append can truncate at most its **final line** —
+:meth:`Manifest.replay` tolerates exactly that (and skips any interior
+line that fails its checksum).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.engine.cache import CacheStats
 from repro.engine.job import Job
-from repro.serialize import dump_json_file, load_json_file
+from repro.serialize import (
+    canonical_dumps,
+    checksum_of,
+    dump_json_file,
+    load_json_file,
+)
 
 __all__ = ["JobOutcome", "BatchResult", "Manifest"]
 
@@ -24,6 +40,7 @@ SOURCE_COMPUTED = "computed"
 SOURCE_CACHE = "cache"
 SOURCE_MANIFEST = "manifest"
 SOURCE_FAILED = "failed"
+SOURCE_QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -89,38 +106,117 @@ class BatchResult:
 
 
 class Manifest:
-    """Per-job JSON records under a directory; the resume index."""
+    """Per-job JSON records + append-only journal; the resume index."""
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
+        self.journal_path = self.root / "events.jsonl"
+        self.quarantine_dir = self.root / "quarantine"
+        self.corrupt_records = 0   # per-job files quarantined on load
+        self.journal_skipped = 0   # journal lines dropped by replay
+        self._replay_cache: dict[str, dict[str, Any]] | None = None
 
     def path_for(self, key: str) -> Path:
         return self.jobs_dir / f"{key}.json"
 
     def load(self, key: str) -> dict[str, Any] | None:
-        """The completed record for ``key``, or None."""
+        """The completed record for ``key``, or None.
+
+        A corrupt per-job file is quarantined and the journal consulted
+        as a fallback before giving up (→ recompute).
+        """
         path = self.path_for(key)
-        if not path.is_file():
-            return None
-        try:
-            return load_json_file(path)
-        except ValueError:
-            return None  # half-written or corrupt: recompute
+        if path.is_file():
+            try:
+                return load_json_file(path)
+            except ValueError:
+                self._quarantine(path)
+        return self.replay().get(key)
 
     def store(self, key: str, record: dict[str, Any]) -> None:
-        dump_json_file(self.path_for(key), record)
+        dump_json_file(
+            self.path_for(key), record,
+            checksum=True, fsync=True, site="manifest.store",
+        )
+        self._append_journal(key, record)
 
     def completed_keys(self) -> set[str]:
-        if not self.jobs_dir.is_dir():
-            return set()
-        return {p.stem for p in self.jobs_dir.glob("*.json")}
+        keys = set(self.replay())
+        if self.jobs_dir.is_dir():
+            keys.update(p.stem for p in self.jobs_dir.glob("*.json"))
+        return keys
+
+    # -- journal -------------------------------------------------------
+
+    def _append_journal(self, key: str, record: dict[str, Any]) -> None:
+        from repro import faults
+
+        line = canonical_dumps(
+            {"key": key, "record": record, "sha256": checksum_of(record)}
+        )
+        line = faults.mangle("manifest.journal", line)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.journal_path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+        try:
+            os.write(fd, (line + "\n").encode("ascii"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if self._replay_cache is not None:
+            self._replay_cache[key] = record
+
+    def replay(self) -> dict[str, dict[str, Any]]:
+        """Rebuild ``key → record`` from the journal.
+
+        Tolerates a truncated final line (the only damage an append-only
+        file can suffer from a hard kill) and skips any line whose JSON
+        or checksum does not verify, counting them in
+        ``journal_skipped`` instead of raising.
+        """
+        if self._replay_cache is not None:
+            return self._replay_cache
+        records: dict[str, dict[str, Any]] = {}
+        if self.journal_path.is_file():
+            import json
+
+            raw = self.journal_path.read_bytes().decode("ascii", errors="replace")
+            lines = raw.split("\n")
+            # A well-formed journal ends with "\n": the final split piece
+            # is empty.  Anything else is a torn tail — parse it anyway;
+            # if it fails it counts as skipped like any bad line.
+            for line in lines:
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                    record = event["record"]
+                    if event.get("sha256") != checksum_of(record):
+                        raise ValueError("journal checksum mismatch")
+                    records[event["key"]] = record
+                except (ValueError, KeyError, TypeError):
+                    self.journal_skipped += 1
+        self._replay_cache = records
+        return records
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable per-job record aside; never raises."""
+        self.corrupt_records += 1
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:  # pragma: no cover — at worst, leave it be
+            pass
 
     def write_summary(self, result: BatchResult) -> None:
         """Write ``manifest.json`` describing the batch as a whole."""
         dump_json_file(
             self.root / "manifest.json",
-            {
+            fsync=True,
+            site="manifest.summary",
+            obj={
                 "version": 1,
                 "kind": "engine_manifest",
                 "jobs": [

@@ -15,12 +15,19 @@ Two tiers:
   (two-level fan-out keeps directories small), serving reuse across
   processes and runs.  Disk hits are promoted into the LRU.
 
-All counters (hits, misses, evictions, …) are exposed via
-:class:`CacheStats` for the CLI summary and the tests.
+Disk records are written atomically (tmp + fsync + rename) with a
+sha256 checksum envelope.  A record that fails to decode or verify on
+read is **quarantined** — moved to ``cache_dir/quarantine/`` for
+forensics — and treated as a miss, so corruption costs a recompute,
+never a crash or a silently wrong answer.
+
+All counters (hits, misses, evictions, corrupt quarantines, …) are
+exposed via :class:`CacheStats` for the CLI summary and the tests.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -40,16 +47,20 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    corrupt: int = 0     # disk records quarantined on failed load
 
     @property
     def total_hits(self) -> int:
         return self.hits + self.disk_hits
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total_hits} hits ({self.disk_hits} from disk), "
             f"{self.misses} misses, {self.evictions} evictions"
         )
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt quarantined"
+        return text
 
 
 class ResultCache:
@@ -71,8 +82,15 @@ class ResultCache:
             return None
         return self.cache_dir / "objects" / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path | None:
+        """Where corrupt disk records are moved (None when no disk tier)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "quarantine"
+
     def get(self, key: str) -> dict[str, Any] | None:
-        """Look up a record; None on miss."""
+        """Look up a record; None on miss (corrupt entries quarantined)."""
         record = self._lru.get(key)
         if record is not None:
             self._lru.move_to_end(key)
@@ -83,7 +101,8 @@ class ResultCache:
             try:
                 record = load_json_file(path)
             except ValueError:
-                record = None  # corrupt entry: treat as a miss
+                self._quarantine(path)
+                record = None
             if record is not None:
                 self.stats.disk_hits += 1
                 self._insert(key, record)
@@ -97,7 +116,7 @@ class ResultCache:
         self.stats.stores += 1
         path = self.path_for(key)
         if path is not None:
-            dump_json_file(path, record)
+            dump_json_file(path, record, checksum=True, fsync=True, site="cache.put")
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -106,6 +125,21 @@ class ResultCache:
         return key in self._lru
 
     # ------------------------------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable record aside; never raises."""
+        self.stats.corrupt += 1
+        target_dir = self.quarantine_dir
+        if target_dir is None:  # pragma: no cover — disk tier implies a dir
+            return
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover — at worst, leave it be
+                pass
 
     def _insert(self, key: str, record: dict[str, Any]) -> None:
         self._lru[key] = record

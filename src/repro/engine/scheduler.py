@@ -4,10 +4,7 @@ Batches run on a :class:`concurrent.futures.ProcessPoolExecutor` (one
 task = one rung of one job).  Deadlines are enforced *inside* the
 worker with ``SIGALRM`` — every minimization loop here is pure Python,
 so the alarm interrupts it promptly, the worker stays healthy, and no
-pool teardown is needed on an ordinary timeout.  A worker that dies
-anyway (e.g. the kernel OOM killer) breaks the pool; the scheduler
-rebuilds it, advances the victim one rung down the ladder, and resubmits
-every in-flight task.
+pool teardown is needed on an ordinary timeout.
 
 Degradation walk: a rung that times out, exhausts its memory budget, or
 errors is abandoned and the next rung of
@@ -16,8 +13,21 @@ rung (two-level SP) runs without a deadline so every job terminates
 with a verified answer; the record notes ``degraded: true`` and the
 rung that produced it.
 
+Crash supervision: a worker that dies hard (kernel OOM killer,
+segfault, an injected ``os._exit``) breaks the whole pool, and the pool
+cannot say *which* task killed it.  The scheduler rebuilds the pool and
+puts every in-flight job on **probation**: each runs alone, so a repeat
+crash is unambiguously that job's.  Solo crashes are retried at the
+same rung with capped exponential backoff and counted; a job that
+reaches ``crash_cap`` solo crashes is **quarantined** — terminal
+outcome ``quarantined``, full attempt log — so one poison job can
+never wedge the batch in an endless rebuild loop, and its innocent
+peers no longer lose ladder rungs to crashes they didn't cause.
+
 ``workers=0`` runs everything inline in the calling process (same
 ladder, same deadline mechanism) — handy for tests and debugging.
+Instrumented fault sites (``scheduler.rung_start``, ``batch.job_done``)
+let :mod:`repro.faults` provoke all of the above on demand.
 """
 
 from __future__ import annotations
@@ -26,16 +36,19 @@ import contextlib
 import os
 import signal
 import time
+from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
+from repro import faults
 from repro.engine.batch import (
     SOURCE_CACHE,
     SOURCE_COMPUTED,
     SOURCE_FAILED,
     SOURCE_MANIFEST,
+    SOURCE_QUARANTINED,
     BatchResult,
     JobOutcome,
     Manifest,
@@ -45,6 +58,9 @@ from repro.engine.job import Job
 from repro.engine.ladder import Rung, execute_rung, ladder_for
 
 __all__ = ["DeadlineExceeded", "run_batch", "parallel_map"]
+
+# Ceiling for the capped exponential crash-retry backoff (seconds).
+_BACKOFF_CAP = 2.0
 
 
 class DeadlineExceeded(Exception):
@@ -121,6 +137,9 @@ def _run_rung_task(
     t0 = time.perf_counter()
     try:
         with _deadline(timeout), _memory_cap(memory_mb):
+            # Inside the deadline on purpose: an injected "slow" fault
+            # must be interruptible, exactly like a slow real rung.
+            faults.maybe_fire("scheduler.rung_start", label=job.label, rung=rung.name)
             record = execute_rung(job, rung)
         return {"status": "ok", "record": record}
     except DeadlineExceeded:
@@ -148,7 +167,7 @@ def _make_executor(workers: int) -> ProcessPoolExecutor:
 class _Pending:
     """Mutable ladder position of one scheduled job."""
 
-    __slots__ = ("index", "job", "ladder", "rung_idx", "attempts")
+    __slots__ = ("index", "job", "ladder", "rung_idx", "attempts", "crashes")
 
     def __init__(self, index: int, job: Job, ladder: Sequence[Rung]):
         self.index = index
@@ -156,6 +175,7 @@ class _Pending:
         self.ladder = ladder
         self.rung_idx = 0
         self.attempts: list[dict[str, Any]] = []
+        self.crashes = 0  # attributed (solo) worker crashes
 
 
 def run_batch(
@@ -168,6 +188,8 @@ def run_batch(
     manifest: Manifest | None = None,
     resume: bool = False,
     progress: Callable[[JobOutcome], None] | None = None,
+    crash_cap: int = 3,
+    retry_backoff: float = 0.1,
 ) -> BatchResult:
     """Run ``jobs`` through cache, manifest, pool and ladder.
 
@@ -175,8 +197,13 @@ def run_batch(
     result cache, then computation.  ``timeout`` is the per-attempt
     deadline; each ladder rung gets the full budget and the final rung
     runs unbounded so the batch always terminates.  Duplicate jobs
-    (equal content hashes) are computed once and served to the
-    followers from the cache.
+    (equal content hashes) are computed once and their followers are
+    handed the resolved record directly.
+
+    ``crash_cap`` bounds attributed worker crashes per job before it is
+    quarantined (terminal outcome ``quarantined``); ``retry_backoff``
+    seeds the capped exponential sleep (``backoff · 2^k``, ≤ 2 s)
+    before a crash retry.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers=0`` runs inline.
     """
@@ -196,6 +223,9 @@ def run_batch(
         outcomes[index] = outcome
         if progress is not None:
             progress(outcome)
+        # Fires after the outcome (and any manifest record) is durable:
+        # a "crash" here simulates dying between jobs, the resume case.
+        faults.maybe_fire("batch.job_done", label=job.display_label)
 
     for index, job in enumerate(jobs):
         key = job.content_hash
@@ -217,7 +247,13 @@ def run_batch(
         scheduled[key] = pending
         to_run.append(pending)
 
-    def resolve(pending: _Pending, record, *, failed_message: str | None = None) -> None:
+    def resolve(
+        pending: _Pending,
+        record,
+        *,
+        failed_message: str | None = None,
+        source: str = SOURCE_FAILED,
+    ) -> None:
         """Terminal state for a scheduled job (+ its duplicate followers)."""
         key = pending.job.content_hash
         if record is not None:
@@ -233,11 +269,13 @@ def run_batch(
             attempts = list(pending.attempts)
             if failed_message:
                 attempts.append({"status": "failed", "message": failed_message})
-            finish(pending.index, pending.job, None, SOURCE_FAILED, attempts)
+            finish(pending.index, pending.job, None, source, attempts)
         for follower_index in followers.get(key, ()):
-            follower_record = cache.get(key) if record is not None else None
-            source = SOURCE_CACHE if follower_record is not None else SOURCE_FAILED
-            finish(follower_index, jobs[follower_index], follower_record, source)
+            # Hand followers the resolved record directly — re-fetching
+            # through the cache inflated hit/miss stats and raced LRU
+            # eviction into a spurious failure.
+            follower_source = SOURCE_CACHE if record is not None else source
+            finish(follower_index, jobs[follower_index], record, follower_source)
 
     def rung_timeout(pending: _Pending) -> float | None:
         # The last rung is the never-fails floor: no deadline.
@@ -245,11 +283,25 @@ def run_batch(
             return None
         return timeout
 
+    def quarantine(pending: _Pending) -> None:
+        resolve(
+            pending,
+            None,
+            failed_message=(
+                f"quarantined after {pending.crashes} worker crashes "
+                f"(cap {crash_cap})"
+            ),
+            source=SOURCE_QUARANTINED,
+        )
+
     if workers == 0:
         for pending in to_run:
             _run_inline(pending, timeout, memory_mb, resolve)
     else:
-        _run_pooled(to_run, workers, timeout, memory_mb, rung_timeout, resolve)
+        _run_pooled(
+            to_run, workers, timeout, memory_mb, rung_timeout, resolve,
+            quarantine, crash_cap, retry_backoff,
+        )
 
     result = BatchResult(
         outcomes=[outcomes[i] for i in sorted(outcomes)],
@@ -297,16 +349,67 @@ def _run_pooled(
     memory_mb: int | None,
     rung_timeout: Callable[[_Pending], float | None],
     resolve: Callable[..., None],
+    quarantine: Callable[[_Pending], None],
+    crash_cap: int,
+    retry_backoff: float,
 ) -> None:
+    """Pooled execution with crash supervision.
+
+    Three job pools: ``ready`` (submit whenever the pool is healthy),
+    ``probation`` (crash suspects, run strictly one at a time for
+    unambiguous attribution), and ``in_flight``.  A broken pool sends
+    every in-flight job to probation; a job that crashes **solo** gets
+    a counted crash, a backoff sleep, and a same-rung retry until
+    ``crash_cap``, then quarantine.  Termination: every probation run
+    either resolves a job, advances a rung (≤ ladder length per job),
+    or counts a crash (≤ ``crash_cap`` per job), and ambiguous breaks
+    only arise from normal mode, which probation always drains.
+    """
     executor = _make_executor(workers)
     in_flight: dict[Future, _Pending] = {}
+    ready: deque[_Pending] = deque(to_run)
+    probation: deque[_Pending] = deque()
 
-    def submit(pending: _Pending) -> None:
+    def handle_break(first_victim: _Pending) -> None:
+        """Pool died: rebuild it, triage every lost job."""
+        nonlocal executor
+        victims = [first_victim, *in_flight.values()]
+        in_flight.clear()
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = _make_executor(workers)
+        solo = len(victims) == 1
+        for victim in victims:
+            rung = victim.ladder[victim.rung_idx]
+            victim.attempts.append(
+                {
+                    "rung": rung.name,
+                    "status": "crash",
+                    "seconds": 0.0,
+                    "message": "worker process died"
+                    + ("" if solo else " (peer suspect)"),
+                }
+            )
+            if solo:
+                # Alone in the pool — the crash is unambiguously its.
+                victim.crashes += 1
+            if victim.crashes >= crash_cap:
+                quarantine(victim)
+            else:
+                probation.append(victim)
+
+    def try_submit(pending: _Pending) -> bool:
         rung = pending.ladder[pending.rung_idx]
-        future = executor.submit(
-            _run_rung_task, pending.job, rung, rung_timeout(pending), memory_mb
-        )
+        try:
+            future = executor.submit(
+                _run_rung_task, pending.job, rung, rung_timeout(pending), memory_mb
+            )
+        except BrokenProcessPool:
+            # The pool broke under our feet (race with an unobserved
+            # worker death): triage this job with whatever was in flight.
+            handle_break(pending)
+            return False
         in_flight[future] = pending
+        return True
 
     def advance(pending: _Pending, status: str, seconds: float, message=None) -> None:
         rung = pending.ladder[pending.rung_idx]
@@ -318,29 +421,36 @@ def _run_pooled(
             resolve(pending, None, failed_message=message)
         else:
             pending.rung_idx += 1
-            submit(pending)
+            ready.append(pending)
 
     try:
-        for pending in to_run:
-            submit(pending)
-        while in_flight:
+        while ready or probation or in_flight:
+            if not in_flight and probation:
+                suspect = probation.popleft()
+                if retry_backoff > 0 and suspect.crashes > 0:
+                    time.sleep(
+                        min(
+                            retry_backoff * (2 ** (suspect.crashes - 1)),
+                            _BACKOFF_CAP,
+                        )
+                    )
+                try_submit(suspect)
+            elif not probation:
+                while ready:
+                    if not try_submit(ready.popleft()):
+                        break
+            if not in_flight:
+                continue  # submission failed or probation re-queued
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
                 pending = in_flight.pop(future)
                 try:
                     result = future.result()
                 except BrokenProcessPool:
-                    # The worker died hard (OOM kill, segfault).  The pool
-                    # is unusable and every in-flight task was lost:
-                    # rebuild, demote the victim one rung, resubmit peers.
-                    survivors = list(in_flight.values())
-                    in_flight.clear()
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    executor = _make_executor(workers)
-                    advance(pending, "crash", 0.0, "worker process died")
-                    for peer in survivors:
-                        submit(peer)
-                    continue
+                    # The worker died hard (OOM kill, segfault, injected
+                    # os._exit).  Everything in flight was lost with it.
+                    handle_break(pending)
+                    break  # in_flight was cleared — re-enter the loop
                 except Exception as exc:  # pickling/plumbing failure
                     advance(pending, "error", 0.0, f"{type(exc).__name__}: {exc}")
                     continue
@@ -371,6 +481,11 @@ def parallel_map(
     be picklable (a module-level callable).  ``workers in (0, 1)`` or a
     single item runs inline.  ``star=True`` unpacks each item as
     positional arguments.
+
+    A broken pool (a worker killed hard) does not propagate a raw
+    :class:`BrokenProcessPool` out of a ``tables`` run: the items lost
+    with the pool are recomputed inline in the calling process, where a
+    genuine error in ``fn`` surfaces as itself.
     """
     items = list(items)
     if workers is None:
@@ -378,11 +493,30 @@ def parallel_map(
     if workers <= 1 or len(items) <= 1:
         return [fn(*item) if star else fn(item) for item in items]
     executor = _make_executor(min(workers, len(items)))
+    results: list[Any] = [None] * len(items)
+    lost: list[int] = []
     try:
-        futures = [
-            executor.submit(fn, *item) if star else executor.submit(fn, item)
-            for item in items
-        ]
-        return [f.result() for f in futures]
+        futures: dict[Future, int] = {}
+        broken = False
+        for i, item in enumerate(items):
+            if broken:
+                lost.append(i)
+                continue
+            try:
+                future = executor.submit(fn, *item) if star else executor.submit(fn, item)
+            except BrokenProcessPool:
+                broken = True
+                lost.append(i)
+                continue
+            futures[future] = i
+        for future, i in futures.items():
+            try:
+                results[i] = future.result()
+            except BrokenProcessPool:
+                lost.append(i)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
+    for i in sorted(lost):
+        item = items[i]
+        results[i] = fn(*item) if star else fn(item)
+    return results

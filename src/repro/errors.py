@@ -1,0 +1,133 @@
+"""Structured error taxonomy and CLI exit codes.
+
+Every failure the toolchain can report deliberately goes through one of
+these classes, so callers (and shell scripts driving the CLI) can react
+to *what went wrong* instead of pattern-matching message strings:
+
+=====================  ==========  =============================================
+class                  exit code   meaning
+=====================  ==========  =============================================
+``ReproError``         70          base class; unclassified internal failure
+``UsageError``         2           bad invocation (also used for verification
+                                   failures, matching historical behaviour)
+``ParseError``         3           malformed input file (PLA, JSON artifacts);
+                                   carries ``file``/``line`` context
+``CorruptRecordError`` 4           an on-disk record failed its checksum or
+                                   could not be decoded
+``QuarantinedJobError`` 5          a job exceeded its crash cap and was
+                                   quarantined by the supervisor
+``BatchFailedError``   1           a batch finished but some jobs failed
+=====================  ==========  =============================================
+
+``ParseError`` and ``CorruptRecordError`` also subclass ``ValueError``
+so pre-taxonomy call sites (``except ValueError``) keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_BATCH_FAILED",
+    "EXIT_USAGE",
+    "EXIT_PARSE",
+    "EXIT_CORRUPT",
+    "EXIT_QUARANTINED",
+    "EXIT_INTERNAL",
+    "ReproError",
+    "UsageError",
+    "ParseError",
+    "CorruptRecordError",
+    "QuarantinedJobError",
+    "BatchFailedError",
+    "exit_code_for",
+]
+
+EXIT_OK = 0
+EXIT_BATCH_FAILED = 1
+EXIT_USAGE = 2
+EXIT_PARSE = 3
+EXIT_CORRUPT = 4
+EXIT_QUARANTINED = 5
+EXIT_INTERNAL = 70  # sysexits.h EX_SOFTWARE
+
+
+class ReproError(Exception):
+    """Base of the structured taxonomy; carries a CLI exit code."""
+
+    exit_code = EXIT_INTERNAL
+    code = "internal"
+
+
+class UsageError(ReproError):
+    """Bad invocation: missing arguments, impossible flag combinations."""
+
+    exit_code = EXIT_USAGE
+    code = "usage"
+
+
+class ParseError(ReproError, ValueError):
+    """Malformed input, with optional file/line context.
+
+    ``str()`` renders ``file:line: message`` when context is present, so
+    CLI consumers get editor-clickable locations for free.
+    """
+
+    exit_code = EXIT_PARSE
+    code = "parse"
+
+    def __init__(self, message: str, *, file: str | None = None,
+                 line: int | None = None):
+        super().__init__(message)
+        self.message = message
+        self.file = file
+        self.line = line
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.file is not None:
+            prefix = f"{self.file}:"
+            if self.line is not None:
+                prefix += f"{self.line}:"
+            prefix += " "
+        elif self.line is not None:
+            prefix = f"line {self.line}: "
+        return prefix + self.message
+
+
+class CorruptRecordError(ReproError, ValueError):
+    """An on-disk record failed its checksum or could not be decoded.
+
+    Persistence layers catch this, quarantine the file, and recompute;
+    it only escapes to the CLI when corruption is unrecoverable.
+    """
+
+    exit_code = EXIT_CORRUPT
+    code = "corrupt"
+
+    def __init__(self, message: str, *, path: str | None = None):
+        super().__init__(message)
+        self.path = path
+
+
+class QuarantinedJobError(ReproError):
+    """A job crashed its worker more times than the supervisor allows."""
+
+    exit_code = EXIT_QUARANTINED
+    code = "quarantined"
+
+
+class BatchFailedError(ReproError):
+    """A batch ran to completion but one or more jobs have no result."""
+
+    exit_code = EXIT_BATCH_FAILED
+    code = "batch-failed"
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map any exception to the CLI exit code it should produce."""
+    if isinstance(exc, ReproError):
+        return exc.exit_code
+    if isinstance(exc, SystemExit):
+        code = exc.code
+        return code if isinstance(code, int) else EXIT_USAGE
+    return EXIT_INTERNAL

@@ -1,0 +1,80 @@
+"""repro.faults — seeded, deterministic fault injection.
+
+The chaos-testing companion of :mod:`repro.engine`: a
+:class:`FaultPlan` describes *which* failures to provoke (worker
+crashes, rung slowness, ``MemoryError``, corrupt or truncated disk
+records) at *which* instrumented sites, deterministically.  Production
+code calls the module-level hooks
+
+    from repro import faults
+    faults.maybe_fire("scheduler.rung_start", label=job.label)
+    text = faults.mangle("cache.put", text)
+
+which are no-ops (one cached env lookup) unless a plan is active.
+
+A plan becomes active through :func:`install` — which also exports it
+as the ``REPRO_FAULT_PLAN`` environment variable so pooled worker
+processes (fork or spawn) inherit it — or by launching the process with
+that variable already set.  The hooks re-read the variable whenever its
+raw value changes, so tests can install/uninstall plans freely.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.faults.plan import ENV_VAR, FaultPlan, FaultRule, FireKinds, MangleKinds
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "FireKinds",
+    "MangleKinds",
+    "active",
+    "install",
+    "uninstall",
+    "maybe_fire",
+    "mangle",
+]
+
+# Cache keyed by the raw env value so a changed/cleared variable is
+# picked up on the next hook call (workers inherit env at fork/spawn).
+_cached_raw: str | None = None
+_cached_plan: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The currently active plan, or None (parsed from the env var)."""
+    global _cached_raw, _cached_plan
+    raw = os.environ.get(ENV_VAR)
+    if raw != _cached_raw:
+        _cached_raw = raw
+        _cached_plan = FaultPlan.from_json(raw) if raw else None
+    return _cached_plan
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` here and in future child processes."""
+    os.environ[ENV_VAR] = plan.to_json()
+
+
+def uninstall() -> None:
+    """Deactivate any plan (idempotent)."""
+    os.environ.pop(ENV_VAR, None)
+
+
+def maybe_fire(site: str, **ctx: Any) -> None:
+    """Fire any matching control-flow fault at ``site`` (usually no-op)."""
+    plan = active()
+    if plan is not None:
+        plan.maybe_fire(site, **ctx)
+
+
+def mangle(site: str, text: str, **ctx: Any) -> str:
+    """Apply any matching data fault to ``text`` at ``site``."""
+    plan = active()
+    if plan is not None:
+        return plan.mangle(site, text, **ctx)
+    return text

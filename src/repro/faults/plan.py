@@ -1,0 +1,205 @@
+"""Deterministic fault plans: what to break, where, and when.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s evaluated at
+named *sites* instrumented through the engine (``scheduler.rung_start``,
+``cache.put``, ``manifest.store``, ``manifest.journal``,
+``batch.job_done``, …).  Chaos tests install a plan and run a real
+batch; the plan decides — deterministically — which hits of which sites
+misbehave.
+
+Two hook shapes:
+
+* :meth:`FaultPlan.maybe_fire` — control-flow faults.  Kinds:
+  ``crash`` (``os._exit``, kills the worker or the whole process),
+  ``slow`` (sleep ``arg`` seconds), ``memory`` (raise ``MemoryError``),
+  ``error`` (raise ``RuntimeError``).
+* :meth:`FaultPlan.mangle` — data faults applied to serialized text on
+  its way to disk.  Kinds: ``corrupt`` (splice garbage into the
+  payload), ``truncate`` (drop the tail), simulating torn writes that
+  bypass the atomic-rename protection.
+
+Determinism: every rule keeps a **hit counter**; a hit fires iff it
+falls in the rule's window (``after < hit <= after + times``) and a
+random draw seeded by ``(seed, rule index, hit number)`` passes ``p``.
+With ``counter_dir`` set, counters live in append-only files so hit
+numbering is global across the scheduler *and* its pooled workers —
+"crash the third rung attempt overall" means the same thing no matter
+which process gets there.  Plans propagate into workers through the
+``REPRO_FAULT_PLAN`` environment variable (see :mod:`repro.faults`).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ENV_VAR", "FaultRule", "FaultPlan", "FireKinds", "MangleKinds"]
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+FireKinds = ("crash", "slow", "memory", "error")
+MangleKinds = ("corrupt", "truncate")
+
+_DEFAULT_EXIT_CODE = 86
+_CORRUPT_MARKER = "<<injected-corruption>>"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: ``kind`` at ``site``, gated by a deterministic window.
+
+    ``site`` may be an exact name or an ``fnmatch`` glob; ``match``
+    (when non-empty) additionally requires the hit's ``label`` context
+    to contain it as a substring — the handle for targeting one poison
+    job out of a batch.  ``times=None`` means an unbounded window.
+    """
+
+    site: str
+    kind: str
+    match: str = ""
+    p: float = 1.0
+    after: int = 0
+    times: int | None = 1
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FireKinds + MangleKinds:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"probability {self.p!r} outside [0, 1]")
+
+    def matches(self, site: str, ctx: dict[str, Any]) -> bool:
+        if self.site != site and not fnmatch.fnmatchcase(site, self.site):
+            return False
+        if self.match and self.match not in str(ctx.get("label", "")):
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site, "kind": self.kind, "match": self.match,
+            "p": self.p, "after": self.after, "times": self.times,
+            "arg": self.arg,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> FaultRule:
+        return cls(
+            site=data["site"], kind=data["kind"],
+            match=data.get("match", ""), p=data.get("p", 1.0),
+            after=data.get("after", 0), times=data.get("times", 1),
+            arg=data.get("arg", 0.0),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of rules plus the counters that sequence them."""
+
+    rules: list[FaultRule] = field(default_factory=list)
+    seed: int = 0
+    counter_dir: str | None = None
+    _local_hits: dict[int, int] = field(default_factory=dict, repr=False)
+
+    # -- wire format ---------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "counter_dir": self.counter_dir,
+                "rules": [rule.to_dict() for rule in self.rules],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultPlan:
+        data = json.loads(text)
+        return cls(
+            rules=[FaultRule.from_dict(r) for r in data.get("rules", ())],
+            seed=data.get("seed", 0),
+            counter_dir=data.get("counter_dir"),
+        )
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None) -> FaultPlan | None:
+        text = (environ if environ is not None else os.environ).get(ENV_VAR)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    # -- hit sequencing ------------------------------------------------
+
+    def _next_hit(self, rule_index: int) -> int:
+        """The 1-based hit number for this rule, globally sequenced.
+
+        With ``counter_dir``, an O_APPEND byte per hit makes the file
+        size the hit count — atomic across every process sharing the
+        plan.  Without it, counters are per-process.
+        """
+        if self.counter_dir is not None:
+            path = Path(self.counter_dir)
+            path.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                path / f"rule{rule_index}.hits",
+                os.O_APPEND | os.O_CREAT | os.O_WRONLY,
+                0o644,
+            )
+            try:
+                os.write(fd, b".")
+                return os.fstat(fd).st_size
+            finally:
+                os.close(fd)
+        hit = self._local_hits.get(rule_index, 0) + 1
+        self._local_hits[rule_index] = hit
+        return hit
+
+    def _should_fire(self, rule_index: int, rule: FaultRule, hit: int) -> bool:
+        if hit <= rule.after:
+            return False
+        if rule.times is not None and hit > rule.after + rule.times:
+            return False
+        if rule.p >= 1.0:
+            return True
+        draw = random.Random(f"{self.seed}:{rule_index}:{hit}").random()
+        return draw < rule.p
+
+    # -- hooks ---------------------------------------------------------
+
+    def maybe_fire(self, site: str, **ctx: Any) -> None:
+        """Evaluate control-flow rules at ``site``; may not return."""
+        for index, rule in enumerate(self.rules):
+            if rule.kind not in FireKinds or not rule.matches(site, ctx):
+                continue
+            if not self._should_fire(index, rule, self._next_hit(index)):
+                continue
+            if rule.kind == "crash":
+                os._exit(int(rule.arg) or _DEFAULT_EXIT_CODE)
+            elif rule.kind == "slow":
+                time.sleep(rule.arg or 0.05)
+            elif rule.kind == "memory":
+                raise MemoryError(f"injected MemoryError at {site}")
+            else:  # error
+                raise RuntimeError(f"injected fault at {site}")
+
+    def mangle(self, site: str, text: str, **ctx: Any) -> str:
+        """Apply data-fault rules at ``site`` to serialized ``text``."""
+        for index, rule in enumerate(self.rules):
+            if rule.kind not in MangleKinds or not rule.matches(site, ctx):
+                continue
+            if not self._should_fire(index, rule, self._next_hit(index)):
+                continue
+            if rule.kind == "truncate":
+                text = text[: len(text) // 2]
+            else:  # corrupt
+                cut = max(1, len(text) // 2)
+                text = text[:cut] + _CORRUPT_MARKER + text[cut:]
+        return text

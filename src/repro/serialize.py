@@ -11,6 +11,7 @@ diffable and survive library refactors.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -19,6 +20,7 @@ from typing import Any
 from repro.boolfunc.function import BoolFunc, MultiBoolFunc
 from repro.core.pseudocube import Pseudocube
 from repro.core.spp_form import SppForm
+from repro.errors import CorruptRecordError
 
 __all__ = [
     "form_to_dict",
@@ -28,6 +30,9 @@ __all__ = [
     "dumps",
     "loads",
     "canonical_dumps",
+    "checksum_of",
+    "wrap_checksum",
+    "unwrap_checksum",
     "dump_json_file",
     "load_json_file",
 ]
@@ -117,22 +122,105 @@ def canonical_dumps(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def dump_json_file(path: str | Path, obj: Any) -> None:
+def checksum_of(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical JSON encoding."""
+    return hashlib.sha256(canonical_dumps(obj).encode("ascii")).hexdigest()
+
+
+def wrap_checksum(obj: Any) -> dict[str, Any]:
+    """Envelope ``obj`` with a checksum over its canonical encoding."""
+    return {"kind": "checked_record", "sha256": checksum_of(obj), "payload": obj}
+
+
+def unwrap_checksum(data: Any, *, path: str | Path | None = None) -> Any:
+    """Verify and strip a checksum envelope.
+
+    Pre-checksum records (no envelope) pass through unchanged so old
+    cache dirs and manifests stay readable.  A mismatch raises
+    :class:`~repro.errors.CorruptRecordError`.
+    """
+    if not (isinstance(data, dict) and data.get("kind") == "checked_record"):
+        return data
+    payload = data.get("payload")
+    if data.get("sha256") != checksum_of(payload):
+        raise CorruptRecordError(
+            "record checksum mismatch", path=str(path) if path else None
+        )
+    return payload
+
+
+def dump_json_file(
+    path: str | Path,
+    obj: Any,
+    *,
+    checksum: bool = False,
+    fsync: bool = False,
+    site: str | None = None,
+) -> None:
     """Atomically write ``obj`` as canonical JSON to ``path``.
 
     Written via a same-directory temp file + ``os.replace`` so a reader
-    (or a resumed batch) never observes a half-written record.
+    (or a resumed batch) never observes a half-written record.  With
+    ``checksum=True`` the object is wrapped in a sha256 envelope that
+    :func:`load_json_file` verifies on read; with ``fsync=True`` the
+    temp file (and, best-effort, its directory) is flushed to stable
+    storage before the rename, so the record survives power loss as
+    well as process death.
+
+    ``site`` names this write for :mod:`repro.faults`: an active fault
+    plan may corrupt or truncate the serialized text *before* it is
+    written (simulating a torn write that slipped past the rename), and
+    a ``crash`` rule at the same site kills the process *between* the
+    temp-file write and the rename — the exact window the atomic
+    protocol must make harmless.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    text = canonical_dumps(wrap_checksum(obj) if checksum else obj)
+    if site is not None:
+        from repro import faults
+
+        text = faults.mangle(site, text)
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    tmp.write_text(canonical_dumps(obj), encoding="ascii")
+    if fsync:
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, text.encode("ascii"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    else:
+        tmp.write_text(text, encoding="ascii")
+    if site is not None:
+        from repro import faults
+
+        faults.maybe_fire(site)  # crash here = die with only the tmp on disk
     os.replace(tmp, path)
+    if fsync:
+        try:  # directory fsync makes the rename itself durable (POSIX)
+            dfd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dfd)
+            finally:
+                os.close(dfd)
+        except OSError:  # pragma: no cover — non-POSIX / odd filesystems
+            pass
 
 
 def load_json_file(path: str | Path) -> Any:
-    """Read a JSON file written by :func:`dump_json_file`."""
-    return json.loads(Path(path).read_text(encoding="ascii"))
+    """Read a JSON file written by :func:`dump_json_file`.
+
+    Undecodable content raises :class:`~repro.errors.CorruptRecordError`
+    (a ``ValueError``, so pre-taxonomy handlers still catch it); a
+    checksum envelope is verified and stripped transparently.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="ascii"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CorruptRecordError(
+            f"unreadable JSON record: {exc}", path=str(path)
+        ) from exc
+    return unwrap_checksum(data, path=path)
 
 
 def dumps(obj: SppForm | BoolFunc | MultiBoolFunc) -> str:

@@ -88,6 +88,32 @@ class TestParse:
         assert m[0].on_set == frozenset({1})
 
 
+class TestErrorContext:
+    def test_width_error_carries_file_and_line(self):
+        with pytest.raises(PlaError) as exc_info:
+            parse_pla(".i 2\n.o 1\n101 1\n.e\n", file="adder.pla")
+        err = exc_info.value
+        assert err.file == "adder.pla"
+        assert err.line == 3
+        assert str(err).startswith("adder.pla:3: ")
+        assert "(expected 2)" in str(err)
+
+    def test_directive_error_points_at_its_line(self):
+        with pytest.raises(PlaError) as exc_info:
+            parse_pla(".i 1\n.o x\n1 1\n", file="f.pla")
+        assert exc_info.value.line == 2
+
+    def test_name_doubles_as_file_context(self):
+        with pytest.raises(PlaError) as exc_info:
+            parse_pla("10 1\n", name="noheader")
+        assert exc_info.value.file == "noheader"
+
+    def test_plain_value_error_still_catches(self):
+        # Pre-taxonomy callers used `except ValueError`.
+        with pytest.raises(ValueError):
+            parse_pla(".i 1\n.o 1\n1 z\n")
+
+
 class TestRoundTrip:
     @given(
         st.integers(2, 4),

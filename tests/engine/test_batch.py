@@ -1,5 +1,7 @@
 """Tests for BatchResult and the on-disk manifest."""
 
+import json
+
 from repro.bench.suite import get_benchmark
 from repro.engine import Job, Manifest, run_batch
 from repro.engine.batch import BatchResult, JobOutcome
@@ -28,6 +30,16 @@ class TestManifest:
         path.write_text("oops", encoding="ascii")
         assert manifest.load("b" * 64) is None
 
+    def test_corrupt_record_is_quarantined_for_forensics(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        path = manifest.path_for("c" * 64)
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn", encoding="ascii")
+        assert manifest.load("c" * 64) is None
+        assert manifest.corrupt_records == 1
+        assert not path.exists()
+        assert (manifest.quarantine_dir / path.name).is_file()
+
     def test_write_summary(self, tmp_path):
         manifest = Manifest(tmp_path)
         result = run_batch([_job()], workers=0, manifest=manifest)
@@ -37,6 +49,58 @@ class TestManifest:
         assert summary["jobs"][0]["label"] == "adr2[1]"
         assert summary["jobs"][0]["rung"] == "exact"
         assert summary["counts"]["computed"] == 1
+
+
+class TestJournal:
+    def test_store_appends_a_checksummed_line(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.store("a" * 64, {"rung": "exact", "literals": 7})
+        lines = manifest.journal_path.read_text(encoding="ascii").splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["key"] == "a" * 64
+        assert event["record"]["literals"] == 7
+        assert len(event["sha256"]) == 64
+
+    def test_replay_round_trip_across_instances(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.store("a" * 64, {"rung": "exact", "literals": 7})
+        manifest.store("b" * 64, {"rung": "sp", "literals": 9})
+        fresh = Manifest(tmp_path)
+        replayed = fresh.replay()
+        assert set(replayed) == {"a" * 64, "b" * 64}
+        assert replayed["b" * 64]["rung"] == "sp"
+        assert fresh.journal_skipped == 0
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.store("a" * 64, {"rung": "exact", "literals": 7})
+        manifest.store("b" * 64, {"rung": "sp", "literals": 9})
+        raw = manifest.journal_path.read_bytes()
+        manifest.journal_path.write_bytes(raw[: len(raw) - 20])  # torn tail
+        fresh = Manifest(tmp_path)
+        assert set(fresh.replay()) == {"a" * 64}
+        assert fresh.journal_skipped == 1
+
+    def test_interior_checksum_mismatch_is_skipped(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.store("a" * 64, {"rung": "exact", "literals": 7})
+        manifest.store("b" * 64, {"rung": "sp", "literals": 9})
+        text = manifest.journal_path.read_text(encoding="ascii")
+        manifest.journal_path.write_text(
+            text.replace('"literals":7', '"literals":8'), encoding="ascii"
+        )
+        fresh = Manifest(tmp_path)
+        assert set(fresh.replay()) == {"b" * 64}
+        assert fresh.journal_skipped == 1
+
+    def test_journal_backs_up_a_lost_job_file(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.store("a" * 64, {"rung": "exact", "literals": 7})
+        manifest.path_for("a" * 64).unlink()
+        fresh = Manifest(tmp_path)
+        assert fresh.load("a" * 64) == {"rung": "exact", "literals": 7}
+        assert fresh.completed_keys() == {"a" * 64}
 
 
 class TestBatchResult:

@@ -34,6 +34,32 @@ class TestMemoryTier:
         assert len(cache) == 5
 
 
+class TestEvictionAccounting:
+    def test_overwrite_same_key_does_not_evict(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("k1", _record(1))
+        cache.put("k1", _record(2))
+        assert cache.stats.evictions == 0
+        assert len(cache) == 1
+        assert cache.get("k1") == _record(2)
+
+    def test_eviction_count_matches_overflow(self):
+        cache = ResultCache(max_entries=3)
+        for i in range(10):
+            cache.put(f"k{i}", _record(i))
+        assert len(cache) == 3
+        assert cache.stats.stores == 10
+        assert cache.stats.evictions == 7  # exactly the overflow
+
+    def test_disk_promotion_can_evict_and_is_counted(self, tmp_path):
+        cache = ResultCache(max_entries=1, cache_dir=tmp_path)
+        cache.put("k1" * 32, _record(1))
+        cache.put("k2" * 32, _record(2))  # evicts k1 from memory
+        cache.get("k1" * 32)  # disk hit, promoted: evicts k2
+        assert cache.stats.evictions == 2
+        assert len(cache) == 1
+
+
 class TestDiskTier:
     def test_round_trip_across_instances(self, tmp_path):
         first = ResultCache(cache_dir=tmp_path)
@@ -69,3 +95,43 @@ class TestDiskTier:
         key = "fe" * 32
         cache.put(key, _record(1))
         assert (tmp_path / "objects" / "fe" / f"{key}.json").is_file()
+
+
+class TestQuarantine:
+    def test_undecodable_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = "cd" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn", encoding="ascii")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # moved aside, not left to fail again
+        assert [p.name for p in cache.quarantine_dir.iterdir()] == [path.name]
+        assert "1 corrupt quarantined" in cache.stats.summary()
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = "ef" * 32
+        cache.put(key, _record(5))
+        path = cache.path_for(key)
+        # Flip the payload underneath the checksum envelope.
+        path.write_text(
+            path.read_text(encoding="ascii").replace(
+                '"literals":5', '"literals":6'
+            ),
+            encoding="ascii",
+        )
+        fresh = ResultCache(cache_dir=tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_recompute_overwrites_after_quarantine(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        key = "ab" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn", encoding="ascii")
+        assert cache.get(key) is None
+        cache.put(key, _record(1))  # the recompute lands cleanly
+        assert ResultCache(cache_dir=tmp_path).get(key) == _record(1)

@@ -1,0 +1,352 @@
+"""Chaos tests: real batches under injected faults.
+
+Every test here runs the actual engine — pools, cache, manifest — while
+a :class:`repro.faults.FaultPlan` provokes worker crashes, slow rungs,
+corrupt disk records, truncated journal tails, or a hard kill of the
+whole scheduler.  The invariants under test:
+
+* a batch always terminates, and every job's outcome is either a
+  **verified** cover or an explicit ``failed``/``quarantined`` record
+  with its attempt log;
+* a poison job (crashes every rung) is quarantined at its crash cap and
+  cannot wedge the batch in an endless pool-rebuild loop;
+* all persistence is atomic: a ``kill -9`` at any injected point never
+  leaves an unreadable cache object or manifest, and ``resume`` after a
+  mid-batch kill reproduces an uninterrupted run's records.
+
+Set ``REPRO_CHAOS_DIR`` to persist the cache/manifest/quarantine dirs
+(CI uploads them as artifacts on failure).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.bench.suite import get_benchmark
+from repro.engine import Job, Manifest, ResultCache, run_batch
+from repro.engine.batch import SOURCE_QUARANTINED
+from repro.faults import ENV_VAR, FaultPlan, FaultRule
+from repro.serialize import form_from_dict, load_json_file
+from repro.verify import verify_form
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture
+def chaos_dir(tmp_path):
+    """Working dir for cache/manifest state; CI points this at an
+    uploadable location via REPRO_CHAOS_DIR."""
+    root = os.environ.get("REPRO_CHAOS_DIR")
+    if root:
+        path = Path(root) / tmp_path.name
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return tmp_path
+
+
+def _jobs(*names):
+    jobs = []
+    for name in names:
+        func = get_benchmark(name)
+        for o, fo in enumerate(func.outputs):
+            if fo.on_set:
+                jobs.append(Job(fo, method="exact", label=f"{name}[{o}]"))
+    return jobs
+
+
+def _assert_verified(outcome):
+    form = form_from_dict(outcome.record["form"])
+    assert verify_form(form, outcome.job.func), outcome.job.display_label
+
+
+def _assert_explicit(outcome):
+    """Chaos invariant: verified cover, or explicit failure + attempts."""
+    if outcome.ok:
+        _assert_verified(outcome)
+    else:
+        assert outcome.source in ("failed", "quarantined")
+        assert outcome.attempts, outcome.job.display_label
+
+
+class TestCrashRecovery:
+    def test_transient_worker_crashes_are_retried_at_the_same_rung(
+        self, chaos_dir
+    ):
+        # The first two executions of adr2[0]'s rung kill the worker
+        # (counted globally across pool rebuilds); the third succeeds.
+        faults.install(
+            FaultPlan(
+                [FaultRule(site="scheduler.rung_start", kind="crash",
+                           match="adr2[0]", times=2)],
+                counter_dir=str(chaos_dir / "counters"),
+            )
+        )
+        result = run_batch(
+            _jobs("adr2"), workers=2, crash_cap=3, retry_backoff=0.0
+        )
+        assert result.ok
+        for outcome in result:
+            _assert_verified(outcome)
+        victim = next(o for o in result if o.job.label == "adr2[0]")
+        crash_attempts = [a for a in victim.attempts if a["status"] == "crash"]
+        assert crash_attempts
+        # Survived at full fidelity: the crash did not cost it a rung.
+        assert victim.rung == "exact"
+        assert not victim.degraded
+
+    def test_poison_job_is_quarantined_and_peers_complete(self, chaos_dir):
+        # One output crashes its worker on every rung, forever.
+        jobs = _jobs("adr2")
+        poison = Job(jobs[0].func, method="exact", label="poison[0]")
+        faults.install(
+            FaultPlan(
+                [FaultRule(site="scheduler.rung_start", kind="crash",
+                           match="poison", times=None)],
+                counter_dir=str(chaos_dir / "counters"),
+            )
+        )
+        result = run_batch(
+            [poison, *jobs[1:]], workers=2, crash_cap=2, retry_backoff=0.0
+        )
+        assert len(result) == len(jobs)
+        bad = result.outcomes[0]
+        assert bad.source == SOURCE_QUARANTINED
+        assert not bad.ok
+        assert sum(1 for a in bad.attempts if a["status"] == "crash") >= 2
+        assert "quarantined" in bad.attempts[-1]["message"]
+        for outcome in result.outcomes[1:]:
+            assert outcome.ok
+            _assert_verified(outcome)
+        assert result.counts()["quarantined"] == 1
+        assert "quarantined" in result.summary()
+
+    def test_inline_faults_degrade_not_crash(self):
+        # memory/error/slow faults inline walk the ladder like real ones.
+        faults.install(
+            FaultPlan(
+                [
+                    FaultRule(site="scheduler.rung_start", kind="memory",
+                              match="adr2[0]"),
+                    FaultRule(site="scheduler.rung_start", kind="error",
+                              match="adr2[1]"),
+                ]
+            )
+        )
+        result = run_batch(_jobs("adr2"), workers=0)
+        assert result.ok
+        by_label = {o.job.label: o for o in result}
+        assert by_label["adr2[0]"].attempts[0]["status"] == "memory"
+        assert by_label["adr2[1]"].attempts[0]["status"] == "error"
+        for outcome in result:
+            _assert_verified(outcome)
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_cache_write_is_quarantined_and_recomputed(self, chaos_dir):
+        cache_dir = chaos_dir / "cache"
+        faults.install(
+            FaultPlan([FaultRule(site="cache.put", kind="corrupt", times=1)])
+        )
+        first = run_batch(
+            _jobs("adr2"), workers=0, cache=ResultCache(cache_dir=cache_dir)
+        )
+        assert first.ok
+        faults.uninstall()
+
+        fresh = ResultCache(cache_dir=cache_dir)  # cold memory, warm disk
+        second = run_batch(_jobs("adr2"), workers=0, cache=fresh)
+        assert second.ok
+        assert fresh.stats.corrupt == 1          # one record failed its load
+        assert len(list((cache_dir / "quarantine").iterdir())) == 1
+        assert [o.literals for o in second] == [o.literals for o in first]
+        # Exactly one job recomputed; the rest served from intact disk.
+        assert sum(1 for o in second if o.source == "computed") == 1
+
+    def test_truncated_journal_tail_is_tolerated(self, chaos_dir):
+        manifest_dir = chaos_dir / "manifest"
+        faults.install(
+            FaultPlan(
+                [FaultRule(site="manifest.journal", kind="truncate", times=1)]
+            )
+        )
+        jobs = _jobs("adr2")
+        first = run_batch(jobs, workers=0, manifest=Manifest(manifest_dir))
+        assert first.ok
+        faults.uninstall()
+
+        manifest = Manifest(manifest_dir)
+        replayed = manifest.replay()
+        assert manifest.journal_skipped == 1     # the torn line was dropped
+        assert len(replayed) == len(jobs) - 1
+        resumed = run_batch(jobs, workers=0, manifest=manifest, resume=True)
+        assert resumed.ok
+        assert all(o.source == "manifest" for o in resumed)  # job files intact
+
+    def test_corrupt_job_file_falls_back_to_journal(self, chaos_dir):
+        manifest_dir = chaos_dir / "manifest"
+        jobs = _jobs("adr2")[:1]
+        first = run_batch(jobs, workers=0, manifest=Manifest(manifest_dir))
+        assert first.ok
+        key = jobs[0].content_hash
+        manifest = Manifest(manifest_dir)
+        manifest.path_for(key).write_text("{torn", encoding="ascii")
+
+        record = manifest.load(key)
+        assert record is not None                # journal served the record
+        assert record["literals"] == first.outcomes[0].literals
+        assert manifest.corrupt_records == 1
+        assert (manifest.quarantine_dir / f"{key}.json").is_file()
+
+
+class TestChaosStorm:
+    def test_every_job_terminates_with_verified_or_explicit_record(
+        self, chaos_dir
+    ):
+        faults.install(
+            FaultPlan(
+                [
+                    FaultRule(site="scheduler.rung_start", kind="crash",
+                              p=0.25, times=None),
+                    FaultRule(site="scheduler.rung_start", kind="slow",
+                              arg=0.05, p=0.2, times=None),
+                    FaultRule(site="cache.put", kind="corrupt", times=2),
+                    FaultRule(site="manifest.journal", kind="truncate",
+                              times=1),
+                ],
+                seed=20260805,
+                counter_dir=str(chaos_dir / "counters"),
+            )
+        )
+        cache_dir = chaos_dir / "cache"
+        manifest_dir = chaos_dir / "manifest"
+        jobs = _jobs("adr2", "adr3")
+        result = run_batch(
+            jobs,
+            workers=2,
+            timeout=10.0,
+            cache=ResultCache(cache_dir=cache_dir),
+            manifest=Manifest(manifest_dir),
+            crash_cap=2,
+            retry_backoff=0.0,
+        )
+        assert len(result) == len(jobs)
+        for outcome in result:
+            _assert_explicit(outcome)
+
+        # The survivors' persisted state is clean: a faultless resume
+        # terminates and never trips over what the storm left behind.
+        faults.uninstall()
+        resumed = run_batch(
+            jobs,
+            workers=0,
+            cache=ResultCache(cache_dir=cache_dir),
+            manifest=Manifest(manifest_dir),
+            resume=True,
+        )
+        assert resumed.ok
+        for outcome in resumed:
+            _assert_verified(outcome)
+
+
+_KILL_SCRIPT = textwrap.dedent(
+    """
+    from repro.bench.suite import get_benchmark
+    from repro.engine import Job, Manifest, ResultCache, run_batch
+
+    func = get_benchmark("adr3")
+    jobs = [
+        Job(fo, method="exact", label="adr3[%d]" % o)
+        for o, fo in enumerate(func.outputs)
+        if fo.on_set
+    ]
+    run_batch(
+        jobs,
+        workers=0,
+        cache=ResultCache(cache_dir="__CACHE__"),
+        manifest=Manifest("__MANIFEST__"),
+        resume=True,
+    )
+    """
+)
+
+
+class TestKillAndResume:
+    """``kill -9`` (via an injected ``os._exit``) at every dangerous
+    persistence point; the next run must read clean state and ``resume``
+    must converge on the uninterrupted run's records."""
+
+    @pytest.mark.parametrize(
+        "kill_site", ["batch.job_done", "manifest.store", "cache.put"]
+    )
+    def test_resume_after_kill_matches_uninterrupted_run(
+        self, chaos_dir, kill_site
+    ):
+        cache_dir = str(chaos_dir / f"cache-{kill_site}")
+        manifest_dir = str(chaos_dir / f"manifest-{kill_site}")
+        plan = FaultPlan(
+            [FaultRule(site=kill_site, kind="crash", after=1, times=1)]
+        )
+        env = dict(os.environ)
+        env[ENV_VAR] = plan.to_json()
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        script = _KILL_SCRIPT.replace("__CACHE__", cache_dir).replace(
+            "__MANIFEST__", manifest_dir
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            cwd=Path(__file__).resolve().parents[2],
+            capture_output=True,
+            timeout=300,
+        )
+        assert proc.returncode == 86, proc.stderr.decode()
+
+        # Atomicity: everything the killed run left behind is readable.
+        objects = list(Path(cache_dir).glob("objects/*/*.json"))
+        for path in objects:
+            load_json_file(path)                 # raises if torn/corrupt
+        manifest = Manifest(manifest_dir)
+        manifest.replay()                        # never raises
+        for key in manifest.completed_keys():
+            assert manifest.load(key) is not None
+        assert manifest.journal_skipped == 0
+        assert manifest.corrupt_records == 0
+        # It did die mid-batch: at least one job survived, not all four.
+        done = len(manifest.completed_keys())
+        assert 1 <= done < 4
+
+        # Resume converges on exactly what an uninterrupted run produces.
+        func = get_benchmark("adr3")
+        jobs = [
+            Job(fo, method="exact", label=f"adr3[{o}]")
+            for o, fo in enumerate(func.outputs)
+            if fo.on_set
+        ]
+        resumed = run_batch(
+            jobs,
+            workers=0,
+            cache=ResultCache(cache_dir=cache_dir),
+            manifest=manifest,
+            resume=True,
+        )
+        assert resumed.ok
+        assert sum(1 for o in resumed if o.source == "manifest") == done
+        baseline = run_batch(jobs, workers=0)
+        for got, want in zip(resumed, baseline):
+            assert got.job.content_hash == want.job.content_hash
+            assert got.literals == want.literals
+            assert got.record["rung"] == want.record["rung"]
+            assert got.record["form"] == want.record["form"]

@@ -1,5 +1,7 @@
 """Tests for the batch scheduler: parallelism, deadlines, degradation."""
 
+import os
+
 import pytest
 
 from repro.bench.suite import get_benchmark
@@ -45,6 +47,26 @@ class TestDeadlineContext:
             pass
         time.sleep(0.08)  # would raise if the timer leaked
 
+    def test_noop_off_main_thread(self):
+        # SIGALRM handlers can only be installed from the main thread;
+        # elsewhere the context must degrade to a no-op, not blow up.
+        import threading
+        import time
+
+        failures = []
+
+        def body():
+            try:
+                with _deadline(0.01):
+                    time.sleep(0.05)  # would exceed the deadline
+            except BaseException as exc:  # noqa: BLE001 — recording, not hiding
+                failures.append(exc)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert failures == []
+
 
 class TestInlineBatch:
     def test_matches_sequential_minimize(self):
@@ -71,6 +93,31 @@ class TestInlineBatch:
         sources = [o.source for o in result]
         assert sources == ["computed", "cache"]
         assert result.outcomes[0].literals == result.outcomes[1].literals
+
+    def test_followers_are_handed_the_record_directly(self):
+        # The follower gets the resolved record, not a cache.get():
+        # distinct keys miss once each on the initial lookup and nothing
+        # else touches the stats (a re-fetch used to add phantom hits).
+        job = _jobs("adr2")[0]
+        twin = Job(job.func, method=job.method, label="twin")
+        cache = ResultCache()
+        result = run_batch([job, twin], workers=0, cache=cache)
+        assert result.ok
+        assert [o.source for o in result] == ["computed", "cache"]
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_follower_survives_eviction_of_the_record(self):
+        # With an LRU too small to retain the record, a follower that
+        # re-fetched through the cache would spuriously fail; handing
+        # the record over directly is immune to the eviction race.
+        jobs = _jobs("adr2")[:2]
+        twin = Job(jobs[0].func, method=jobs[0].method, label="twin")
+        cache = ResultCache(max_entries=1)
+        result = run_batch([*jobs, twin], workers=0, cache=cache)
+        assert result.ok
+        assert result.outcomes[2].source == "cache"
+        assert result.outcomes[2].literals == result.outcomes[0].literals
 
 
 class TestPooledBatch:
@@ -183,6 +230,24 @@ class TestParallelMap:
             i * i for i in range(8)
         ]
 
+    def test_survives_worker_crash(self):
+        # Item 3 kills its pool worker (BrokenProcessPool); the lost
+        # items must be recomputed inline and come back in order.
+        items = [(i,) for i in range(6)]
+        result = parallel_map(_crash_in_worker, items, workers=2, star=True)
+        assert result == [i * i for i in range(6)]
+
 
 def _square(x):
+    return x * x
+
+
+_PARENT_PID = os.getpid()
+
+
+def _crash_in_worker(x):
+    # Deterministic poison item: dies hard, but only inside a pool
+    # worker — the inline retry in the parent process must succeed.
+    if x == 3 and os.getpid() != _PARENT_PID:
+        os._exit(1)
     return x * x

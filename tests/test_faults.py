@@ -1,0 +1,141 @@
+"""Tests for the deterministic fault-injection plans."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults import ENV_VAR, FaultPlan, FaultRule
+
+
+class TestRuleMatching:
+    def test_exact_site(self):
+        rule = FaultRule(site="cache.put", kind="error")
+        assert rule.matches("cache.put", {})
+        assert not rule.matches("cache.get", {})
+
+    def test_glob_site(self):
+        rule = FaultRule(site="manifest.*", kind="error")
+        assert rule.matches("manifest.store", {})
+        assert rule.matches("manifest.journal", {})
+        assert not rule.matches("cache.put", {})
+
+    def test_label_substring_match(self):
+        rule = FaultRule(site="s", kind="error", match="poison")
+        assert rule.matches("s", {"label": "poison[0]"})
+        assert not rule.matches("s", {"label": "healthy[0]"})
+        assert not rule.matches("s", {})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="explode")
+
+    def test_probability_range_checked(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="error", p=1.5)
+
+
+class TestWindows:
+    def test_fires_once_by_default(self):
+        plan = FaultPlan([FaultRule(site="s", kind="error")])
+        with pytest.raises(RuntimeError):
+            plan.maybe_fire("s")
+        plan.maybe_fire("s")  # window exhausted: no-op
+
+    def test_after_skips_initial_hits(self):
+        plan = FaultPlan([FaultRule(site="s", kind="error", after=2, times=1)])
+        plan.maybe_fire("s")
+        plan.maybe_fire("s")
+        with pytest.raises(RuntimeError):
+            plan.maybe_fire("s")
+        plan.maybe_fire("s")
+
+    def test_unbounded_window(self):
+        plan = FaultPlan([FaultRule(site="s", kind="memory", times=None)])
+        for _ in range(5):
+            with pytest.raises(MemoryError):
+                plan.maybe_fire("s")
+
+    def test_probability_is_seed_deterministic(self):
+        def decisions(seed):
+            plan = FaultPlan(
+                [FaultRule(site="s", kind="error", p=0.5, times=None)], seed=seed
+            )
+            out = []
+            for _ in range(32):
+                try:
+                    plan.maybe_fire("s")
+                    out.append(False)
+                except RuntimeError:
+                    out.append(True)
+            return out
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)  # astronomically unlikely to tie
+        assert 4 < sum(decisions(7)) < 28    # roughly half fire
+
+
+class TestGlobalCounters:
+    def test_counter_dir_sequences_across_instances(self, tmp_path):
+        # Two plan instances (≈ two processes) share one hit sequence.
+        def make():
+            return FaultPlan(
+                [FaultRule(site="s", kind="error", after=1, times=1)],
+                counter_dir=str(tmp_path),
+            )
+
+        make().maybe_fire("s")          # hit 1: skipped by after=1
+        with pytest.raises(RuntimeError):
+            make().maybe_fire("s")      # hit 2: fires, from a fresh instance
+        make().maybe_fire("s")          # hit 3: window exhausted
+
+
+class TestMangle:
+    def test_truncate_halves_text(self):
+        plan = FaultPlan([FaultRule(site="w", kind="truncate")])
+        assert plan.mangle("w", "0123456789") == "01234"
+
+    def test_corrupt_breaks_json(self):
+        import json
+
+        plan = FaultPlan([FaultRule(site="w", kind="corrupt")])
+        mangled = plan.mangle("w", json.dumps({"a": 1}))
+        with pytest.raises(ValueError):
+            json.loads(mangled)
+
+    def test_non_matching_site_passthrough(self):
+        plan = FaultPlan([FaultRule(site="w", kind="corrupt")])
+        assert plan.mangle("elsewhere", "text") == "text"
+
+
+class TestEnvPropagation:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", kind="slow", arg=0.25, p=0.5, times=None)],
+            seed=42,
+            counter_dir="/tmp/counters",
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.rules == plan.rules
+        assert restored.seed == 42
+        assert restored.counter_dir == "/tmp/counters"
+
+    def test_install_and_active(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert faults.active() is None
+        plan = FaultPlan([FaultRule(site="s", kind="error")], seed=3)
+        faults.install(plan)
+        try:
+            assert os.environ[ENV_VAR] == plan.to_json()
+            assert faults.active().seed == 3
+        finally:
+            faults.uninstall()
+        assert faults.active() is None
+
+    def test_module_hooks_are_noops_without_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        faults.maybe_fire("anything")
+        assert faults.mangle("anything", "text") == "text"
+
+    def test_from_env_missing_is_none(self):
+        assert FaultPlan.from_env({}) is None

@@ -6,14 +6,20 @@ from hypothesis import strategies as st
 
 from repro.boolfunc.function import BoolFunc, MultiBoolFunc
 from repro.core.spp_form import SppForm
+from repro.errors import CorruptRecordError
 from repro.minimize.exact import minimize_spp
 from repro.serialize import (
+    checksum_of,
+    dump_json_file,
     dumps,
     form_from_dict,
     form_to_dict,
     func_from_dict,
     func_to_dict,
+    load_json_file,
     loads,
+    unwrap_checksum,
+    wrap_checksum,
 )
 
 from tests.conftest import pseudocubes
@@ -69,3 +75,47 @@ class TestFunctions:
         data["version"] = 99
         with pytest.raises(ValueError):
             func_from_dict(data)
+
+
+class TestChecksumEnvelope:
+    def test_wrap_unwrap_round_trip(self):
+        obj = {"rung": "exact", "literals": 7}
+        env = wrap_checksum(obj)
+        assert env["kind"] == "checked_record"
+        assert env["sha256"] == checksum_of(obj)
+        assert unwrap_checksum(env) == obj
+
+    def test_mismatch_raises_corrupt_record(self):
+        env = wrap_checksum({"literals": 7})
+        env["payload"]["literals"] = 8
+        with pytest.raises(CorruptRecordError):
+            unwrap_checksum(env, path="x.json")
+
+    def test_legacy_record_passes_through(self):
+        # Pre-envelope records (plain dicts) must stay readable.
+        assert unwrap_checksum({"literals": 7}) == {"literals": 7}
+
+    def test_checksum_is_key_order_independent(self):
+        assert checksum_of({"a": 1, "b": 2}) == checksum_of({"b": 2, "a": 1})
+
+
+class TestJsonFiles:
+    def test_checksummed_file_round_trip(self, tmp_path):
+        path = tmp_path / "rec.json"
+        dump_json_file(path, {"literals": 7}, checksum=True, fsync=True)
+        assert '"checked_record"' in path.read_text(encoding="ascii")
+        assert load_json_file(path) == {"literals": 7}
+
+    def test_atomic_write_leaves_no_tmp_file(self, tmp_path):
+        dump_json_file(tmp_path / "rec.json", {"a": 1}, fsync=True)
+        assert [p.name for p in tmp_path.iterdir()] == ["rec.json"]
+
+    def test_undecodable_file_raises_corrupt_record(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text("{torn", encoding="ascii")
+        with pytest.raises(CorruptRecordError) as exc_info:
+            load_json_file(path)
+        assert exc_info.value.path == str(path)
+        # Pre-taxonomy callers catch ValueError; this must still be one.
+        with pytest.raises(ValueError):
+            load_json_file(path)
