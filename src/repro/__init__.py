@@ -18,6 +18,7 @@ Quick start::
 """
 
 from repro.boolfunc import BoolFunc, MultiBoolFunc, parse_pla, parse_pla_file, write_pla
+from repro.budget import Budget, CancelToken
 from repro.core import (
     CexExpression,
     ExorFactor,
@@ -51,6 +52,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoolFunc",
+    "Budget",
+    "CancelToken",
     "CexExpression",
     "Cube",
     "ExorFactor",

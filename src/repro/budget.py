@@ -1,0 +1,251 @@
+"""Cooperative budgets — deadlines, cancellation and ceilings that work
+anywhere.
+
+The engine's original stop mechanism was ``SIGALRM``, which only fires
+on the main thread of a POSIX process: inline runs from a worker
+thread, the ``repro serve`` request threads, and non-POSIX platforms
+all silently lost their deadlines.  This module replaces that with
+*cooperative* checking: the minimization inner loops call
+:meth:`Budget.tick` every iteration (amortized to one integer decrement;
+a full check every ``tick_every`` ticks), and a blown budget raises a
+structured :class:`repro.errors.BudgetExceeded` from inside the loop —
+on any thread, on any platform.  ``SIGALRM`` remains as a main-thread
+*backstop* for code paths that predate the instrumentation (see
+``repro.engine.scheduler._deadline``).
+
+Two classes:
+
+* :class:`CancelToken` — a shareable cancel flag (a wrapped
+  :class:`threading.Event`).  One token can govern many budgets: the
+  serving layer hands every in-flight request a token and sets it on
+  drain or client abandonment.
+* :class:`Budget` — deadline + optional memory ceiling + optional tick
+  cap + a token.  :meth:`Budget.child` derives a per-attempt budget
+  (e.g. one ladder rung) that shares the parent's token and can only
+  tighten the deadline, so the request-level budget always wins.
+
+Typical wiring::
+
+    budget = Budget(seconds=0.2, memory_mb=512)
+    try:
+        result = minimize_spp(func, budget=budget)
+    except BudgetExceeded as exc:
+        ...  # exc.reason in {"deadline", "memory", "ticks", "cancelled"}
+
+Memory is sampled from ``/proc/self/statm`` (current RSS) when
+available, falling back to ``resource.getrusage`` peak RSS — a
+best-effort watchdog, not an allocator-level cap (pair with the
+scheduler's ``RLIMIT_AS`` cap for hard enforcement in pool workers).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.errors import BudgetExceeded, Cancelled
+
+__all__ = ["Budget", "CancelToken", "BudgetExceeded", "Cancelled", "current_rss_mb"]
+
+# How many ticks pass between full (time/memory/flag) checks by default.
+# Inner-loop iterations here are tens of microseconds, so 1024 ticks
+# bounds the cancellation latency to a few tens of milliseconds while
+# keeping the per-iteration cost to one integer decrement.
+DEFAULT_TICK_EVERY = 1024
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_mb() -> float | None:
+    """Resident set size of this process in MiB, or None if unknown.
+
+    Prefers ``/proc/self/statm`` (current RSS, can go down); falls back
+    to ``resource.getrusage`` (peak RSS, monotone) off Linux.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE / (1024 * 1024)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):  # pragma: no cover — no resource module
+        return None
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if os.uname().sysname == "Darwin":  # pragma: no cover
+        return rss_kb / (1024 * 1024)
+    return rss_kb / 1024
+
+
+class CancelToken:
+    """A cancel flag shareable across budgets (and threads).
+
+    ``cancel()`` is idempotent and thread-safe; the first caller's
+    ``reason`` wins and is reported in the :class:`Cancelled` raised by
+    every budget sharing the token.
+    """
+
+    __slots__ = ("_event", "_reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason = "cancelled"
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise Cancelled(self._reason)
+
+
+class Budget:
+    """Deadline + cancel token + optional memory/tick ceilings.
+
+    ``tick()`` is the hot-path call: one integer decrement per
+    invocation, a full :meth:`check` every ``tick_every`` ticks.
+    ``check()`` is the explicit call for loop boundaries (step
+    transitions, per-group work) where immediate enforcement matters.
+    """
+
+    __slots__ = (
+        "deadline",
+        "memory_mb",
+        "max_ticks",
+        "tick_every",
+        "token",
+        "_ticks",
+        "_countdown",
+    )
+
+    def __init__(
+        self,
+        *,
+        seconds: float | None = None,
+        deadline: float | None = None,
+        memory_mb: float | None = None,
+        max_ticks: int | None = None,
+        tick_every: int = DEFAULT_TICK_EVERY,
+        token: CancelToken | None = None,
+    ) -> None:
+        if tick_every < 1:
+            raise ValueError("tick_every must be positive")
+        if deadline is None and seconds is not None and seconds > 0:
+            deadline = time.monotonic() + seconds
+        self.deadline = deadline
+        self.memory_mb = memory_mb if memory_mb and memory_mb > 0 else None
+        self.max_ticks = max_ticks
+        self.tick_every = tick_every
+        self.token = token if token is not None else CancelToken()
+        self._ticks = 0
+        self._countdown = tick_every
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        return self.token.cancelled
+
+    @property
+    def ticks(self) -> int:
+        """Ticks consumed so far (work-proportional progress counter)."""
+        return self._ticks
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Cancel every computation sharing this budget's token."""
+        self.token.cancel(reason)
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None if unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    # -- enforcement ---------------------------------------------------
+
+    def check(self) -> None:
+        """Raise if any ceiling is blown.  Safe to call at any rate that
+        is not a per-iteration hot path (use :meth:`tick` there)."""
+        self.token.raise_if_cancelled()
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise BudgetExceeded("deadline exceeded", reason="deadline")
+        if self.max_ticks is not None and self._ticks >= self.max_ticks:
+            raise BudgetExceeded(
+                f"tick budget of {self.max_ticks} exhausted", reason="ticks"
+            )
+        if self.memory_mb is not None:
+            rss = current_rss_mb()
+            if rss is not None and rss > self.memory_mb:
+                raise BudgetExceeded(
+                    f"memory ceiling exceeded ({rss:.0f} MiB > "
+                    f"{self.memory_mb:.0f} MiB)",
+                    reason="memory",
+                )
+
+    def tick(self, n: int = 1) -> None:
+        """Count ``n`` units of work; every ``tick_every`` ticks, run a
+        full :meth:`check`.  The no-violation path costs two integer
+        operations."""
+        self._ticks += n
+        self._countdown -= n
+        if self._countdown <= 0:
+            self._countdown = self.tick_every
+            self.check()
+
+    # -- derivation ----------------------------------------------------
+
+    def child(
+        self,
+        *,
+        seconds: float | None = None,
+        memory_mb: float | None = None,
+        max_ticks: int | None = None,
+        tick_every: int | None = None,
+    ) -> Budget:
+        """A tighter budget sharing this one's cancel token.
+
+        The child's deadline is the minimum of the parent's and
+        ``now + seconds`` — a per-attempt allowance can never outlive
+        the request it belongs to.
+        """
+        deadline = self.deadline
+        if seconds is not None and seconds > 0:
+            attempt = time.monotonic() + seconds
+            deadline = attempt if deadline is None else min(deadline, attempt)
+        return Budget(
+            deadline=deadline,
+            memory_mb=memory_mb if memory_mb is not None else self.memory_mb,
+            max_ticks=max_ticks if max_ticks is not None else self.max_ticks,
+            tick_every=tick_every if tick_every is not None else self.tick_every,
+            token=self.token,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        remaining = self.remaining()
+        parts = []
+        if remaining is not None:
+            parts.append(f"remaining={remaining:.3f}s")
+        if self.memory_mb is not None:
+            parts.append(f"memory_mb={self.memory_mb:.0f}")
+        if self.max_ticks is not None:
+            parts.append(f"max_ticks={self.max_ticks}")
+        if self.cancelled:
+            parts.append("cancelled")
+        return f"Budget({', '.join(parts)})"

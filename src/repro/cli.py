@@ -9,6 +9,7 @@
     spp-minimize tables table1 --full --jobs 8
     spp-minimize batch adr4 life circuit.pla --jobs 4 --timeout 30 \\
         --cache-dir .spp-cache --resume
+    spp-minimize serve --port 8351 --threads 4 --queue-capacity 8
 
 (`python -m repro ...` is equivalent.)
 """
@@ -46,6 +47,8 @@ def _fail_verification(label: str, report: VerificationReport) -> None:
         points = report.covered_off_points
         details.append(f"covers off-set point {points[0]:#x}"
                        + (f" (+{len(points) - 1} more)" if len(points) > 1 else ""))
+    if report.truncated:
+        details.append("counterexample scan truncated")
     print(f"{label}: VERIFICATION FAILED: {'; '.join(details)}", file=sys.stderr)
     raise SystemExit(2)
 
@@ -319,6 +322,35 @@ def _cmd_batch(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.serve import MinimizeService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        threads=args.threads,
+        queue_capacity=args.queue_capacity,
+        default_timeout=args.default_timeout,
+        default_budget=args.default_budget,
+        memory_soft_mb=args.memory_soft_mb,
+        memory_hard_mb=args.memory_hard_mb,
+        cache_dir=args.cache_dir,
+        manifest_dir=args.manifest_dir,
+        drain_grace=args.drain_grace,
+    )
+    service = MinimizeService(config)
+    host, port = service.start()
+    service.install_signal_handlers()
+    print(f"serving on http://{host}:{port}  "
+          f"({config.threads} workers, queue {config.queue_capacity}); "
+          "SIGTERM/SIGINT drains gracefully", flush=True)
+    try:
+        service.wait_drained()
+    except KeyboardInterrupt:  # second ^C while draining: just leave
+        pass
+    print("drained, exiting", flush=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spp-minimize",
@@ -408,14 +440,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--backend", choices=["index", "trie"], default="index")
     p_batch.add_argument("--max-pseudoproducts", type=int, default=None)
     p_batch.set_defaults(handler=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP/JSON minimization service",
+        description="Front the batch engine with a threaded HTTP service: "
+        "bounded admission with load shedding (429 + Retry-After), "
+        "per-request cooperative budgets, a per-rung circuit breaker, a "
+        "memory watchdog, /healthz + /readyz probes, and graceful "
+        "SIGTERM drain.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8351,
+                         help="listen port (0 = ephemeral; default 8351)")
+    p_serve.add_argument("--threads", type=int, default=4, metavar="N",
+                         help="concurrent minimizations (default 4)")
+    p_serve.add_argument("--queue-capacity", type=int, default=8, metavar="N",
+                         help="waiting-room size beyond the active slots; "
+                         "requests past it are shed (default 8)")
+    p_serve.add_argument("--default-timeout", type=float, default=5.0,
+                         metavar="S", help="per-attempt rung deadline when "
+                         "the request sets none (default 5s)")
+    p_serve.add_argument("--default-budget", type=float, default=30.0,
+                         metavar="S", help="overall request budget when the "
+                         "request sets none (default 30s)")
+    p_serve.add_argument("--memory-soft-mb", type=float, default=None,
+                         metavar="MB", help="RSS soft ceiling: shrink the "
+                         "result cache when exceeded")
+    p_serve.add_argument("--memory-hard-mb", type=float, default=None,
+                         metavar="MB", help="RSS hard ceiling: shed all new "
+                         "requests until RSS recedes")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persistent result cache directory")
+    p_serve.add_argument("--manifest-dir", default=None,
+                         help="journal-backed manifest directory")
+    p_serve.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="S", help="SIGTERM grace window before "
+                         "in-flight requests are cancelled (default 10s)")
+    p_serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point.  Structured errors (:mod:`repro.errors`) become a
     clean one-line message plus their taxonomy exit code: 2 usage /
-    verification, 3 parse, 4 corrupt record, 5 quarantined, 1 batch
-    failures, 70 internal."""
+    verification, 3 parse, 4 corrupt record, 5 quarantined, 6 budget
+    exceeded, 7 cancelled, 8 overloaded, 1 batch failures, 70
+    internal."""
     args = build_parser().parse_args(argv)
     try:
         args.handler(args)

@@ -30,6 +30,7 @@ fault-injection hooks of :mod:`repro.faults`.
 
 from repro.engine.batch import (
     SOURCE_CACHE,
+    SOURCE_CANCELLED,
     SOURCE_COMPUTED,
     SOURCE_FAILED,
     SOURCE_MANIFEST,
@@ -53,6 +54,7 @@ __all__ = [
     "ResultCache",
     "Rung",
     "SOURCE_CACHE",
+    "SOURCE_CANCELLED",
     "SOURCE_COMPUTED",
     "SOURCE_FAILED",
     "SOURCE_MANIFEST",

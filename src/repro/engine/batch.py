@@ -33,7 +33,12 @@ from repro.serialize import (
     load_json_file,
 )
 
-__all__ = ["JobOutcome", "BatchResult", "Manifest"]
+__all__ = [
+    "JobOutcome",
+    "BatchResult",
+    "Manifest",
+    "SOURCE_CANCELLED",
+]
 
 # How an outcome's record was obtained.
 SOURCE_COMPUTED = "computed"
@@ -41,6 +46,7 @@ SOURCE_CACHE = "cache"
 SOURCE_MANIFEST = "manifest"
 SOURCE_FAILED = "failed"
 SOURCE_QUARANTINED = "quarantined"
+SOURCE_CANCELLED = "cancelled"
 
 
 @dataclass

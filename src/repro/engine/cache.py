@@ -118,6 +118,24 @@ class ResultCache:
         if path is not None:
             dump_json_file(path, record, checksum=True, fsync=True, site="cache.put")
 
+    def shrink(self, fraction: float = 0.5) -> int:
+        """Evict the oldest entries, keeping ``fraction`` of the LRU.
+
+        The memory-watchdog relief valve for long-running services:
+        records stay on disk (when a disk tier is configured), so a
+        shrink trades memory for re-reads, never for recomputes.
+        Returns the number of entries evicted.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        keep = int(len(self._lru) * fraction)
+        evicted = 0
+        while len(self._lru) > keep:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+            evicted += 1
+        return evicted
+
     def __len__(self) -> int:
         return len(self._lru)
 

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
+from repro.budget import Budget
 from repro.engine.job import Job, job_to_dict
 from repro.minimize.bounded import minimize_spp_bounded
 from repro.minimize.exact import minimize_spp
@@ -76,18 +77,23 @@ def ladder_for(job: Job) -> tuple[Rung, ...]:
     return (sp,)
 
 
-def execute_rung(job: Job, rung: Rung) -> dict[str, Any]:
+def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str, Any]:
     """Run one rung of ``job`` and return a result record.
 
     The produced form is verified against the function before the
     record is built — a wrong answer is an error, never a result.
+
+    ``budget`` is threaded into the minimizer's inner loops (see
+    :mod:`repro.budget`); a blown deadline/ceiling or a cancellation
+    propagates as :class:`repro.errors.BudgetExceeded` /
+    :class:`repro.errors.Cancelled` for the scheduler to classify.
     """
     func = job.func
     t0 = time.perf_counter()
     extras: dict[str, Any] = {}
     truncated = False
     if rung.method == "sp":
-        sp = minimize_sp(func, covering=job.covering)
+        sp = minimize_sp(func, covering=job.covering, budget=budget)
         form = sp.form
         candidates = sp.num_primes
         optimal = False
@@ -100,6 +106,7 @@ def execute_rung(job: Job, rung: Rung) -> dict[str, Any]:
                 covering=job.covering,
                 max_pseudoproducts=rung.params["max_pseudoproducts"],
                 on_limit="stop",
+                budget=budget,
             )
             truncated = bool(result.generation and result.generation.truncated)
             optimal = result.covering_optimal and not truncated
@@ -111,6 +118,7 @@ def execute_rung(job: Job, rung: Rung) -> dict[str, Any]:
                 rung.params["bound"],
                 backend=job.backend,
                 covering=job.covering,
+                budget=budget,
             )
             optimal = False
         else:  # heuristic
@@ -119,6 +127,7 @@ def execute_rung(job: Job, rung: Rung) -> dict[str, Any]:
                 rung.params["k"],
                 backend=job.backend,
                 covering=job.covering,
+                budget=budget,
             )
             optimal = False
         form = result.form
@@ -129,6 +138,7 @@ def execute_rung(job: Job, rung: Rung) -> dict[str, Any]:
             f"rung {rung.name} produced a wrong cover: "
             f"misses {len(report.uncovered_on_points)} on-points, "
             f"covers {len(report.covered_off_points)} off-points"
+            + (" (scan truncated)" if report.truncated else "")
         )
     return {
         "version": RECORD_VERSION,

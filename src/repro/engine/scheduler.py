@@ -1,10 +1,14 @@
 """Worker-pool scheduler: fan jobs across cores, enforce deadlines.
 
 Batches run on a :class:`concurrent.futures.ProcessPoolExecutor` (one
-task = one rung of one job).  Deadlines are enforced *inside* the
-worker with ``SIGALRM`` — every minimization loop here is pure Python,
-so the alarm interrupts it promptly, the worker stays healthy, and no
-pool teardown is needed on an ordinary timeout.
+task = one rung of one job).  Deadlines are enforced **cooperatively**:
+every attempt runs under a :class:`repro.budget.Budget` whose deadline
+is checked from inside the minimization inner loops, so a runaway rung
+stops promptly on any thread and any platform.  ``SIGALRM`` remains as
+a main-thread *backstop* (it can interrupt code paths that predate the
+budget instrumentation), no longer the sole mechanism — in particular,
+``workers=0`` inline runs now honour deadlines even when invoked from a
+non-main thread, e.g. a ``repro serve`` request handler.
 
 Degradation walk: a rung that times out, exhausts its memory budget, or
 errors is abandoned and the next rung of
@@ -43,8 +47,10 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 from repro import faults
+from repro.budget import Budget
 from repro.engine.batch import (
     SOURCE_CACHE,
+    SOURCE_CANCELLED,
     SOURCE_COMPUTED,
     SOURCE_FAILED,
     SOURCE_MANIFEST,
@@ -56,6 +62,7 @@ from repro.engine.batch import (
 from repro.engine.cache import ResultCache
 from repro.engine.job import Job
 from repro.engine.ladder import Rung, execute_rung, ladder_for
+from repro.errors import BudgetExceeded, Cancelled
 
 __all__ = ["DeadlineExceeded", "run_batch", "parallel_map"]
 
@@ -73,7 +80,10 @@ def _deadline(seconds: float | None):
 
     Uses ``SIGALRM``/``setitimer``, which only works in a process's
     main thread on POSIX; anywhere else the context degrades to a
-    no-op (the ladder still protects the batch via the error path).
+    no-op.  Since the cooperative :class:`repro.budget.Budget` checks
+    landed in the minimization inner loops, this is only a *backstop*
+    for uninstrumented code paths — off-main-thread and non-POSIX runs
+    are fully covered by the budget.
 
     The timer re-fires on an interval rather than one-shot: if the
     signal happens to be delivered while the interpreter is inside a
@@ -127,21 +137,49 @@ def _memory_cap(megabytes: int | None):
 
 
 def _run_rung_task(
-    job: Job, rung: Rung, timeout: float | None, memory_mb: int | None
+    job: Job,
+    rung: Rung,
+    timeout: float | None,
+    memory_mb: int | None,
+    budget: Budget | None = None,
 ) -> dict[str, Any]:
     """One pool task: run a single rung under its budgets.
 
     Always returns a status dict (never raises) so pool plumbing only
     breaks when the worker process itself dies.
+
+    The attempt always runs under a cooperative budget: the per-attempt
+    ``timeout``/``memory_mb`` allowance, tightened by (and sharing the
+    cancel token of) the caller's ``budget`` when one is given — so an
+    overall request deadline or a cancellation wins over the attempt's
+    own allowance.  ``SIGALRM`` stays armed as a main-thread backstop.
     """
     t0 = time.perf_counter()
+    if budget is not None:
+        attempt = budget.child(seconds=timeout, memory_mb=memory_mb)
+    elif timeout is not None or memory_mb:
+        attempt = Budget(seconds=timeout, memory_mb=memory_mb)
+    else:
+        attempt = None
     try:
         with _deadline(timeout), _memory_cap(memory_mb):
             # Inside the deadline on purpose: an injected "slow" fault
             # must be interruptible, exactly like a slow real rung.
-            faults.maybe_fire("scheduler.rung_start", label=job.label, rung=rung.name)
-            record = execute_rung(job, rung)
+            faults.maybe_fire(
+                "scheduler.rung_start", label=job.label, rung=rung.name,
+                budget=attempt,
+            )
+            record = execute_rung(job, rung, budget=attempt)
         return {"status": "ok", "record": record}
+    except Cancelled as exc:
+        return {
+            "status": "cancelled",
+            "seconds": time.perf_counter() - t0,
+            "message": str(exc),
+        }
+    except BudgetExceeded as exc:
+        status = "memory" if exc.reason == "memory" else "timeout"
+        return {"status": status, "seconds": time.perf_counter() - t0}
     except DeadlineExceeded:
         return {"status": "timeout", "seconds": time.perf_counter() - t0}
     except MemoryError:
@@ -190,6 +228,8 @@ def run_batch(
     progress: Callable[[JobOutcome], None] | None = None,
     crash_cap: int = 3,
     retry_backoff: float = 0.1,
+    budget: Budget | None = None,
+    rung_gate: Callable[[Job, Rung], bool] | None = None,
 ) -> BatchResult:
     """Run ``jobs`` through cache, manifest, pool and ladder.
 
@@ -204,6 +244,22 @@ def run_batch(
     quarantined (terminal outcome ``quarantined``); ``retry_backoff``
     seeds the capped exponential sleep (``backoff · 2^k``, ≤ 2 s)
     before a crash retry.
+
+    ``budget`` is an *overall* cooperative budget for the whole call
+    (deadline / memory ceiling / cancel token).  Unlike the per-attempt
+    ``timeout`` — which degrades a rung and keeps the job alive — an
+    exhausted or cancelled overall budget **terminates**: remaining
+    jobs resolve with source ``"cancelled"`` instead of walking further
+    down the ladder, bounding the caller's latency (the contract
+    ``repro serve`` relies on).  In the inline path the budget's cancel
+    token is honoured from inside the minimizer loops, so cancellation
+    from another thread lands within a few thousand ticks; the pooled
+    path checks it between task completions.
+
+    ``rung_gate(job, rung)`` may veto individual rungs (return False to
+    skip — used by the serving layer's per-rung circuit breaker and
+    rung caps).  The final rung is never gated when every earlier rung
+    was skipped, so a gated job still terminates with an answer.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers=0`` runs inline.
     """
@@ -296,11 +352,20 @@ def run_batch(
 
     if workers == 0:
         for pending in to_run:
-            _run_inline(pending, timeout, memory_mb, resolve)
+            if pending.index in outcomes:
+                continue  # resolved early by a budget termination
+            _run_inline(
+                pending, timeout, memory_mb, resolve,
+                budget=budget, rung_gate=rung_gate,
+            )
+            if budget is not None and (budget.cancelled or budget.expired()):
+                _cancel_remaining(to_run, outcomes, resolve, budget)
+                break
     else:
         _run_pooled(
             to_run, workers, timeout, memory_mb, rung_timeout, resolve,
             quarantine, crash_cap, retry_backoff,
+            budget=budget, rung_gate=rung_gate,
         )
 
     result = BatchResult(
@@ -313,17 +378,68 @@ def run_batch(
     return result
 
 
+def _apply_gate(
+    pending: _Pending, rung_gate: Callable[[Job, Rung], bool] | None
+) -> None:
+    """Skip gated rungs, recording each skip; never gates the last rung."""
+    if rung_gate is None:
+        return
+    while pending.rung_idx < len(pending.ladder) - 1:
+        rung = pending.ladder[pending.rung_idx]
+        if rung_gate(pending.job, rung):
+            return
+        pending.attempts.append(
+            {"rung": rung.name, "status": "skipped", "seconds": 0.0}
+        )
+        pending.rung_idx += 1
+
+
+def _cancel_remaining(
+    to_run: Iterable[_Pending],
+    outcomes: dict[int, JobOutcome],
+    resolve: Callable[..., None],
+    budget: Budget,
+) -> None:
+    """Resolve every not-yet-finished job as cancelled/budget-terminated."""
+    if budget.cancelled:
+        message = f"cancelled: {budget.token.reason}"
+    else:
+        message = "overall budget exhausted"
+    for pending in to_run:
+        if pending.index not in outcomes:
+            resolve(
+                pending, None,
+                failed_message=message, source=SOURCE_CANCELLED,
+            )
+
+
 def _run_inline(
     pending: _Pending,
     timeout: float | None,
     memory_mb: int | None,
     resolve: Callable[..., None],
+    budget: Budget | None = None,
+    rung_gate: Callable[[Job, Rung], bool] | None = None,
 ) -> None:
     while True:
+        # Overall budget gone → terminate instead of degrading further.
+        # Both exhaustion and cancellation end the job with source
+        # "cancelled"; the attempt log explains which one it was.
+        if budget is not None:
+            try:
+                budget.check()
+            except BudgetExceeded as exc:
+                resolve(
+                    pending, None,
+                    failed_message=str(exc), source=SOURCE_CANCELLED,
+                )
+                return
+        _apply_gate(pending, rung_gate)
         last = pending.rung_idx >= len(pending.ladder) - 1
         rung = pending.ladder[pending.rung_idx]
         result = _run_rung_task(
-            pending.job, rung, None if last else timeout, memory_mb
+            pending.job, rung, None if last else timeout, memory_mb,
+            budget=budget,
         )
         if result["status"] == "ok":
             resolve(pending, result["record"])
@@ -336,6 +452,17 @@ def _run_inline(
                 **({"message": result["message"]} if "message" in result else {}),
             }
         )
+        if result["status"] == "cancelled" or (
+            budget is not None and (budget.cancelled or budget.expired())
+        ):
+            # The *overall* budget is gone (a mere per-attempt timeout
+            # would leave it intact) — stop walking the ladder.
+            resolve(
+                pending, None,
+                failed_message=result.get("message"),
+                source=SOURCE_CANCELLED,
+            )
+            return
         if last:
             resolve(pending, None, failed_message=result.get("message"))
             return
@@ -352,6 +479,8 @@ def _run_pooled(
     quarantine: Callable[[_Pending], None],
     crash_cap: int,
     retry_backoff: float,
+    budget: Budget | None = None,
+    rung_gate: Callable[[Job, Rung], bool] | None = None,
 ) -> None:
     """Pooled execution with crash supervision.
 
@@ -364,11 +493,36 @@ def _run_pooled(
     either resolves a job, advances a rung (≤ ladder length per job),
     or counts a crash (≤ ``crash_cap`` per job), and ambiguous breaks
     only arise from normal mode, which probation always drains.
+
+    The overall ``budget`` is checked between submissions and waits —
+    *coarse* cancellation, because the cancel token cannot cross the
+    process boundary (workers rebuild per-attempt budgets from the
+    picklable ``timeout``/``memory_mb`` args).  On expiry or cancel,
+    in-flight futures are abandoned and every unresolved job resolves
+    as ``cancelled``.  Latency is bounded by one rung attempt, which
+    ``timeout`` itself bounds except on the final rung.
     """
     executor = _make_executor(workers)
     in_flight: dict[Future, _Pending] = {}
     ready: deque[_Pending] = deque(to_run)
     probation: deque[_Pending] = deque()
+
+    def budget_blown() -> bool:
+        return budget is not None and (budget.cancelled or budget.expired())
+
+    def terminate() -> None:
+        remaining = [*in_flight.values(), *ready, *probation]
+        for future in in_flight:
+            future.cancel()
+        in_flight.clear()
+        ready.clear()
+        probation.clear()
+        if budget.cancelled:
+            message = f"cancelled: {budget.token.reason}"
+        else:
+            message = "overall budget exhausted"
+        for pending in remaining:
+            resolve(pending, None, failed_message=message, source=SOURCE_CANCELLED)
 
     def handle_break(first_victim: _Pending) -> None:
         """Pool died: rebuild it, triage every lost job."""
@@ -398,6 +552,7 @@ def _run_pooled(
                 probation.append(victim)
 
     def try_submit(pending: _Pending) -> bool:
+        _apply_gate(pending, rung_gate)
         rung = pending.ladder[pending.rung_idx]
         try:
             future = executor.submit(
@@ -425,6 +580,9 @@ def _run_pooled(
 
     try:
         while ready or probation or in_flight:
+            if budget_blown():
+                terminate()
+                return
             if not in_flight and probation:
                 suspect = probation.popleft()
                 if retry_backoff > 0 and suspect.crashes > 0:
@@ -441,7 +599,10 @@ def _run_pooled(
                         break
             if not in_flight:
                 continue  # submission failed or probation re-queued
-            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            # With an overall budget, poll so a deadline or cancel is
+            # noticed even while every worker is deep in a rung.
+            poll = 0.05 if budget is not None else None
+            done, _ = wait(in_flight, timeout=poll, return_when=FIRST_COMPLETED)
             for future in done:
                 pending = in_flight.pop(future)
                 try:

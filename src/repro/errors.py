@@ -16,6 +16,12 @@ class                  exit code   meaning
                                    could not be decoded
 ``QuarantinedJobError`` 5          a job exceeded its crash cap and was
                                    quarantined by the supervisor
+``BudgetExceeded``     6           a cooperative budget (deadline, memory
+                                   ceiling or tick cap) ran out mid-computation
+``Cancelled``          7           the work was cancelled through its
+                                   :class:`repro.budget.CancelToken`
+``Overloaded``         8           the service shed the request (admission
+                                   queue full); carries ``retry_after``
 ``BatchFailedError``   1           a batch finished but some jobs failed
 =====================  ==========  =============================================
 
@@ -32,12 +38,18 @@ __all__ = [
     "EXIT_PARSE",
     "EXIT_CORRUPT",
     "EXIT_QUARANTINED",
+    "EXIT_BUDGET",
+    "EXIT_CANCELLED",
+    "EXIT_OVERLOADED",
     "EXIT_INTERNAL",
     "ReproError",
     "UsageError",
     "ParseError",
     "CorruptRecordError",
     "QuarantinedJobError",
+    "BudgetExceeded",
+    "Cancelled",
+    "Overloaded",
     "BatchFailedError",
     "exit_code_for",
 ]
@@ -48,6 +60,9 @@ EXIT_USAGE = 2
 EXIT_PARSE = 3
 EXIT_CORRUPT = 4
 EXIT_QUARANTINED = 5
+EXIT_BUDGET = 6
+EXIT_CANCELLED = 7
+EXIT_OVERLOADED = 8
 EXIT_INTERNAL = 70  # sysexits.h EX_SOFTWARE
 
 
@@ -114,6 +129,55 @@ class QuarantinedJobError(ReproError):
 
     exit_code = EXIT_QUARANTINED
     code = "quarantined"
+
+
+class BudgetExceeded(ReproError):
+    """A cooperative budget ran out while the computation was running.
+
+    ``reason`` says which ceiling was hit: ``"deadline"``, ``"memory"``
+    or ``"ticks"``.  Raised from :meth:`repro.budget.Budget.tick` /
+    :meth:`~repro.budget.Budget.check`, so it surfaces from *inside*
+    the minimization inner loops — on any thread, on any platform —
+    rather than relying on ``SIGALRM`` delivery.
+    """
+
+    exit_code = EXIT_BUDGET
+    code = "budget-exceeded"
+
+    def __init__(self, message: str, *, reason: str = "deadline"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class Cancelled(BudgetExceeded):
+    """The work's :class:`repro.budget.CancelToken` was cancelled.
+
+    Subclasses :class:`BudgetExceeded` so every budget-aware ``except``
+    site treats cancellation as "stop now", but keeps a distinct exit
+    code and taxonomy code for callers that must tell a shed/abandoned
+    request from an exhausted budget.
+    """
+
+    exit_code = EXIT_CANCELLED
+    code = "cancelled"
+
+    def __init__(self, message: str = "cancelled"):
+        super().__init__(message, reason="cancelled")
+
+
+class Overloaded(ReproError):
+    """The service refused admission (queue full or shedding mode).
+
+    ``retry_after`` is the advisory backoff in seconds that
+    ``repro serve`` surfaces as the ``Retry-After`` response header.
+    """
+
+    exit_code = EXIT_OVERLOADED
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class BatchFailedError(ReproError):

@@ -184,7 +184,19 @@ class FaultPlan:
             if rule.kind == "crash":
                 os._exit(int(rule.arg) or _DEFAULT_EXIT_CODE)
             elif rule.kind == "slow":
-                time.sleep(rule.arg or 0.05)
+                # Sleep in slices so a cooperative budget passed in the
+                # hit context can cancel an injected stall mid-sleep,
+                # exactly like an instrumented real rung.
+                budget = ctx.get("budget")
+                remaining = rule.arg or 0.05
+                while remaining > 0:
+                    if budget is not None:
+                        budget.check()
+                    slice_s = min(remaining, 0.02)
+                    time.sleep(slice_s)
+                    remaining -= slice_s
+                if budget is not None:
+                    budget.check()
             elif rule.kind == "memory":
                 raise MemoryError(f"injected MemoryError at {site}")
             else:  # error

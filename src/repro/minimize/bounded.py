@@ -26,6 +26,7 @@ import time
 from collections.abc import Callable
 
 from repro.boolfunc.function import BoolFunc
+from repro.budget import Budget
 from repro.core.pseudocube import Pseudocube
 from repro.minimize.cost import literal_cost
 from repro.minimize.eppp import EpppResult, StepStats, make_store
@@ -60,6 +61,7 @@ def generate_bounded(
     *,
     backend: str = "index",
     discard_equal: bool = True,
+    budget: Budget | None = None,
 ) -> EpppResult:
     """EPPP-style generation restricted to ``bound``-bounded factors."""
     if bound < 1:
@@ -77,13 +79,15 @@ def generate_bounded(
         rejected = 0
         size = len(store)
         groups = 0
-        for group in store.groups():
+        for group in store.groups(budget=budget):
             g = len(group)
             groups += 1
             if g < 2:
                 continue
             parent_literals = group[0].num_literals
             for i in range(g - 1):
+                if budget is not None:
+                    budget.tick(g - 1 - i)
                 gi = group[i]
                 for j in range(i + 1, g):
                     gj = group[j]
@@ -126,14 +130,15 @@ def minimize_spp_bounded(
     backend: str = "index",
     covering: str = "greedy",
     cost: Callable[[Pseudocube], int] = literal_cost,
+    budget: Budget | None = None,
 ) -> SppResult:
     """Minimize ``func`` over ``bound``-bounded pseudoproducts."""
     if not func.on_set:
         form, optimal, seconds = cover_with(func, [], covering=covering)
         return SppResult(form, 0, None, optimal, 0.0, seconds)
-    generation = generate_bounded(func, bound, backend=backend)
+    generation = generate_bounded(func, bound, backend=backend, budget=budget)
     form, optimal, seconds_covering = cover_with(
-        func, generation.eppps, covering=covering, cost=cost
+        func, generation.eppps, covering=covering, cost=cost, budget=budget
     )
     return SppResult(
         form=form,

@@ -25,6 +25,8 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
+from repro.budget import Budget
+
 __all__ = [
     "CoveringProblem",
     "CoveringSolution",
@@ -108,7 +110,9 @@ def build_covering(
     return CoveringProblem(len(rows), masks, costs, payloads)
 
 
-def solve_greedy(problem: CoveringProblem[T]) -> CoveringSolution[T]:
+def solve_greedy(
+    problem: CoveringProblem[T], *, budget: Budget | None = None
+) -> CoveringSolution[T]:
     """Greedy covering with local improvement.
 
     Runs the classical greedy under two selection criteria (best
@@ -117,6 +121,9 @@ def solve_greedy(problem: CoveringProblem[T]) -> CoveringSolution[T]:
     (drop a selected column, re-cover greedily, keep if cheaper), and
     returns the best of everything — the "some heuristics" of the
     paper's covering step.
+
+    ``budget`` is ticked per column scan, so a blown deadline or a
+    cancellation surfaces from inside the selection loop.
     """
     if problem.num_rows == 0:
         return CoveringSolution([], 0, True, [])
@@ -129,11 +136,11 @@ def solve_greedy(problem: CoveringProblem[T]) -> CoveringSolution[T]:
     best: list[int] | None = None
     best_cost = 0
     for strategy in ("ratio", "gain"):
-        selected = _greedy_pass(problem, strategy, forbidden=-1)
+        selected = _greedy_pass(problem, strategy, forbidden=-1, budget=budget)
         # The improvement pass re-runs greedy once per selected column;
         # bound the extra work on very large candidate sets.
         if problem.num_columns * max(len(selected), 1) <= 5_000_000:
-            selected = _improve(problem, selected, strategy)
+            selected = _improve(problem, selected, strategy, budget=budget)
         cost = sum(costs[i] for i in selected)
         if best is None or cost < best_cost:
             best, best_cost = selected, cost
@@ -148,6 +155,7 @@ def _greedy_pass(
     strategy: str,
     forbidden: int,
     seed: list[int] | None = None,
+    budget: Budget | None = None,
 ) -> list[int]:
     """One greedy cover; ``forbidden`` column is skipped, ``seed``
     columns are pre-selected."""
@@ -160,6 +168,8 @@ def _greedy_pass(
         covered |= masks[i]
     active = [i for i in range(problem.num_columns) if i != forbidden]
     while covered != universe:
+        if budget is not None:
+            budget.tick(max(len(active), 1))
         best_i = -1
         best_key: tuple[float, int] = (0.0, 0)
         still_active = []
@@ -185,7 +195,10 @@ def _greedy_pass(
 
 
 def _improve(
-    problem: CoveringProblem[T], selected: list[int], strategy: str
+    problem: CoveringProblem[T],
+    selected: list[int],
+    strategy: str,
+    budget: Budget | None = None,
 ) -> list[int]:
     """1-removal local search: drop each chosen column in turn and
     re-cover the hole greedily; keep strict improvements.  Two rounds
@@ -198,7 +211,8 @@ def _improve(
             remaining = [i for i in selected if i != victim]
             try:
                 candidate = _greedy_pass(
-                    problem, strategy, forbidden=victim, seed=remaining
+                    problem, strategy, forbidden=victim, seed=remaining,
+                    budget=budget,
                 )
             except ValueError:
                 continue  # victim was the only cover for some row
@@ -229,12 +243,16 @@ def _drop_redundant(
 def solve_exact(
     problem: CoveringProblem[T],
     node_limit: int = 200_000,
+    *,
+    budget: Budget | None = None,
 ) -> CoveringSolution[T]:
     """Branch-and-bound exact covering.
 
     ``optimal`` is True in the result iff the search completed within
     the node budget; otherwise the best cover found so far is returned
-    (never worse than greedy, which seeds the incumbent).
+    (never worse than greedy, which seeds the incumbent).  ``budget``
+    is ticked once per search node, so cancellation and deadlines cut
+    the search short from inside the recursion.
     """
     if problem.num_rows == 0:
         return CoveringSolution([], 0, True, [])
@@ -244,7 +262,7 @@ def solve_exact(
     costs = problem.costs
     universe = problem.universe
 
-    incumbent = solve_greedy(problem)
+    incumbent = solve_greedy(problem, budget=budget)
     best_cost = incumbent.cost
     best_selection = list(incumbent.selected)
 
@@ -289,6 +307,8 @@ def solve_exact(
     def search(uncovered: int, banned: frozenset[int], cost: int, chosen: list[int]) -> None:
         nonlocal nodes, best_cost, best_selection, exhausted
         nodes += 1
+        if budget is not None:
+            budget.tick()
         if nodes > node_limit:
             exhausted = False
             return
@@ -341,15 +361,20 @@ def solve_exact(
     )
 
 
-def solve(problem: CoveringProblem[T], mode: str = "auto") -> CoveringSolution[T]:
+def solve(
+    problem: CoveringProblem[T],
+    mode: str = "auto",
+    *,
+    budget: Budget | None = None,
+) -> CoveringSolution[T]:
     """Dispatch: ``greedy``, ``exact``, or ``auto`` (exact on small
     problems, greedy otherwise — mirroring the paper's practice)."""
     if mode == "greedy":
-        return solve_greedy(problem)
+        return solve_greedy(problem, budget=budget)
     if mode == "exact":
-        return solve_exact(problem)
+        return solve_exact(problem, budget=budget)
     if mode == "auto":
         if problem.num_rows <= 64 and problem.num_columns <= 2000:
-            return solve_exact(problem, node_limit=50_000)
-        return solve_greedy(problem)
+            return solve_exact(problem, node_limit=50_000, budget=budget)
+        return solve_greedy(problem, budget=budget)
     raise ValueError(f"unknown covering mode {mode!r}")

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.boolfunc.function import BoolFunc
+from repro.budget import Budget
 from repro.core import gf2
 from repro.core.pseudocube import Pseudocube
 from repro.trie.index import StructureIndex
@@ -111,6 +112,7 @@ def generate_eppp(
     discard_equal: bool = True,
     max_pseudoproducts: int | None = None,
     on_limit: str = "raise",
+    budget: Budget | None = None,
 ) -> EpppResult:
     """Generate the EPPP candidate set of ``func``.
 
@@ -127,13 +129,23 @@ def generate_eppp(
     every discarded pseudoproduct's coverer was kept — but no longer
     guaranteed to contain a minimum-literal cover; the result is
     flagged ``truncated``).
+
+    ``budget`` is a cooperative :class:`~repro.budget.Budget`, ticked
+    per union row from inside the pairing loops: a blown deadline or a
+    cancellation raises :class:`repro.errors.BudgetExceeded` /
+    :class:`repro.errors.Cancelled` promptly even mid-step (the
+    generation's explosive phase), on any thread.
     """
     if on_limit not in ("raise", "stop"):
         raise ValueError(f"unknown on_limit {on_limit!r}")
     if backend == "index":
-        return _generate_fast(func, discard_equal, max_pseudoproducts, on_limit)
+        return _generate_fast(
+            func, discard_equal, max_pseudoproducts, on_limit, budget
+        )
     if backend == "trie":
-        return _generate_generic(func, discard_equal, max_pseudoproducts, on_limit)
+        return _generate_generic(
+            func, discard_equal, max_pseudoproducts, on_limit, budget
+        )
     raise ValueError(f"unknown store backend {backend!r}")
 
 
@@ -151,6 +163,7 @@ def _generate_fast(
     discard_equal: bool,
     max_pseudoproducts: int | None,
     on_limit: str,
+    budget: Budget | None = None,
 ) -> EpppResult:
     n = func.n
     # bucket: basis -> {anchor: None}; degree-0 basis is ().
@@ -189,6 +202,10 @@ def _generate_fast(
             delta_cache: dict[int, tuple[tuple[int, ...], int, int, bool]] = {}
             covered: set[int] = set()
             for i in range(g - 1):
+                if budget is not None:
+                    # One tick per union in this row keeps cancellation
+                    # latency bounded even inside a single huge group.
+                    budget.tick(g - 1 - i)
                 ai = anchor_list[i]
                 for j in range(i + 1, g):
                     aj = anchor_list[j]
@@ -297,6 +314,7 @@ def _generate_generic(
     discard_equal: bool,
     max_pseudoproducts: int | None,
     on_limit: str,
+    budget: Budget | None = None,
 ) -> EpppResult:
     store = make_store("trie")
     for p in sorted(func.care_set):
@@ -316,13 +334,15 @@ def _generate_generic(
         groups = 0
         size = len(store)
         overflow = False
-        for group in store.groups():
+        for group in store.groups(budget=budget):
             g = len(group)
             groups += 1
             if g < 2:
                 continue
             parent_literals = group[0].num_literals
             for i in range(g - 1):
+                if budget is not None:
+                    budget.tick(g - 1 - i)
                 gi = group[i]
                 for j in range(i + 1, g):
                     gj = group[j]

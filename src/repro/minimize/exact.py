@@ -21,6 +21,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, replace
 
 from repro.boolfunc.function import BoolFunc
+from repro.budget import Budget
 from repro.core.pseudocube import Pseudocube
 from repro.core.spp_form import SppForm
 from repro.minimize import covering as cov
@@ -64,6 +65,7 @@ def cover_with(
     covering: str = "greedy",
     cost: Callable[[Pseudocube], int] = literal_cost,
     max_candidates: int = 400_000,
+    budget: Budget | None = None,
 ) -> tuple[SppForm, bool, float]:
     """Select a minimal-cost subset of ``candidates`` covering the on-set.
 
@@ -82,13 +84,15 @@ def cover_with(
         candidates = _prune_candidates(func, candidates, cost, max_candidates)
         pruned = True
     rows = sorted(func.on_set)
+    if budget is not None:
+        budget.check()
     problem = cov.build_covering(
         rows,
         candidates,
         covered_rows_of=lambda pc: pc.points(),
         cost_of=cost,
     )
-    solution = cov.solve(problem, mode=covering)
+    solution = cov.solve(problem, mode=covering, budget=budget)
     form = SppForm(func.n, tuple(solution.payloads))
     optimal = solution.optimal and not pruned
     return form, optimal, time.perf_counter() - t0
@@ -133,6 +137,7 @@ def minimize_spp(
     max_pseudoproducts: int | None = None,
     on_limit: str = "raise",
     fallback: Callable[[BoolFunc], SppResult] | None = None,
+    budget: Budget | None = None,
 ) -> SppResult:
     """Minimize ``func`` as an SPP form (Algorithm 2).
 
@@ -150,6 +155,11 @@ def minimize_spp(
     ``SPP_0``) is invoked instead of propagating
     :class:`~repro.minimize.eppp.GenerationBudgetExceeded`, and its
     result is returned with ``covering_optimal`` forced off.
+
+    ``budget`` is a cooperative :class:`~repro.budget.Budget` threaded
+    into generation and covering; a blown deadline, memory ceiling or
+    cancellation raises :class:`repro.errors.BudgetExceeded` /
+    :class:`repro.errors.Cancelled` from the inner loops.
     """
     if not func.on_set:
         return SppResult(SppForm(func.n, ()), 0, None, True, 0.0, 0.0)
@@ -174,6 +184,7 @@ def minimize_spp(
             backend=backend,
             max_pseudoproducts=max_pseudoproducts,
             on_limit=on_limit,
+            budget=budget,
         )
     except GenerationBudgetExceeded:
         if fallback is None:
@@ -189,7 +200,7 @@ def minimize_spp(
             cube.to_pseudocube(func.n) for cube in prime_implicants(func)
         ]
     form, optimal, cover_seconds = cover_with(
-        func, candidates, covering=covering, cost=cost
+        func, candidates, covering=covering, cost=cost, budget=budget
     )
     return SppResult(
         form=form,

@@ -32,6 +32,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.boolfunc.function import BoolFunc
+from repro.budget import Budget
 from repro.core import gf2
 from repro.core.pseudocube import Pseudocube
 from repro.core.subcubes import sub_pseudocubes
@@ -87,6 +88,7 @@ def _ascend_into(
     n: int,
     discard_equal: bool,
     comparison_budget: int | None,
+    budget: Budget | None = None,
 ) -> tuple[int, list[Pseudocube], bool]:
     """One union step: unify all same-structure pairs of ``source`` into
     ``target`` (merging with its existing content) and return the
@@ -106,6 +108,8 @@ def _ascend_into(
         delta_cache: dict[int, tuple[tuple[int, ...], int, bool]] = {}
         covered: set[int] = set()
         for i in range(g - 1):
+            if budget is not None:
+                budget.tick(g - 1 - i)
             ai = anchor_list[i]
             for j in range(i + 1, g):
                 delta = ai ^ anchor_list[j]
@@ -150,6 +154,7 @@ def minimize_spp_k(
     discard_equal: bool = True,
     max_comparisons: int | None = None,
     initial_cover: list[Pseudocube] | None = None,
+    budget: Budget | None = None,
 ) -> SppResult:
     """Synthesize the ``SPP_k`` form of ``func`` (Algorithm 3).
 
@@ -212,6 +217,8 @@ def minimize_spp_k(
                 for child in sub_pseudocubes(parent):
                     if _insert(target, child.basis, child.anchor):
                         descended += 1
+                if budget is not None:
+                    budget.tick()
                 if max_comparisons is not None and descended > max_comparisons:
                     exhausted = True  # enough material; ascent stays sound
                     break
@@ -228,7 +235,8 @@ def minimize_spp_k(
         if not source:
             continue
         step_comparisons, retained, _ = _ascend_into(
-            source, stores[degree + 1], n, discard_equal, max_comparisons
+            source, stores[degree + 1], n, discard_equal, max_comparisons,
+            budget=budget,
         )
         comparisons += step_comparisons
         candidates.extend(retained)
@@ -240,7 +248,7 @@ def minimize_spp_k(
     seconds_generation = time.perf_counter() - t0
 
     form, optimal, seconds_covering = cover_with(
-        func, candidates, covering=covering, cost=cost
+        func, candidates, covering=covering, cost=cost, budget=budget
     )
     result = SppResult(
         form=form,

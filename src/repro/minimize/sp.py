@@ -11,6 +11,7 @@ import time
 from dataclasses import dataclass
 
 from repro.boolfunc.function import BoolFunc
+from repro.budget import Budget
 from repro.core.spp_form import SppForm
 from repro.minimize import covering as cov
 from repro.minimize.qm import Cube, prime_implicants
@@ -43,12 +44,16 @@ class SpResult:
         return self.form.num_pseudoproducts
 
 
-def minimize_sp(func: BoolFunc, *, covering: str = "greedy") -> SpResult:
+def minimize_sp(
+    func: BoolFunc, *, covering: str = "greedy", budget: Budget | None = None
+) -> SpResult:
     """Minimize ``func`` as a sum of products."""
     t0 = time.perf_counter()
     primes = prime_implicants(func)
     if not func.on_set:
         return SpResult(SppForm(func.n, ()), primes, True, time.perf_counter() - t0)
+    if budget is not None:
+        budget.check()
     rows = sorted(func.on_set)
     problem = cov.build_covering(
         rows,
@@ -56,7 +61,7 @@ def minimize_sp(func: BoolFunc, *, covering: str = "greedy") -> SpResult:
         covered_rows_of=lambda c: c.points(),
         cost_of=lambda c: max(c.num_literals(func.n), 1),
     )
-    solution = cov.solve(problem, mode=covering)
+    solution = cov.solve(problem, mode=covering, budget=budget)
     form = SppForm(
         func.n, tuple(c.to_pseudocube(func.n) for c in solution.payloads)
     )

@@ -1,0 +1,37 @@
+"""repro.serve — an overload-safe HTTP/JSON minimization service.
+
+Stdlib-only serving layer over :mod:`repro.engine`, designed around the
+cooperative budgets of :mod:`repro.budget`:
+
+* :mod:`repro.serve.server` — the threaded HTTP front-end
+  (``POST /minimize``, ``/healthz``, ``/readyz``, ``/stats``) and the
+  :class:`MinimizeService` lifecycle (start, graceful SIGTERM drain);
+* :mod:`repro.serve.admission` — bounded concurrency + waiting room,
+  shedding the excess with 429 + ``Retry-After``;
+* :mod:`repro.serve.breaker` — a per-(rung, job-size) circuit breaker
+  that stops re-attempting rungs that keep timing out;
+* :mod:`repro.serve.watchdog` — RSS sampling with a soft ceiling
+  (shrink the result cache) and a hard one (shed all new work).
+
+Start one with ``spp-minimize serve`` or programmatically::
+
+    from repro.serve import MinimizeService, ServeConfig
+
+    service = MinimizeService(ServeConfig(port=0))  # 0 = ephemeral
+    host, port = service.start()
+    ...
+    service.drain()
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import RungBreaker
+from repro.serve.server import MinimizeService, ServeConfig
+from repro.serve.watchdog import MemoryWatchdog
+
+__all__ = [
+    "AdmissionQueue",
+    "MemoryWatchdog",
+    "MinimizeService",
+    "RungBreaker",
+    "ServeConfig",
+]

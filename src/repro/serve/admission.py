@@ -1,0 +1,143 @@
+"""Bounded admission: worker slots, a finite waiting room, load shedding.
+
+A long-running service dies by accepting work it cannot finish.  The
+admission queue gives ``repro serve`` a hard intake shape: at most
+``workers`` requests minimize concurrently, at most ``capacity`` more
+may wait for a slot, and everything beyond that is **shed** immediately
+with a structured :class:`repro.errors.Overloaded` (HTTP 429 +
+``Retry-After``) instead of queueing unboundedly.  Shedding is the
+correct overload behavior here because minimization requests are
+retryable and idempotent (content-hashed jobs + result cache: a retry
+of completed work is a cache hit).
+
+Two service-wide switches piggyback on admission:
+
+* ``close()`` — drain mode: every new request is refused so in-flight
+  work can finish (SIGTERM handling).
+* ``shed_all`` — the memory watchdog's hard-ceiling state: refuse new
+  work until RSS recedes, without touching in-flight requests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.errors import Overloaded
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Counting-semaphore admission with a bounded waiting room."""
+
+    def __init__(
+        self,
+        workers: int,
+        capacity: int,
+        *,
+        wait_timeout: float | None = 30.0,
+        retry_after: float = 1.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.workers = workers
+        self.capacity = capacity
+        self.wait_timeout = wait_timeout
+        self.retry_after = retry_after
+        self.shed_all = False  # set by the memory watchdog's hard ceiling
+        self._slots = threading.Semaphore(workers)
+        self._lock = threading.Lock()
+        self._active = 0
+        self._waiting = 0
+        self._closed = False
+        self._admitted = 0
+        self._shed = 0
+
+    # -- switches ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting (drain mode); in-flight requests are untouched."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def accepting(self) -> bool:
+        return not self._closed and not self.shed_all
+
+    # -- admission -----------------------------------------------------
+
+    @contextlib.contextmanager
+    def admit(self):
+        """Hold a worker slot for the ``with`` body, or shed.
+
+        Raises :class:`Overloaded` when the service is draining, the
+        watchdog is shedding, the waiting room is full, or a slot does
+        not free up within ``wait_timeout``.
+        """
+        with self._lock:
+            if self._closed:
+                self._shed += 1
+                raise Overloaded(
+                    "service is draining", retry_after=self.retry_after
+                )
+            if self.shed_all:
+                self._shed += 1
+                raise Overloaded(
+                    "service is shedding load (memory pressure)",
+                    retry_after=self.retry_after,
+                )
+            # A free slot admits immediately; only slot-less requests
+            # occupy the waiting room (capacity=0 = no waiting at all).
+            acquired = self._slots.acquire(blocking=False)
+            if acquired:
+                self._active += 1
+                self._admitted += 1
+            else:
+                if self._waiting >= self.capacity:
+                    self._shed += 1
+                    raise Overloaded(
+                        f"admission queue full ({self.capacity} waiting)",
+                        retry_after=self.retry_after,
+                    )
+                self._waiting += 1
+        if not acquired:
+            acquired = self._slots.acquire(timeout=self.wait_timeout)
+            with self._lock:
+                self._waiting -= 1
+                if not acquired:
+                    self._shed += 1
+                else:
+                    self._active += 1
+                    self._admitted += 1
+            if not acquired:
+                raise Overloaded(
+                    f"no worker slot freed within {self.wait_timeout}s",
+                    retry_after=self.retry_after,
+                )
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+            self._slots.release()
+
+    # -- introspection -------------------------------------------------
+
+    def snapshot(self) -> dict[str, int | bool]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "capacity": self.capacity,
+                "active": self._active,
+                "waiting": self._waiting,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "closed": self._closed,
+                "shed_all": self.shed_all,
+            }

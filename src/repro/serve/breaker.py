@@ -1,0 +1,108 @@
+"""Per-rung circuit breaker: stop re-attempting rungs that keep timing out.
+
+The degradation ladder already handles a *single* slow job — the rung
+times out, the next rung answers.  Under sustained load the same waste
+repeats per request: every exact-method request on a hard function
+burns its full per-attempt timeout on the exact rung before degrading.
+The breaker remembers that: after ``threshold`` consecutive timeouts of
+one rung on *similar-sized* jobs, that (rung, size-bucket) pair opens
+and the ladder skips straight to the next rung (via the scheduler's
+``rung_gate``).  After ``cooldown`` seconds the breaker goes half-open
+and lets one probe attempt through — success closes it, another timeout
+re-opens it for a fresh cooldown.
+
+Size buckets are ``floor(log2(|on-set|))``: a rung that drowns on a
+4096-point function says nothing about 16-point ones.  The final ladder
+rung is never gated by the scheduler regardless of breaker state, so a
+fully-open breaker still yields answers (from the cheap floor).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["RungBreaker"]
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half-open"
+
+
+class _State:
+    __slots__ = ("status", "failures", "opened_at")
+
+    def __init__(self) -> None:
+        self.status = _CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+
+
+def size_bucket(on_set_size: int) -> int:
+    """Job-size bucket: floor(log2(on-set size)), 0 for empty."""
+    return max(on_set_size, 1).bit_length() - 1
+
+
+class RungBreaker:
+    """Thread-safe breaker map keyed by (rung name, job-size bucket)."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states: dict[tuple[str, int], _State] = {}
+        self.skips = 0  # attempts avoided while open
+
+    def _state(self, rung: str, size: int) -> _State:
+        return self._states.setdefault((rung, size_bucket(size)), _State())
+
+    def allow(self, rung: str, size: int) -> bool:
+        """May this rung be attempted on a job of this size right now?"""
+        with self._lock:
+            state = self._state(rung, size)
+            if state.status == _CLOSED:
+                return True
+            if state.status == _OPEN:
+                if self._clock() - state.opened_at >= self.cooldown:
+                    state.status = _HALF_OPEN  # admit exactly one probe
+                    return True
+                self.skips += 1
+                return False
+            # Half-open with a probe already in flight: stay shut until
+            # the probe reports back.
+            self.skips += 1
+            return False
+
+    def record_timeout(self, rung: str, size: int) -> None:
+        with self._lock:
+            state = self._state(rung, size)
+            state.failures += 1
+            if state.status == _HALF_OPEN or state.failures >= self.threshold:
+                state.status = _OPEN
+                state.opened_at = self._clock()
+
+    def record_success(self, rung: str, size: int) -> None:
+        with self._lock:
+            state = self._state(rung, size)
+            state.status = _CLOSED
+            state.failures = 0
+
+    def snapshot(self) -> dict[str, dict]:
+        """Open/half-open entries for ``/stats`` (closed ones elided)."""
+        with self._lock:
+            return {
+                f"{rung}/2^{bucket}": {
+                    "status": state.status,
+                    "failures": state.failures,
+                }
+                for (rung, bucket), state in self._states.items()
+                if state.status != _CLOSED
+            }

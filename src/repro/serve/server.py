@@ -1,0 +1,493 @@
+"""The ``repro serve`` HTTP/JSON service: minimization as a long-running
+process.
+
+Stdlib-only (``http.server``) threaded front-end over the batch engine.
+Each request thread runs the engine **inline** (``workers=0``) under a
+per-request :class:`repro.budget.Budget` — safe off the main thread
+because deadlines are cooperative, not ``SIGALRM``-based.  The pieces:
+
+* :class:`~repro.serve.admission.AdmissionQueue` bounds concurrency and
+  sheds overload (429 + ``Retry-After``);
+* :class:`~repro.serve.breaker.RungBreaker` skips ladder rungs that
+  keep timing out on similar-sized jobs (via the scheduler's
+  ``rung_gate``);
+* :class:`~repro.serve.watchdog.MemoryWatchdog` shrinks the result
+  cache at the soft RSS ceiling and flips admission to shed-all at the
+  hard one;
+* SIGTERM triggers a graceful drain: stop admitting, let in-flight
+  requests finish within the grace window, cancel stragglers through
+  their tokens, then shut the listener down.  The manifest journal is
+  fsynced per completion, so everything finished before the drain is
+  durable.
+
+Endpoints::
+
+    POST /minimize   {"pla": ...} | {"benchmark": ...}, options
+    GET  /healthz    process liveness (200 while the process runs)
+    GET  /readyz     admission state (503 when draining/shedding)
+    GET  /stats      counters: admission, breaker, watchdog, cache
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.bench.suite import BENCHMARKS, get_benchmark
+from repro.boolfunc.pla import parse_pla
+from repro.budget import Budget
+from repro.engine.batch import SOURCE_CANCELLED, Manifest
+from repro.engine.cache import ResultCache
+from repro.engine.job import METHODS, Job
+from repro.engine.ladder import Rung
+from repro.engine.scheduler import run_batch
+from repro.errors import Overloaded, ParseError, ReproError, UsageError
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import RungBreaker
+from repro.serve.watchdog import MemoryWatchdog
+
+__all__ = ["ServeConfig", "MinimizeService"]
+
+# Ladder rank of each method: a request's ``max_rung`` gates every rung
+# ranked above it (the scheduler still never gates the final rung).
+_RUNG_RANK = {"sp": 0, "heuristic": 1, "bounded": 2, "exact": 3}
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one service instance (all exposed as CLI flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8351
+    threads: int = 4             # concurrent minimizations
+    queue_capacity: int = 8      # waiting room beyond the active slots
+    wait_timeout: float = 30.0   # max wait for a slot before shedding
+    retry_after: float = 1.0     # advisory Retry-After on shed responses
+    default_timeout: float = 5.0     # per-attempt rung deadline
+    default_budget: float = 30.0     # overall budget when none requested
+    max_budget: float = 300.0        # ceiling on client-requested budgets
+    memory_soft_mb: float | None = None
+    memory_hard_mb: float | None = None
+    watchdog_interval: float = 0.5
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    cache_entries: int = 1024
+    cache_dir: str | None = None
+    manifest_dir: str | None = None
+    drain_grace: float = 10.0
+
+
+class MinimizeService:
+    """Engine + admission + breaker + watchdog behind an HTTP listener."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.cache = ResultCache(
+            max_entries=cfg.cache_entries, cache_dir=cfg.cache_dir
+        )
+        self.manifest = (
+            Manifest(cfg.manifest_dir) if cfg.manifest_dir is not None else None
+        )
+        self.admission = AdmissionQueue(
+            cfg.threads,
+            cfg.queue_capacity,
+            wait_timeout=cfg.wait_timeout,
+            retry_after=cfg.retry_after,
+        )
+        self.breaker = RungBreaker(
+            threshold=cfg.breaker_threshold, cooldown=cfg.breaker_cooldown
+        )
+        self.watchdog = MemoryWatchdog(
+            soft_mb=cfg.memory_soft_mb,
+            hard_mb=cfg.memory_hard_mb,
+            interval=cfg.watchdog_interval,
+            on_soft=self._on_memory_soft,
+            on_hard=self._on_memory_hard,
+            on_recover=self._on_memory_recover,
+        )
+        self._server: ThreadingHTTPServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._inflight: dict[int, Budget] = {}
+        self._inflight_lock = threading.Lock()
+        self._next_request_id = 0
+        self._draining = False
+        self._drained = threading.Event()
+        self._started_at = time.monotonic()
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "completed": 0,
+            "failed": 0,
+            "budget_exceeded": 0,
+            "cancelled": 0,
+        }
+
+    # -- watchdog callbacks --------------------------------------------
+
+    def _on_memory_soft(self, rss: float) -> None:
+        self.cache.shrink()
+
+    def _on_memory_hard(self, rss: float) -> None:
+        self.admission.shed_all = True
+
+    def _on_memory_recover(self, rss: float) -> None:
+        if not self._draining:
+            self.admission.shed_all = False
+
+    # -- request parsing -----------------------------------------------
+
+    def _jobs_from(self, payload: dict[str, Any]) -> list[Job]:
+        if not isinstance(payload, dict):
+            raise UsageError("request body must be a JSON object")
+        method = payload.get("method", "exact")
+        if method not in METHODS:
+            raise UsageError(
+                f"unknown method {method!r} (one of {', '.join(METHODS)})"
+            )
+        if "pla" in payload:
+            func = parse_pla(str(payload["pla"]), name="request")
+            name = str(payload.get("label", "request"))
+        elif "benchmark" in payload:
+            bench = str(payload["benchmark"])
+            if bench not in BENCHMARKS:
+                raise UsageError(f"unknown benchmark {bench!r}")
+            func = get_benchmark(bench)
+            name = bench
+        else:
+            raise UsageError('request needs "pla" text or a "benchmark" name')
+        outputs = range(func.num_outputs)
+        if payload.get("output") is not None:
+            o = int(payload["output"])
+            if not 0 <= o < func.num_outputs:
+                raise UsageError(f"output {o} out of range")
+            outputs = [o]
+        jobs = []
+        for o in outputs:
+            fo = func[o]
+            if not fo.on_set:
+                continue
+            jobs.append(
+                Job(
+                    fo,
+                    method=method,
+                    k=int(payload.get("k", 0)),
+                    bound=int(payload.get("bound", 2)),
+                    covering=str(payload.get("covering", "greedy")),
+                    backend=str(payload.get("backend", "index")),
+                    max_pseudoproducts=payload.get("max_pseudoproducts"),
+                    label=f"{name}[{o}]",
+                )
+            )
+        if not jobs:
+            raise UsageError("every requested output is constant 0")
+        return jobs
+
+    def _budget_from(self, payload: dict[str, Any]) -> Budget:
+        cfg = self.config
+        seconds = float(payload.get("budget_seconds", cfg.default_budget))
+        seconds = min(max(seconds, 0.001), cfg.max_budget)
+        memory_mb = payload.get("memory_mb")
+        return Budget(
+            seconds=seconds,
+            memory_mb=float(memory_mb) if memory_mb is not None else None,
+        )
+
+    def _gate_from(self, payload: dict[str, Any]):
+        max_rung = payload.get("max_rung")
+        if max_rung is not None and max_rung not in _RUNG_RANK:
+            raise UsageError(
+                f"unknown max_rung {max_rung!r} "
+                f"(one of {', '.join(_RUNG_RANK)})"
+            )
+        cap = _RUNG_RANK[max_rung] if max_rung is not None else None
+
+        def gate(job: Job, rung: Rung) -> bool:
+            if cap is not None and _RUNG_RANK.get(rung.method, 0) > cap:
+                return False
+            return self.breaker.allow(rung.name, len(job.func.on_set))
+
+        return gate
+
+    # -- the one real endpoint -----------------------------------------
+
+    def handle_minimize(self, payload: dict[str, Any]) -> tuple[int, dict]:
+        """Run one minimization request; returns (HTTP status, body).
+
+        Raises :class:`Overloaded` when shed — the HTTP layer maps it
+        to 429 + ``Retry-After``.
+        """
+        with self._stats_lock:
+            self._counters["requests"] += 1
+        jobs = self._jobs_from(payload)
+        budget = self._budget_from(payload)
+        timeout = float(payload.get("timeout", self.config.default_timeout))
+        with self.admission.admit():
+            request_id = self._register(budget)
+            try:
+                result = run_batch(
+                    jobs,
+                    workers=0,
+                    timeout=timeout,
+                    cache=self.cache,
+                    manifest=self.manifest,
+                    budget=budget,
+                    rung_gate=self._gate_from(payload),
+                )
+            finally:
+                self._unregister(request_id)
+        self._feed_breaker(result)
+        return self._respond(result, budget, bool(payload.get("include_form")))
+
+    def _feed_breaker(self, result) -> None:
+        for outcome in result:
+            size = len(outcome.job.func.on_set)
+            for attempt in outcome.attempts:
+                if attempt.get("status") == "timeout":
+                    self.breaker.record_timeout(attempt["rung"], size)
+            if outcome.ok and outcome.source == "computed":
+                self.breaker.record_success(outcome.rung, size)
+
+    def _respond(
+        self, result, budget: Budget, include_form: bool
+    ) -> tuple[int, dict]:
+        results = []
+        for outcome in result:
+            entry: dict[str, Any] = {
+                "label": outcome.job.display_label,
+                "source": outcome.source,
+            }
+            if outcome.ok:
+                record = outcome.record
+                entry.update(
+                    rung=record["rung"],
+                    literals=record["literals"],
+                    pseudoproducts=record["pseudoproducts"],
+                    optimal=record.get("optimal", False),
+                    degraded=record.get("degraded", False),
+                    seconds=record.get("seconds"),
+                )
+                if include_form:
+                    entry["form"] = record.get("form")
+            else:
+                entry["attempts"] = outcome.attempts
+            results.append(entry)
+        body: dict[str, Any] = {
+            "ok": result.ok,
+            "results": results,
+            "seconds": result.seconds,
+        }
+        terminated = result.by_source(SOURCE_CANCELLED)
+        if terminated:
+            if budget.cancelled:
+                code, status = "cancelled", 503
+                message = f"request cancelled: {budget.token.reason}"
+                key = "cancelled"
+            else:
+                code, status = "budget-exceeded", 408
+                message = "request budget exhausted before completion"
+                key = "budget_exceeded"
+            body["error"] = {"code": code, "message": message}
+            with self._stats_lock:
+                self._counters[key] += 1
+            return status, body
+        with self._stats_lock:
+            self._counters["completed" if result.ok else "failed"] += 1
+        return 200, body
+
+    # -- in-flight registry --------------------------------------------
+
+    def _register(self, budget: Budget) -> int:
+        with self._inflight_lock:
+            self._next_request_id += 1
+            request_id = self._next_request_id
+            self._inflight[request_id] = budget
+        return request_id
+
+    def _unregister(self, request_id: int) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(request_id, None)
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return len(self._inflight)
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._stats_lock:
+            counters = dict(self._counters)
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "inflight": self.inflight,
+            "draining": self._draining,
+            "counters": counters,
+            "admission": self.admission.snapshot(),
+            "breaker": {
+                "open": self.breaker.snapshot(),
+                "skips": self.breaker.skips,
+            },
+            "watchdog": self.watchdog.snapshot(),
+            "cache": {
+                "entries": len(self.cache),
+                "stats": self.cache.stats.summary(),
+            },
+        }
+
+    @property
+    def ready(self) -> bool:
+        return self.admission.accepting
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start serving on a daemon thread, return (host, port)."""
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._server.daemon_threads = True
+        self.watchdog.start()
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-listener",
+            daemon=True,
+        )
+        self._server_thread.start()
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def drain(self, grace: float | None = None) -> None:
+        """Graceful shutdown: stop admitting, finish or cancel in-flight.
+
+        Requests that complete within the grace window land in the
+        manifest journal as usual; stragglers are cancelled through
+        their budget tokens and answered with the structured
+        ``cancelled`` error.  Idempotent.
+        """
+        if self._draining:
+            self._drained.wait()
+            return
+        self._draining = True
+        self.admission.close()
+        grace = self.config.drain_grace if grace is None else grace
+        deadline = time.monotonic() + max(grace, 0.0)
+        while self.inflight and time.monotonic() < deadline:
+            time.sleep(0.02)
+        with self._inflight_lock:
+            stragglers = list(self._inflight.values())
+        for budget in stragglers:
+            budget.cancel("server draining")
+        # Cancellation is cooperative: give the loops a moment to unwind
+        # so their (cancelled) responses still go out before the
+        # listener dies.
+        deadline = time.monotonic() + 5.0
+        while self.inflight and time.monotonic() < deadline:
+            time.sleep(0.02)
+        self.watchdog.stop()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5.0)
+        self._drained.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → drain on a helper thread (main thread only)."""
+        import signal
+
+        def _on_signal(signum, frame):
+            threading.Thread(
+                target=self.drain, name="repro-serve-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        return self._drained.wait(timeout)
+
+
+def _make_handler(service: MinimizeService):
+    """An ``http.server`` handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, format, *args):  # noqa: A002 — stdlib name
+            pass  # request logging would drown the CLI's own output
+
+        def _send_json(
+            self, status: int, body: dict, headers: dict[str, str] | None = None
+        ) -> None:
+            data = json.dumps(body).encode("ascii")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _error(self, status: int, code: str, message: str, **headers) -> None:
+            self._send_json(
+                status,
+                {"ok": False, "error": {"code": code, "message": message}},
+                headers=headers,
+            )
+
+        # -- GET -------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif self.path == "/readyz":
+                if service.ready:
+                    self._send_json(200, {"status": "ready"})
+                else:
+                    self._send_json(
+                        503,
+                        {"status": "draining" if service.admission.closed
+                         else "shedding"},
+                        headers={"Retry-After": str(service.config.retry_after)},
+                    )
+            elif self.path == "/stats":
+                self._send_json(200, service.stats())
+            else:
+                self._error(404, "not-found", f"no such path {self.path!r}")
+
+        # -- POST ------------------------------------------------------
+
+        def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+            if self.path != "/minimize":
+                self._error(404, "not-found", f"no such path {self.path!r}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, TypeError):
+                self._error(400, "parse", "request body is not valid JSON")
+                return
+            try:
+                status, body = service.handle_minimize(payload)
+            except Overloaded as exc:
+                self._error(
+                    429, exc.code, str(exc),
+                    **{"Retry-After": str(exc.retry_after)},
+                )
+            except (UsageError, ParseError) as exc:
+                self._error(400, exc.code, str(exc))
+            except ReproError as exc:
+                self._error(500, exc.code, str(exc))
+            else:
+                self._send_json(status, body)
+
+    return Handler

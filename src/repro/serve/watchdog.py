@@ -1,0 +1,121 @@
+"""Memory watchdog: sample RSS, shrink the cache, then shed load.
+
+The service's two big memory consumers are the in-memory result cache
+(bounded in entries, not bytes — record size varies wildly with
+function width) and in-flight minimizations (bounded per-request via
+:class:`repro.budget.Budget` ceilings, but N requests add up).  The
+watchdog closes the gap with a two-stage response keyed on process RSS:
+
+* **soft ceiling** — evict the older half of the result-cache LRU
+  (:meth:`repro.engine.cache.ResultCache.shrink`; disk-tier records
+  survive, so this costs re-reads, not recomputes);
+* **hard ceiling** — flip the admission queue's ``shed_all`` switch:
+  new requests are refused with ``Retry-After`` until RSS recedes below
+  the hard ceiling.  In-flight requests are never killed — their own
+  budget ceilings bound them.
+
+Sampling uses :func:`repro.budget.current_rss_mb`; where RSS cannot be
+read (no ``/proc``, no ``resource``) the watchdog is inert.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.budget import current_rss_mb
+
+__all__ = ["MemoryWatchdog"]
+
+
+class MemoryWatchdog:
+    """Daemon sampler enforcing soft (shrink) and hard (shed) ceilings."""
+
+    def __init__(
+        self,
+        *,
+        soft_mb: float | None = None,
+        hard_mb: float | None = None,
+        interval: float = 0.5,
+        on_soft=None,
+        on_hard=None,
+        on_recover=None,
+        sample=current_rss_mb,
+    ) -> None:
+        if soft_mb is not None and hard_mb is not None and soft_mb > hard_mb:
+            raise ValueError("soft ceiling above hard ceiling")
+        self.soft_mb = soft_mb
+        self.hard_mb = hard_mb
+        self.interval = interval
+        self.on_soft = on_soft
+        self.on_hard = on_hard
+        self.on_recover = on_recover
+        self._sample = sample
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.last_rss_mb: float | None = None
+        self.soft_trips = 0
+        self.hard_trips = 0
+        self._shedding = False
+
+    @property
+    def shedding(self) -> bool:
+        return self._shedding
+
+    @property
+    def enabled(self) -> bool:
+        return self.soft_mb is not None or self.hard_mb is not None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if not self.enabled or self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    # -- sampling ------------------------------------------------------
+
+    def poll_once(self) -> None:
+        """One sampling step (public so tests can drive it directly)."""
+        rss = self._sample()
+        self.last_rss_mb = rss
+        if rss is None:
+            return
+        if self.hard_mb is not None:
+            if rss > self.hard_mb:
+                if not self._shedding:
+                    self._shedding = True
+                    self.hard_trips += 1
+                    if self.on_hard is not None:
+                        self.on_hard(rss)
+                return  # already shedding; soft relief is moot
+            if self._shedding:
+                self._shedding = False
+                if self.on_recover is not None:
+                    self.on_recover(rss)
+        if self.soft_mb is not None and rss > self.soft_mb:
+            self.soft_trips += 1
+            if self.on_soft is not None:
+                self.on_soft(rss)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.poll_once()
+
+    def snapshot(self) -> dict:
+        return {
+            "rss_mb": self.last_rss_mb,
+            "soft_mb": self.soft_mb,
+            "hard_mb": self.hard_mb,
+            "soft_trips": self.soft_trips,
+            "hard_trips": self.hard_trips,
+            "shedding": self._shedding,
+        }

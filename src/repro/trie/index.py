@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.budget import Budget
 from repro.core.pseudocube import Pseudocube
 
 __all__ = ["StructureIndex"]
@@ -49,11 +50,15 @@ class StructureIndex:
         bucket = self._buckets.get(pc.basis)
         return bucket is not None and pc.anchor in bucket
 
-    def groups(self) -> Iterator[list[Pseudocube]]:
+    def groups(self, *, budget: Budget | None = None) -> Iterator[list[Pseudocube]]:
         """The same-structure classes (unifiable groups of Theorem 1)."""
         for bucket in self._buckets.values():
+            if budget is not None:
+                budget.tick()
             yield list(bucket.values())
 
-    def items(self) -> Iterator[Pseudocube]:
+    def items(self, *, budget: Budget | None = None) -> Iterator[Pseudocube]:
         for bucket in self._buckets.values():
+            if budget is not None:
+                budget.tick()
             yield from bucket.values()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from typing import Generic, TypeVar
 
+from repro.budget import Budget
 from repro.core import gf2
 from repro.core.bitvec import bits_of, get_bit
 from repro.core.cex import CexExpression
@@ -146,23 +147,28 @@ class PartitionTrie(Generic[T]):
     # Grouping — Property 1
     # ------------------------------------------------------------------
 
-    def groups(self) -> Iterator[list[T]]:
+    def groups(self, *, budget: Budget | None = None) -> Iterator[list[T]]:
         """Yield the payload groups of leaves sharing a parent.
 
         By Property 1 each group holds expressions with the same
         structure, hence (Theorem 1) every pair in a group unifies.
+
+        ``budget`` is ticked once per trie node visited, so walking a
+        huge trie stays cancellable between groups.
         """
         stack = [self.root]
         while stack:
             node = stack.pop()
+            if budget is not None:
+                budget.tick()
             if node.leaves:
                 yield [leaf.payload for leaf in node.leaves.values()]
             stack.extend(node.nc_children.values())
             stack.extend(node.c_children.values())
 
-    def items(self) -> Iterator[T]:
+    def items(self, *, budget: Budget | None = None) -> Iterator[T]:
         """All payloads in the trie."""
-        for group in self.groups():
+        for group in self.groups(budget=budget):
             yield from group
 
     # ------------------------------------------------------------------

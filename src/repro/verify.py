@@ -21,28 +21,83 @@ __all__ = ["VerificationReport", "verify_form", "assert_equivalent", "equivalent
 
 @dataclass(frozen=True)
 class VerificationReport:
-    """Outcome of checking a form against a specification."""
+    """Outcome of checking a form against a specification.
+
+    ``truncated`` means the scan stopped at the counterexample cap:
+    the listed points are the first ones found, not all of them.
+    """
 
     ok: bool
     uncovered_on_points: tuple[int, ...]
     covered_off_points: tuple[int, ...]
+    truncated: bool = False
 
     def __bool__(self) -> bool:
         return self.ok
 
 
-def verify_form(form: SppForm, func: BoolFunc) -> VerificationReport:
+def verify_form(
+    form: SppForm, func: BoolFunc, *, max_counterexamples: int = 8
+) -> VerificationReport:
     """Check that ``form`` implements ``func``.
 
     The form's on-set must include the function's on-set and avoid its
     off-set; don't-care points may fall either way.
+
+    The check streams point-by-point — on-set points through
+    ``form.evaluate``, the form's points against the function's care
+    set — so it never materializes the form's on-set or the function's
+    off-set (the latter is the full complement of the care set, i.e.
+    ``2^n`` minus a few rows for sparse specifications).  Scanning
+    stops after ``max_counterexamples`` failures; the report's
+    ``truncated`` flag says whether the lists are complete.
     """
     if form.n != func.n:
         raise ValueError("form and function over different spaces")
-    covered = form.on_set()
-    uncovered = tuple(sorted(func.on_set - covered))
-    spurious = tuple(sorted(covered & func.off_set))
-    return VerificationReport(not uncovered and not spurious, uncovered, spurious)
+    if max_counterexamples < 1:
+        raise ValueError("max_counterexamples must be positive")
+    uncovered: list[int] = []
+    truncated = False
+    for p in sorted(func.on_set):
+        if not form.evaluate(p):
+            uncovered.append(p)
+            if len(uncovered) >= max_counterexamples:
+                truncated = True
+                break
+    spurious: list[int] = []
+    if not truncated:
+        on, dc = func.on_set, func.dc_set
+        pseudoproducts = getattr(form, "pseudoproducts", None)
+        if pseudoproducts is not None:
+            seen: set[int] = set()
+            for pseudoproduct in pseudoproducts:
+                for p in pseudoproduct.points():
+                    if p in on or p in dc or p in seen:
+                        continue
+                    seen.add(p)
+                    spurious.append(p)
+                    if len(spurious) >= max_counterexamples:
+                        truncated = True
+                        break
+                if truncated:
+                    break
+        else:
+            # Forms without enumerable products (e.g. AND-OR-EXOR):
+            # sweep the off-set through evaluate, still capped.
+            for p in range(1 << form.n):
+                if p in on or p in dc or not form.evaluate(p):
+                    continue
+                spurious.append(p)
+                if len(spurious) >= max_counterexamples:
+                    truncated = True
+                    break
+        spurious.sort()
+    return VerificationReport(
+        not uncovered and not spurious and not truncated,
+        tuple(uncovered),
+        tuple(spurious),
+        truncated,
+    )
 
 
 def assert_equivalent(form: SppForm, func: BoolFunc) -> None:

@@ -154,6 +154,65 @@ class TestCrashRecovery:
             _assert_verified(outcome)
 
 
+class TestCancellationUnderFaults:
+    def test_slow_worker_is_cancelled_mid_rung(self):
+        # An injected stall (an "unkillable" rung in pre-budget builds:
+        # SIGALRM can't land off the main thread, and an inline sleep
+        # ignored the ladder's timeout entirely) is cut short by a
+        # cancel: the fault's sleep slices check the attempt budget, so
+        # the batch returns in far less than the injected 30 seconds.
+        import threading
+        import time
+
+        from repro.budget import Budget
+
+        faults.install(
+            FaultPlan(
+                [FaultRule(site="scheduler.rung_start", kind="slow",
+                           arg=30.0, times=None)]
+            )
+        )
+        budget = Budget()
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(
+                run_batch(_jobs("adr2")[:2], workers=0, budget=budget)
+            )
+        )
+        t0 = time.monotonic()
+        thread.start()
+        time.sleep(0.1)           # let it get stuck inside the stall
+        budget.cancel("operator gave up")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert time.monotonic() - t0 < 5.0
+        result = results[0]
+        assert not result.ok
+        assert all(o.source == "cancelled" for o in result)
+        stalled = result.outcomes[0]
+        assert any(
+            a["status"] == "cancelled" and "operator gave up" in a.get("message", "")
+            for a in stalled.attempts
+        )
+
+    def test_slow_rung_times_out_inline_and_degrades(self):
+        # Same stall, but bounded by the per-attempt timeout instead of
+        # a cancel: the rung degrades and the ladder still answers.
+        faults.install(
+            FaultPlan(
+                [FaultRule(site="scheduler.rung_start", kind="slow",
+                           arg=30.0, times=1)]
+            )
+        )
+        result = run_batch(_jobs("adr2")[:1], workers=0, timeout=0.1)
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.degraded
+        assert outcome.attempts[0]["status"] == "timeout"
+        assert outcome.attempts[0]["seconds"] < 5.0
+        _assert_verified(outcome)
+
+
 class TestCorruptionRecovery:
     def test_corrupt_cache_write_is_quarantined_and_recomputed(self, chaos_dir):
         cache_dir = chaos_dir / "cache"

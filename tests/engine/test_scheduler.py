@@ -50,6 +50,8 @@ class TestDeadlineContext:
     def test_noop_off_main_thread(self):
         # SIGALRM handlers can only be installed from the main thread;
         # elsewhere the context must degrade to a no-op, not blow up.
+        # Off-main-thread deadline *enforcement* is the cooperative
+        # budget's job now — see TestBudgetIntegration below.
         import threading
         import time
 
@@ -215,6 +217,116 @@ class TestResume:
         run_batch(jobs, workers=0, manifest=manifest)
         again = run_batch(jobs, workers=0, manifest=manifest, resume=False)
         assert again.outcomes[0].source == "computed"
+
+
+class TestBudgetIntegration:
+    def test_deadline_enforced_off_main_thread(self):
+        # The regression the budget work exists for: _deadline/SIGALRM
+        # is a silent no-op off the main thread, so an inline run from
+        # a worker thread (a `repro serve` request handler) used to run
+        # a worst-case exact job to completion.  With a cooperative
+        # 200ms budget it must come back in well under a second with a
+        # structured cancelled/budget outcome.
+        import threading
+        import time
+
+        from repro.boolfunc.function import BoolFunc
+        from repro.budget import Budget
+
+        hard = BoolFunc.from_lambda(8, lambda p: bin(p).count("1") % 3 != 0)
+        job = Job(hard, method="exact", label="hard")
+        results = []
+
+        def body():
+            budget = Budget(seconds=0.2)
+            results.append(run_batch([job], workers=0, budget=budget))
+
+        thread = threading.Thread(target=body)
+        t0 = time.monotonic()
+        thread.start()
+        thread.join(timeout=10.0)
+        elapsed = time.monotonic() - t0
+        assert not thread.is_alive()
+        assert elapsed < 1.0
+        outcome = results[0].outcomes[0]
+        assert not outcome.ok
+        assert outcome.source == "cancelled"
+        assert outcome.attempts  # the rung attempt or termination is logged
+
+    def test_expired_budget_cancels_every_job_inline(self):
+        from repro.budget import Budget
+
+        budget = Budget(seconds=0.0001)
+        while not budget.expired():
+            pass
+        result = run_batch(_jobs("adr2", "adr3"), workers=0, budget=budget)
+        assert not result.ok
+        assert all(o.source == "cancelled" for o in result)
+        assert result.counts()["cancelled"] == len(result)
+
+    def test_cancel_token_terminates_with_reason(self):
+        from repro.budget import Budget
+
+        budget = Budget()
+        budget.cancel("client hung up")
+        result = run_batch(_jobs("adr2"), workers=0, budget=budget)
+        assert all(o.source == "cancelled" for o in result)
+        messages = [a.get("message", "") for o in result for a in o.attempts]
+        assert any("client hung up" in m for m in messages)
+
+    def test_pooled_budget_terminates_coarsely(self):
+        from repro.budget import Budget
+
+        budget = Budget()
+        budget.cancel("drain")
+        result = run_batch(_jobs("adr2", "adr3"), workers=2, budget=budget)
+        assert all(o.source == "cancelled" for o in result)
+
+    def test_generous_budget_changes_nothing(self):
+        from repro.budget import Budget
+
+        with_budget = run_batch(
+            _jobs("adr2"), workers=0, budget=Budget(seconds=120)
+        )
+        without = run_batch(_jobs("adr2"), workers=0)
+        assert with_budget.ok and without.ok
+        assert [o.literals for o in with_budget] == [o.literals for o in without]
+
+
+class TestRungGate:
+    def test_gated_rung_is_skipped_and_recorded(self):
+        gated = {"exact"}
+        result = run_batch(
+            _jobs("adr2")[:1],
+            workers=0,
+            rung_gate=lambda job, rung: rung.name not in gated,
+        )
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.rung == "bounded-2"
+        assert outcome.degraded
+        assert outcome.attempts[0] == {
+            "rung": "exact", "status": "skipped", "seconds": 0.0,
+        }
+
+    def test_last_rung_is_never_gated(self):
+        result = run_batch(
+            _jobs("adr2")[:1], workers=0, rung_gate=lambda job, rung: False
+        )
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.rung == "sp"
+        skipped = [a for a in outcome.attempts if a["status"] == "skipped"]
+        assert len(skipped) == 3  # exact, bounded-2, heuristic-k0
+
+    def test_gate_applies_in_pooled_mode(self):
+        result = run_batch(
+            _jobs("adr2"),
+            workers=2,
+            rung_gate=lambda job, rung: rung.method != "exact",
+        )
+        assert result.ok
+        assert all(o.rung != "exact" for o in result)
 
 
 class TestParallelMap:

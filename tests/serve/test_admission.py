@@ -1,0 +1,181 @@
+"""Unit tests for the admission queue, breaker and memory watchdog."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import RungBreaker, size_bucket
+from repro.serve.watchdog import MemoryWatchdog
+
+
+class TestAdmissionQueue:
+    def test_admits_up_to_workers(self):
+        queue = AdmissionQueue(workers=2, capacity=0)
+        with queue.admit():
+            with queue.admit():
+                snap = queue.snapshot()
+                assert snap["active"] == 2
+                assert snap["admitted"] == 2
+        assert queue.snapshot()["active"] == 0
+
+    def test_sheds_beyond_waiting_room(self):
+        queue = AdmissionQueue(workers=1, capacity=0, wait_timeout=0.05)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def occupant():
+            with queue.admit():
+                entered.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        assert entered.wait(timeout=2.0)
+        with pytest.raises(Overloaded) as info:
+            with queue.admit():
+                pass
+        assert info.value.retry_after > 0
+        assert queue.snapshot()["shed"] == 1
+        release.set()
+        thread.join(timeout=2.0)
+
+    def test_waiting_room_times_out(self):
+        queue = AdmissionQueue(workers=1, capacity=1, wait_timeout=0.05)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def occupant():
+            with queue.admit():
+                entered.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        assert entered.wait(timeout=2.0)
+        # Fits in the waiting room, but no slot frees within the wait.
+        with pytest.raises(Overloaded, match="no worker slot"):
+            with queue.admit():
+                pass
+        release.set()
+        thread.join(timeout=2.0)
+
+    def test_closed_queue_sheds_everything(self):
+        queue = AdmissionQueue(workers=4, capacity=4)
+        queue.close()
+        assert not queue.accepting
+        with pytest.raises(Overloaded, match="draining"):
+            with queue.admit():
+                pass
+
+    def test_shed_all_switch(self):
+        queue = AdmissionQueue(workers=4, capacity=4)
+        queue.shed_all = True
+        with pytest.raises(Overloaded, match="memory pressure"):
+            with queue.admit():
+                pass
+        queue.shed_all = False
+        with queue.admit():
+            pass
+
+
+class TestRungBreaker:
+    def test_opens_after_threshold_timeouts(self):
+        breaker = RungBreaker(threshold=3, cooldown=60.0)
+        for _ in range(2):
+            breaker.record_timeout("exact", 100)
+            assert breaker.allow("exact", 100)
+        breaker.record_timeout("exact", 100)
+        assert not breaker.allow("exact", 100)
+        assert breaker.skips == 1
+
+    def test_success_resets_the_count(self):
+        breaker = RungBreaker(threshold=2, cooldown=60.0)
+        breaker.record_timeout("exact", 100)
+        breaker.record_success("exact", 100)
+        breaker.record_timeout("exact", 100)
+        assert breaker.allow("exact", 100)
+
+    def test_size_buckets_are_independent(self):
+        breaker = RungBreaker(threshold=1, cooldown=60.0)
+        breaker.record_timeout("exact", 4096)
+        assert not breaker.allow("exact", 5000)  # same 2^12 bucket
+        assert breaker.allow("exact", 16)        # small jobs unaffected
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = [0.0]
+        breaker = RungBreaker(threshold=1, cooldown=10.0, clock=lambda: clock[0])
+        breaker.record_timeout("exact", 100)
+        assert not breaker.allow("exact", 100)
+        clock[0] = 11.0
+        assert breaker.allow("exact", 100)       # the probe
+        assert not breaker.allow("exact", 100)   # only one probe at a time
+        breaker.record_success("exact", 100)
+        assert breaker.allow("exact", 100)       # closed again
+
+    def test_probe_timeout_reopens(self):
+        clock = [0.0]
+        breaker = RungBreaker(threshold=1, cooldown=10.0, clock=lambda: clock[0])
+        breaker.record_timeout("exact", 100)
+        clock[0] = 11.0
+        assert breaker.allow("exact", 100)
+        breaker.record_timeout("exact", 100)     # probe failed
+        clock[0] = 15.0                          # cooldown restarted at 11
+        assert not breaker.allow("exact", 100)
+
+    def test_snapshot_lists_open_entries(self):
+        breaker = RungBreaker(threshold=1)
+        breaker.record_timeout("exact", 100)
+        snap = breaker.snapshot()
+        assert list(snap) == [f"exact/2^{size_bucket(100)}"]
+        assert snap[f"exact/2^{size_bucket(100)}"]["status"] == "open"
+
+
+class TestMemoryWatchdog:
+    def test_soft_ceiling_fires_callback(self):
+        shrinks = []
+        dog = MemoryWatchdog(
+            soft_mb=100, on_soft=shrinks.append, sample=lambda: 150.0
+        )
+        dog.poll_once()
+        assert shrinks == [150.0]
+        assert dog.soft_trips == 1
+        assert not dog.shedding
+
+    def test_hard_ceiling_sheds_then_recovers(self):
+        rss = [500.0]
+        events = []
+        dog = MemoryWatchdog(
+            soft_mb=100,
+            hard_mb=400,
+            on_soft=lambda r: events.append(("soft", r)),
+            on_hard=lambda r: events.append(("hard", r)),
+            on_recover=lambda r: events.append(("recover", r)),
+            sample=lambda: rss[0],
+        )
+        dog.poll_once()
+        assert dog.shedding
+        dog.poll_once()  # still over: hard fires once, not repeatedly
+        assert dog.hard_trips == 1
+        rss[0] = 50.0
+        dog.poll_once()
+        assert not dog.shedding
+        assert events == [("hard", 500.0), ("recover", 50.0)]
+
+    def test_unmeasurable_rss_is_inert(self):
+        dog = MemoryWatchdog(soft_mb=1, on_soft=lambda r: 1 / 0, sample=lambda: None)
+        dog.poll_once()  # no sample, no callback, no crash
+        assert dog.last_rss_mb is None
+
+    def test_soft_above_hard_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryWatchdog(soft_mb=200, hard_mb=100)
+
+    def test_disabled_watchdog_does_not_start(self):
+        dog = MemoryWatchdog()
+        assert not dog.enabled
+        dog.start()
+        assert dog._thread is None

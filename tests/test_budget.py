@@ -1,0 +1,151 @@
+"""Unit tests for repro.budget: ticks, deadlines, ceilings, tokens."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.budget import Budget, CancelToken, current_rss_mb
+from repro.errors import BudgetExceeded, Cancelled
+
+
+class TestCancelToken:
+    def test_starts_clear(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no raise
+
+    def test_cancel_sets_and_raises(self):
+        token = CancelToken()
+        token.cancel("client went away")
+        assert token.cancelled
+        with pytest.raises(Cancelled, match="client went away"):
+            token.raise_if_cancelled()
+
+    def test_first_reason_wins(self):
+        token = CancelToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+
+class TestBudgetDeadline:
+    def test_unbounded_never_raises(self):
+        budget = Budget()
+        for _ in range(10):
+            budget.check()
+            budget.tick(10_000)
+
+    def test_deadline_raises_with_reason(self):
+        budget = Budget(seconds=0.01)
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check()
+        assert info.value.reason == "deadline"
+        assert not isinstance(info.value, Cancelled)
+
+    def test_remaining_and_expired(self):
+        budget = Budget(seconds=60)
+        assert not budget.expired()
+        assert 0 < budget.remaining() <= 60
+        assert Budget().remaining() is None
+
+    def test_tick_amortizes_checks(self):
+        # An already-blown deadline only surfaces when the tick counter
+        # crosses the tick_every boundary — the hot path is two integer
+        # operations, not a clock read.
+        budget = Budget(seconds=0.001, tick_every=100)
+        time.sleep(0.005)
+        for _ in range(99):
+            budget.tick()
+        with pytest.raises(BudgetExceeded):
+            budget.tick()
+
+    def test_bulk_tick_counts_work(self):
+        budget = Budget()
+        budget.tick(500)
+        budget.tick(11)
+        assert budget.ticks == 511
+
+
+class TestBudgetCeilings:
+    def test_tick_cap(self):
+        budget = Budget(max_ticks=100, tick_every=10)
+        with pytest.raises(BudgetExceeded) as info:
+            for _ in range(200):
+                budget.tick()
+        assert info.value.reason == "ticks"
+
+    def test_memory_ceiling_uses_rss(self):
+        rss = current_rss_mb()
+        if rss is None:
+            pytest.skip("RSS not measurable on this platform")
+        with pytest.raises(BudgetExceeded) as info:
+            Budget(memory_mb=0.001).check()
+        assert info.value.reason == "memory"
+        Budget(memory_mb=rss + 10_000).check()  # plenty of headroom
+
+    def test_tick_every_validation(self):
+        with pytest.raises(ValueError):
+            Budget(tick_every=0)
+
+
+class TestBudgetCancellation:
+    def test_cancel_raises_cancelled(self):
+        budget = Budget()
+        budget.cancel("shutting down")
+        assert budget.cancelled
+        with pytest.raises(Cancelled, match="shutting down"):
+            budget.check()
+
+    def test_cancelled_is_budget_exceeded(self):
+        # One except site catches both; exit codes stay distinct.
+        assert issubclass(Cancelled, BudgetExceeded)
+        assert Cancelled().exit_code != BudgetExceeded("x").exit_code
+
+    def test_cancel_from_another_thread(self):
+        budget = Budget(tick_every=1)
+        stopped = threading.Event()
+
+        def worker():
+            try:
+                while True:
+                    budget.tick()
+            except Cancelled:
+                stopped.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        budget.cancel()
+        assert stopped.wait(timeout=2.0)
+        thread.join(timeout=2.0)
+
+
+class TestBudgetChild:
+    def test_child_shares_token(self):
+        parent = Budget()
+        child = parent.child(seconds=10)
+        parent.cancel()
+        with pytest.raises(Cancelled):
+            child.check()
+
+    def test_child_takes_min_deadline(self):
+        parent = Budget(seconds=0.5)
+        child = parent.child(seconds=100)
+        # The attempt allowance cannot outlive the request budget.
+        assert child.remaining() <= 0.5
+        tighter = parent.child(seconds=0.01)
+        assert tighter.remaining() <= 0.011
+
+    def test_child_of_unbounded_parent(self):
+        child = Budget().child(seconds=5)
+        assert 0 < child.remaining() <= 5
+
+    def test_child_inherits_then_overrides_ceilings(self):
+        parent = Budget(memory_mb=256, max_ticks=1000)
+        assert parent.child().memory_mb == 256
+        assert parent.child().max_ticks == 1000
+        assert parent.child(memory_mb=64).memory_mb == 64
+        assert parent.child(max_ticks=10).max_ticks == 10
