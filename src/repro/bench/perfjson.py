@@ -1,0 +1,309 @@
+"""Machine-readable performance reports — the ``BENCH_*.json`` schema.
+
+The ROADMAP's north star ("as fast as the hardware allows") is only
+enforceable if every PR leaves a comparable timing record behind.  This
+module defines that record: a small JSON schema (``repro-bench/1``)
+with an environment fingerprint (python version, platform, cpu count,
+git sha) and a flat list of named timing entries, plus helpers to
+validate a report and to compare two reports entry by entry.
+
+Producers:
+
+* ``spp-minimize bench --json BENCH_<tag>.json`` runs the pinned
+  micro/meso suite (:func:`run_perf_suite`) — generation, covering
+  build, covering solve, and end-to-end table rows;
+* ``spp-minimize tables ... --perf-json FILE`` records the rows of a
+  table run in the same schema, so full paper regenerations feed the
+  same trajectory.
+
+Consumers: ``compare_reports`` (used by ``bench --baseline`` and the
+CI ``bench-smoke`` job) flags any entry slower than
+``max_regression × baseline``.  Timing entries record both the minimum
+("best", the low-noise statistic micro-benchmarks should compare) and
+the mean over ``repeats`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SCHEMA",
+    "BenchEntry",
+    "environment_fingerprint",
+    "make_report",
+    "validate_report",
+    "compare_reports",
+    "write_report",
+    "load_report",
+    "run_perf_suite",
+]
+
+SCHEMA = "repro-bench/1"
+
+# Pinned suite instances.  Small enough for CI, large enough that the
+# covering-build kernel's structure grouping is actually exercised
+# (adr4[4] alone has ~5000 distinct direction bases).
+GENERATION_CASES = [("adr3", 2), ("dist3", 1), ("life6", 0)]
+COVERING_CASES = [("adr4", 3), ("adr4", 4), ("life", 0)]
+E2E_TABLE1_CASES = ["adr3", "dist3", "life6"]
+
+
+@dataclass
+class BenchEntry:
+    """One named timing: ``best``/``mean`` seconds over ``repeats`` runs."""
+
+    name: str
+    group: str
+    best: float
+    mean: float
+    repeats: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "best": self.best,
+            "mean": self.mean,
+            "repeats": self.repeats,
+            "meta": self.meta,
+        }
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where the numbers came from: python, platform, cpus, git sha."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def make_report(tag: str, entries: list[BenchEntry]) -> dict[str, Any]:
+    """Assemble a schema-conformant report dict."""
+    return {
+        "schema": SCHEMA,
+        "tag": tag,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": environment_fingerprint(),
+        "entries": [e.to_dict() for e in entries],
+    }
+
+
+def validate_report(data: Any) -> None:
+    """Raise ``ValueError`` unless ``data`` is a valid ``repro-bench/1``
+    report.  Used on both the write path (never emit garbage) and the
+    baseline-load path (fail loudly on a corrupt committed file)."""
+    if not isinstance(data, dict):
+        raise ValueError("report must be a JSON object")
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"unknown schema {data.get('schema')!r}")
+    if not isinstance(data.get("tag"), str) or not data["tag"]:
+        raise ValueError("report tag must be a non-empty string")
+    env = data.get("environment")
+    if not isinstance(env, dict):
+        raise ValueError("report lacks an environment fingerprint")
+    for key in ("python", "platform", "cpu_count"):
+        if key not in env:
+            raise ValueError(f"environment fingerprint lacks {key!r}")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError("report entries must be a list")
+    seen: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError("entry must be an object")
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("entry name must be a non-empty string")
+        if name in seen:
+            raise ValueError(f"duplicate entry name {name!r}")
+        seen.add(name)
+        for key in ("best", "mean"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"entry {name!r}: {key} must be >= 0")
+        repeats = entry.get("repeats")
+        if not isinstance(repeats, int) or repeats < 1:
+            raise ValueError(f"entry {name!r}: repeats must be a positive int")
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 2.5,
+) -> list[dict[str, Any]]:
+    """Entry-by-entry ratio of ``current`` to ``baseline`` best times.
+
+    Returns one row per entry name present in both reports:
+    ``{"name", "current", "baseline", "ratio", "regressed"}``.
+    ``regressed`` is True when current is more than ``max_regression``
+    times slower.  Entries only in one report are ignored (suites may
+    grow across PRs).
+    """
+    validate_report(current)
+    validate_report(baseline)
+    base = {e["name"]: e for e in baseline["entries"]}
+    rows: list[dict[str, Any]] = []
+    for entry in current["entries"]:
+        other = base.get(entry["name"])
+        if other is None:
+            continue
+        cur_s, base_s = entry["best"], other["best"]
+        ratio = cur_s / base_s if base_s > 0 else (1.0 if cur_s == 0 else float("inf"))
+        rows.append(
+            {
+                "name": entry["name"],
+                "current": cur_s,
+                "baseline": base_s,
+                "ratio": ratio,
+                "regressed": ratio > max_regression,
+            }
+        )
+    return rows
+
+
+def write_report(path: str, report: dict[str, Any]) -> None:
+    validate_report(report)
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    with open(path, encoding="ascii") as handle:
+        data = json.load(handle)
+    validate_report(data)
+    return data
+
+
+# ----------------------------------------------------------------------
+# The pinned suite
+# ----------------------------------------------------------------------
+
+def _time_best(fn, repeats: int) -> tuple[float, float]:
+    """(best, mean) wall-clock seconds of ``repeats`` calls."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), sum(times) / len(times)
+
+
+def run_perf_suite(
+    *,
+    repeats: int = 5,
+    e2e_repeats: int = 1,
+    only: str | None = None,
+    progress=None,
+) -> list[BenchEntry]:
+    """Run the pinned micro/meso suite and return its entries.
+
+    ``only`` filters entry names by prefix (the unit tests and quick
+    local iterations use it to avoid the multi-second end-to-end rows).
+    ``progress`` is an optional callable receiving each finished entry.
+    """
+    from repro.bench import harness
+    from repro.bench.suite import get_benchmark
+    from repro.kernels.coverage import build_problem
+    from repro.minimize import covering as cov
+    from repro.minimize.cost import literal_cost
+    from repro.minimize.eppp import generate_eppp
+
+    entries: list[BenchEntry] = []
+
+    def emit(entry: BenchEntry) -> None:
+        entries.append(entry)
+        if progress is not None:
+            progress(entry)
+
+    def wanted(name: str) -> bool:
+        return only is None or name.startswith(only)
+
+    for name, output in GENERATION_CASES:
+        label = f"gen/{name}[{output}]"
+        if not wanted(label):
+            continue
+        fo = get_benchmark(name)[output]
+        best, mean = _time_best(
+            lambda fo=fo: generate_eppp(
+                fo, max_pseudoproducts=200_000, on_limit="stop"
+            ),
+            repeats,
+        )
+        emit(BenchEntry(label, "gen", best, mean, repeats, {"n": fo.n}))
+
+    cover_problems = {}
+    for name, output in COVERING_CASES:
+        label = f"covering_build/{name}[{output}]"
+        solve_label = f"covering_solve/{name}[{output}]"
+        if not wanted(label) and not wanted(solve_label):
+            continue
+        fo = get_benchmark(name)[output]
+        generation = generate_eppp(fo, max_pseudoproducts=200_000, on_limit="stop")
+        candidates = generation.eppps
+        rows = sorted(fo.on_set)
+        if wanted(label):
+            best, mean = _time_best(
+                lambda: build_problem(rows, candidates, cost_of=literal_cost),
+                repeats,
+            )
+            emit(
+                BenchEntry(
+                    label, "covering_build", best, mean, repeats,
+                    {"rows": len(rows), "candidates": len(candidates)},
+                )
+            )
+        cover_problems[solve_label] = build_problem(
+            rows, candidates, cost_of=literal_cost
+        )
+
+    for solve_label, problem in cover_problems.items():
+        if not wanted(solve_label):
+            continue
+        best, mean = _time_best(lambda: cov.solve_greedy(problem), repeats)
+        emit(
+            BenchEntry(
+                solve_label, "covering_solve", best, mean, repeats,
+                {"rows": problem.num_rows, "columns": problem.num_columns},
+            )
+        )
+
+    for name in E2E_TABLE1_CASES:
+        label = f"e2e/table1/{name}"
+        if not wanted(label):
+            continue
+        best, mean = _time_best(
+            lambda name=name: harness.run_table1_row(
+                name, max_pseudoproducts=200_000
+            ),
+            e2e_repeats,
+        )
+        emit(BenchEntry(label, "e2e", best, mean, e2e_repeats, {}))
+
+    return entries

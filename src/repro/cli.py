@@ -7,6 +7,7 @@
     spp-minimize benchmarks --list
     spp-minimize benchmarks --dump adr4 > adr4.pla
     spp-minimize tables table1 --full --jobs 8
+    spp-minimize bench --json BENCH_local.json --baseline benchmarks/baseline.json
     spp-minimize batch adr4 life circuit.pla --jobs 4 --timeout 30 \\
         --cache-dir .spp-cache --resume
     spp-minimize serve --port 8351 --threads 4 --queue-capacity 8
@@ -189,6 +190,42 @@ def _tables_cache(args: argparse.Namespace):
     return ResultCache(cache_dir=args.cache_dir)
 
 
+def _tables_perf_entries(table: str, items) -> list:
+    """Convert a table run's measurements into BENCH_*.json entries, so
+    full regenerations feed the same trajectory as ``bench``."""
+    from repro.bench.perfjson import BenchEntry
+
+    def one(name: str, seconds: float, meta: dict) -> BenchEntry:
+        return BenchEntry(name, "tables", seconds, seconds, 1, meta)
+
+    entries: list[BenchEntry] = []
+    if table == "table1":
+        for m in items:
+            entries.append(one(f"tables/table1/{m.function}/sp",
+                               m.seconds_sp, {"literals": m.sp_literals}))
+            entries.append(one(f"tables/table1/{m.function}/spp",
+                               m.seconds_spp, {"literals": m.spp_literals}))
+    elif table == "table2":
+        for m in items:
+            label = f"tables/table2/{m.function}[{m.output}]"
+            entries.append(one(f"{label}/alg2", m.seconds_alg2,
+                               {"comparisons": m.comparisons_alg2}))
+            if m.seconds_naive is not None:
+                entries.append(one(f"{label}/naive", m.seconds_naive, {}))
+    elif table == "table3":
+        for m in items:
+            entries.append(one(f"tables/table3/{m.function}/spp0",
+                               m.spp0_seconds, {"literals": m.spp0_literals}))
+            if m.spp_seconds is not None:
+                entries.append(one(f"tables/table3/{m.function}/spp",
+                                   m.spp_seconds, {"literals": m.spp_literals}))
+    else:  # fig34
+        for p in items:
+            entries.append(one(f"tables/fig34/{p.function}/k{p.k}",
+                               p.seconds, {"literals": p.literals}))
+    return entries
+
+
 def _cmd_tables(args: argparse.Namespace) -> None:
     parallel = args.jobs != 1
     cache = _tables_cache(args)
@@ -206,6 +243,7 @@ def _cmd_tables(args: argparse.Namespace) -> None:
         else:
             rows = [harness.run_table1_row(n, max_pseudoproducts=cap) for n in names]
         print(harness.render_table1(rows))
+        items = rows
     elif args.table == "table2":
         pairs = harness.QUICK_TABLE2 if args.quick else harness.FULL_TABLE2
         cap = 200_000 if args.quick else None
@@ -218,6 +256,7 @@ def _cmd_tables(args: argparse.Namespace) -> None:
                 harness.run_table2_row(n, o, max_pseudoproducts=cap) for n, o in pairs
             ]
         print(harness.render_table2(rows))
+        items = rows
     elif args.table == "table3":
         names = harness.QUICK_TABLE3 if args.quick else harness.FULL_TABLE3
         budget = 200_000 if args.quick else None
@@ -229,6 +268,7 @@ def _cmd_tables(args: argparse.Namespace) -> None:
         else:
             rows3 = [harness.run_table3_row(n, exact_budget=budget) for n in names]
         print(harness.render_table3(rows3))
+        items = rows3
     else:  # fig34
         names = harness.QUICK_FIG34 if args.quick else harness.FULL_FIG34
         if parallel:
@@ -240,6 +280,56 @@ def _cmd_tables(args: argparse.Namespace) -> None:
             for name in names:
                 points.extend(harness.run_spp_k_sweep(name))
         print(harness.render_fig34(points))
+        items = points
+    if args.perf_json:
+        from repro.bench.perfjson import make_report, write_report
+
+        entries = _tables_perf_entries(args.table, items)
+        write_report(
+            args.perf_json, make_report(f"tables-{args.table}", entries)
+        )
+        print(f"wrote {args.perf_json} ({len(entries)} entries)")
+
+
+def _cmd_perf_bench(args: argparse.Namespace) -> None:
+    from repro.bench import perfjson
+
+    tag = args.tag
+    if tag is None:
+        base = os.path.basename(args.json)
+        if base.startswith("BENCH_") and base.endswith(".json"):
+            tag = base[len("BENCH_"):-len(".json")]
+        else:
+            tag = "local"
+
+    def show(entry) -> None:
+        print(f"{entry.name:<30} best {entry.best * 1e3:9.2f}ms  "
+              f"mean {entry.mean * 1e3:9.2f}ms  (x{entry.repeats})", flush=True)
+
+    entries = perfjson.run_perf_suite(
+        repeats=args.repeats,
+        e2e_repeats=args.e2e_repeats,
+        only=args.only,
+        progress=show,
+    )
+    report = perfjson.make_report(tag, entries)
+    perfjson.write_report(args.json, report)
+    print(f"wrote {args.json} ({len(entries)} entries)")
+    if args.baseline:
+        baseline = perfjson.load_report(args.baseline)
+        rows = perfjson.compare_reports(report, baseline, args.max_regression)
+        regressed = [r for r in rows if r["regressed"]]
+        for r in rows:
+            flag = "REGRESSED" if r["regressed"] else "ok"
+            print(f"{r['name']:<30} {r['current'] * 1e3:9.2f}ms vs "
+                  f"{r['baseline'] * 1e3:9.2f}ms  x{r['ratio']:5.2f}  {flag}")
+        if regressed:
+            print(
+                f"bench: {len(regressed)} entries regressed more than "
+                f"{args.max_regression}x vs {args.baseline}",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
 
 
 def _batch_jobs(args: argparse.Namespace) -> list:
@@ -401,7 +491,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt deadline for engine-routed rows")
     p_tab.add_argument("--cache-dir", default=None,
                        help="persistent result cache for engine-routed rows")
+    p_tab.add_argument("--perf-json", metavar="FILE", default=None,
+                       help="also record per-row timings as a BENCH_*.json "
+                       "report (repro-bench/1 schema)")
     p_tab.set_defaults(handler=_cmd_tables)
+
+    p_perf = sub.add_parser(
+        "bench",
+        help="run the pinned perf suite and emit a BENCH_*.json report",
+        description="Time the pinned micro/meso suite (EPPP generation, "
+        "covering build, covering solve, end-to-end table rows) and write "
+        "a machine-readable repro-bench/1 report with an environment "
+        "fingerprint.  With --baseline, compare entry by entry and exit 1 "
+        "if anything regressed beyond --max-regression.",
+    )
+    p_perf.add_argument("--json", required=True, metavar="FILE",
+                        help="output report path (BENCH_<tag>.json)")
+    p_perf.add_argument("--tag", default=None,
+                        help="report tag (default: derived from the filename)")
+    p_perf.add_argument("--repeats", type=int, default=5, metavar="N",
+                        help="micro-benchmark repetitions; best-of-N is "
+                        "recorded (default 5)")
+    p_perf.add_argument("--e2e-repeats", type=int, default=1, metavar="N",
+                        help="end-to-end row repetitions (default 1)")
+    p_perf.add_argument("--only", default=None, metavar="PREFIX",
+                        help="run only entries whose name starts with PREFIX")
+    p_perf.add_argument("--baseline", default=None, metavar="FILE",
+                        help="compare against a baseline report")
+    p_perf.add_argument("--max-regression", type=float, default=2.5,
+                        metavar="X", help="fail when an entry is more than "
+                        "X times slower than the baseline (default 2.5)")
+    p_perf.set_defaults(handler=_cmd_perf_bench)
 
     p_batch = sub.add_parser(
         "batch",

@@ -39,7 +39,7 @@ class NotAPseudocubeError(ValueError):
 class Pseudocube:
     """An immutable pseudocube of ``B^n`` in canonical affine form."""
 
-    __slots__ = ("n", "anchor", "basis", "_hash")
+    __slots__ = ("n", "anchor", "basis", "_hash", "_pivot_mask")
 
     n: int
     anchor: int
@@ -60,12 +60,14 @@ class Pseudocube:
             raise ValueError("basis is not in RREF form")
         if basis and basis[-1] >= (1 << n):
             raise ValueError("basis vector outside B^n")
-        if anchor & gf2.pivot_mask(basis):
+        pivots = gf2.pivot_mask(basis)
+        if anchor & pivots:
             raise ValueError("anchor must be zero on canonical variables")
         object.__setattr__(self, "n", n)
         object.__setattr__(self, "anchor", anchor)
         object.__setattr__(self, "basis", basis)
         object.__setattr__(self, "_hash", hash((n, anchor, basis)))
+        object.__setattr__(self, "_pivot_mask", pivots)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Pseudocube is immutable")
@@ -150,8 +152,18 @@ class Pseudocube:
 
     @property
     def canonical_mask(self) -> int:
-        """Bitmask of the canonical variables (RREF pivots)."""
-        return gf2.pivot_mask(self.basis)
+        """Bitmask of the canonical variables (RREF pivots).
+
+        Cached in a slot: computed eagerly by the validating
+        constructor (which needs it anyway) and on first access for
+        :meth:`_unsafe`-built instances (hot loops never pay for it).
+        """
+        try:
+            return self._pivot_mask
+        except AttributeError:
+            mask = gf2.pivot_mask(self.basis)
+            object.__setattr__(self, "_pivot_mask", mask)
+            return mask
 
     def canonical_variables(self) -> tuple[int, ...]:
         """Indices of the canonical variables, increasing."""

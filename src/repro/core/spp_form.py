@@ -64,9 +64,31 @@ class SppForm:
         """True iff every pseudoproduct is a plain cube (SP form)."""
         return all(p.is_cube() for p in self.pseudoproducts)
 
+    def covered(self, points: Iterable[int]) -> set[int]:
+        """The subset of ``points`` covered by the form.
+
+        Goes through the structure-grouped coverage kernel: one mask
+        pass over all pseudoproducts instead of a membership test per
+        (point, pseudoproduct) pair.
+        """
+        # Local import: repro.kernels sits above repro.core.
+        from repro.kernels.coverage import coverage_masks
+
+        rows = sorted(set(points))
+        mask = 0
+        for column in coverage_masks(rows, self.pseudoproducts):
+            mask |= column
+        out: set[int] = set()
+        while mask:
+            low = mask & -mask
+            out.add(rows[low.bit_length() - 1])
+            mask ^= low
+        return out
+
     def covers(self, points: Iterable[int]) -> bool:
         """True iff every given point is covered by the form."""
-        return all(self.evaluate(p) for p in points)
+        pts = set(points)
+        return len(self.covered(pts)) == len(pts)
 
     def to_string(self, var: str = "x") -> str:
         if not self.pseudoproducts:

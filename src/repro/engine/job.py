@@ -24,7 +24,13 @@ __all__ = ["Job", "METHODS", "job_to_dict", "job_from_dict"]
 
 METHODS = ("exact", "bounded", "heuristic", "sp")
 
-_HASH_VERSION = 1
+_HASH_VERSION = 2
+
+# Salt identifying the solver generation.  Bump whenever an algorithm
+# change can alter results for identical inputs (e.g. a different
+# covering heuristic), so stale cache entries from older builds are
+# never served as if they came from the current solver.
+_SOLVER_VERSION = "kernels-1"
 
 
 @dataclass(frozen=True)
@@ -63,10 +69,12 @@ class Job:
 
     @cached_property
     def content_hash(self) -> str:
-        """SHA-256 over the canonical truth table and normalized options."""
+        """SHA-256 over the canonical truth table, normalized options,
+        and the solver-version salt."""
         payload = canonical_dumps(
             {
                 "version": _HASH_VERSION,
+                "solver": _SOLVER_VERSION,
                 "n": self.func.n,
                 "on": sorted(self.func.on_set),
                 "dc": sorted(self.func.dc_set),

@@ -1,0 +1,26 @@
+"""Bit-parallel coverage/membership kernels.
+
+The minimization inner loops all reduce to one question — *which of
+these rows does this candidate cover?* — asked thousands of times per
+covering problem.  This package answers it with int bit-masks built in
+structure-grouped passes (:mod:`repro.kernels.coverage`) instead of
+per-point generator enumeration, and provides the interned-basis table
+(:mod:`repro.kernels.intern`) the grouping dictionaries share keys
+through.
+"""
+
+from repro.kernels.coverage import (
+    build_cube_problem,
+    build_problem,
+    coverage_masks,
+    cube_coverage_masks,
+)
+from repro.kernels.intern import BasisInterner
+
+__all__ = [
+    "BasisInterner",
+    "build_cube_problem",
+    "build_problem",
+    "coverage_masks",
+    "cube_coverage_masks",
+]

@@ -1,0 +1,42 @@
+"""Interned direction-basis table.
+
+EPPP generation, the structure trie, and the coverage kernels all key
+dictionaries by the RREF direction basis — a tuple of ints.  Many
+pseudocubes share the same basis (that sharing *is* Theorem 1), but the
+tuples arrive from independent ``insert_vector`` calls, so equal bases
+are usually distinct objects and every dict probe pays a full tuple
+compare after the hash.  Interning collapses equal bases to one
+canonical tuple, making the identity fast-path inside ``dict`` lookups
+hit and keeping one copy of each basis alive instead of thousands.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BasisInterner"]
+
+
+class BasisInterner:
+    """Canonicalise basis tuples: equal tuples in, one shared object out.
+
+    A plain dict-backed intern table.  ``intern`` returns the first
+    tuple seen for each distinct value, so callers that key dicts by
+    the result get identity-equal keys for structurally equal bases.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[tuple[int, ...], tuple[int, ...]] = {}
+
+    def intern(self, basis: tuple[int, ...]) -> tuple[int, ...]:
+        canonical = self._table.get(basis)
+        if canonical is None:
+            self._table[basis] = basis
+            return basis
+        return canonical
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()

@@ -21,6 +21,7 @@ chain.  Two solvers are provided:
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
@@ -31,6 +32,7 @@ __all__ = [
     "CoveringProblem",
     "CoveringSolution",
     "build_covering",
+    "problem_from_masks",
     "solve_greedy",
     "solve_exact",
     "solve",
@@ -110,6 +112,25 @@ def build_covering(
     return CoveringProblem(len(rows), masks, costs, payloads)
 
 
+def problem_from_masks(
+    num_rows: int,
+    masks: Sequence[int],
+    costs: Sequence[int],
+    payloads: Sequence[T],
+) -> CoveringProblem[T]:
+    """Build a problem from precomputed row masks (kernel output),
+    dropping zero-coverage columns like :func:`build_covering` does."""
+    if 0 not in masks:
+        return CoveringProblem(num_rows, list(masks), list(costs), list(payloads))
+    keep = [i for i, mask in enumerate(masks) if mask]
+    return CoveringProblem(
+        num_rows,
+        [masks[i] for i in keep],
+        [costs[i] for i in keep],
+        [payloads[i] for i in keep],
+    )
+
+
 def solve_greedy(
     problem: CoveringProblem[T], *, budget: Budget | None = None
 ) -> CoveringSolution[T]:
@@ -129,9 +150,7 @@ def solve_greedy(
         return CoveringSolution([], 0, True, [])
     if not problem.is_feasible():
         raise ValueError("covering problem is infeasible")
-    masks = problem.column_masks
     costs = problem.costs
-    universe = problem.universe
 
     best: list[int] | None = None
     best_cost = 0
@@ -158,7 +177,18 @@ def _greedy_pass(
     budget: Budget | None = None,
 ) -> list[int]:
     """One greedy cover; ``forbidden`` column is skipped, ``seed``
-    columns are pre-selected."""
+    columns are pre-selected.
+
+    Lazy (CELF-style) evaluation: columns live in a max-heap keyed by
+    their last-computed selection key.  Because gains only shrink as the
+    cover grows (submodularity), a stale key is an upper bound — so the
+    popped column's key is recomputed and the column is selected
+    outright if it still beats the next heap entry, otherwise pushed
+    back with its fresh key.  Selections are bit-for-bit identical to a
+    full rescans pass: heap order is ``(negated key, column index)``,
+    matching the eager scan's strictly-greater comparison that kept the
+    lowest index among key ties.
+    """
     masks = problem.column_masks
     costs = problem.costs
     universe = problem.universe
@@ -166,30 +196,41 @@ def _greedy_pass(
     covered = 0
     for i in selected:
         covered |= masks[i]
-    active = [i for i in range(problem.num_columns) if i != forbidden]
-    while covered != universe:
+    if covered != universe:
         if budget is not None:
-            budget.tick(max(len(active), 1))
-        best_i = -1
-        best_key: tuple[float, int] = (0.0, 0)
-        still_active = []
-        for i in active:
+            budget.tick(max(problem.num_columns, 1))
+        ratio = strategy == "ratio"
+        heap: list[tuple[tuple[float, int], int]] = []
+        for i in range(problem.num_columns):
+            if i == forbidden:
+                continue
             gain = (masks[i] & ~covered).bit_count()
             if gain == 0:
                 continue
-            still_active.append(i)
-            if strategy == "ratio":
-                key = (gain / costs[i], gain)
+            if ratio:
+                neg_key = (-(gain / costs[i]), -gain)
             else:
-                key = (float(gain), -costs[i])
-            if key > best_key:
-                best_key = key
-                best_i = i
-        if best_i < 0:
-            raise ValueError("covering problem is infeasible")
-        active = still_active
-        covered |= masks[best_i]
-        selected.append(best_i)
+                neg_key = (-float(gain), costs[i])
+            heap.append((neg_key, i))
+        heapq.heapify(heap)
+        while covered != universe:
+            if budget is not None:
+                budget.tick()
+            if not heap:
+                raise ValueError("covering problem is infeasible")
+            stale_key, i = heapq.heappop(heap)
+            gain = (masks[i] & ~covered).bit_count()
+            if gain == 0:
+                continue  # gains never recover; drop the column for good
+            if ratio:
+                neg_key = (-(gain / costs[i]), -gain)
+            else:
+                neg_key = (-float(gain), costs[i])
+            if neg_key == stale_key or not heap or (neg_key, i) <= heap[0]:
+                covered |= masks[i]
+                selected.append(i)
+            else:
+                heapq.heappush(heap, (neg_key, i))
     _drop_redundant(selected, masks, costs, universe)
     return selected
 

@@ -35,6 +35,7 @@ from repro.boolfunc.function import BoolFunc
 from repro.budget import Budget
 from repro.core import gf2
 from repro.core.pseudocube import Pseudocube
+from repro.kernels.intern import BasisInterner
 from repro.trie.index import StructureIndex
 from repro.trie.partition_trie import PartitionTrie
 
@@ -170,6 +171,10 @@ def _generate_fast(
     buckets: dict[tuple[int, ...], dict[int, None]] = {
         (): {p: None for p in sorted(func.care_set)}
     }
+    # Equal child bases arrive from independent insert_vector calls;
+    # interning makes the next_buckets probes identity-hits and keeps
+    # one tuple per distinct basis across the whole generation.
+    interner = BasisInterner()
     result = EpppResult(n, [])
     degree = 0
     total = len(buckets[()])
@@ -212,7 +217,9 @@ def _generate_fast(
                     delta = ai ^ aj
                     info = delta_cache.get(delta)
                     if info is None:
-                        child_basis = gf2.insert_vector(basis, delta)
+                        child_basis = interner.intern(
+                            gf2.insert_vector(basis, delta)
+                        )
                         # Anchors are zero on the parent pivots, hence so
                         # is delta: it is already reduced modulo `basis`.
                         reduced = delta

@@ -24,6 +24,7 @@ from repro.boolfunc.function import BoolFunc
 from repro.budget import Budget
 from repro.core.pseudocube import Pseudocube
 from repro.core.spp_form import SppForm
+from repro.kernels import build_problem, coverage_masks
 from repro.minimize import covering as cov
 from repro.minimize.cost import literal_cost
 from repro.minimize.eppp import EpppResult, GenerationBudgetExceeded, generate_eppp
@@ -86,12 +87,7 @@ def cover_with(
     rows = sorted(func.on_set)
     if budget is not None:
         budget.check()
-    problem = cov.build_covering(
-        rows,
-        candidates,
-        covered_rows_of=lambda pc: pc.points(),
-        cost_of=cost,
-    )
+    problem = build_problem(rows, candidates, cost_of=cost, budget=budget)
     solution = cov.solve(problem, mode=covering, budget=budget)
     form = SppForm(func.n, tuple(solution.payloads))
     optimal = solution.optimal and not pruned
@@ -106,23 +102,24 @@ def _prune_candidates(
 ) -> list[Pseudocube]:
     """Keep the ``limit`` most efficient candidates plus one feasibility
     witness per on-point."""
-    on = func.on_set
 
     def efficiency(pc: Pseudocube) -> float:
         return cost(pc) / len(pc)
 
     ranked = sorted(candidates, key=efficiency)
     keep = ranked[:limit]
-    covered: set[int] = set()
-    for pc in keep:
-        covered.update(pc.points())
-    missing = on - covered
+    rows = sorted(func.on_set)
+    masks = coverage_masks(rows, ranked)
+    covered = 0
+    for mask in masks[:limit]:
+        covered |= mask
+    missing = ((1 << len(rows)) - 1) & ~covered
     if missing:
-        for pc in ranked[limit:]:
-            hit = missing.intersection(pc.points())
+        for pos in range(limit, len(ranked)):
+            hit = missing & masks[pos]
             if hit:
-                keep.append(pc)
-                missing -= hit
+                keep.append(ranked[pos])
+                missing &= ~hit
                 if not missing:
                     break
     return keep

@@ -36,6 +36,7 @@ from repro.budget import Budget
 from repro.core import gf2
 from repro.core.pseudocube import Pseudocube
 from repro.core.subcubes import sub_pseudocubes
+from repro.kernels import BasisInterner, coverage_masks
 from repro.minimize.cost import literal_cost
 from repro.minimize.eppp import _basis_literals
 from repro.minimize.exact import SppResult, cover_with
@@ -61,16 +62,19 @@ class HeuristicStats:
 def _validate_cover(func: BoolFunc, cover: list[Pseudocube]) -> None:
     """The heuristic's input must be a cover of F: every pseudoproduct
     inside the care set, every on-point covered."""
-    care = func.care_set
-    covered: set[int] = set()
     for pc in cover:
         if pc.n != func.n:
             raise ValueError("cover pseudoproduct over the wrong space")
-        points = set(pc.points())
-        if not points <= care:
+    care_rows = sorted(func.care_set)
+    care_masks = coverage_masks(care_rows, cover)
+    for pc, mask in zip(cover, care_masks):
+        if mask.bit_count() != len(pc):
             raise ValueError("cover pseudoproduct leaves the care set")
-        covered |= points
-    if not func.on_set <= covered:
+    on_rows = sorted(func.on_set)
+    covered = 0
+    for mask in coverage_masks(on_rows, cover):
+        covered |= mask
+    if covered != (1 << len(on_rows)) - 1:
         raise ValueError("initial cover does not cover the on-set")
 
 
@@ -98,6 +102,7 @@ def _ascend_into(
     retained — a sound superset)."""
     comparisons = 0
     retained: list[Pseudocube] = []
+    interner = BasisInterner()
     for basis, anchors in source.items():
         anchor_list = list(anchors)
         g = len(anchor_list)
@@ -115,7 +120,7 @@ def _ascend_into(
                 delta = ai ^ anchor_list[j]
                 info = delta_cache.get(delta)
                 if info is None:
-                    child_basis = gf2.insert_vector(basis, delta)
+                    child_basis = interner.intern(gf2.insert_vector(basis, delta))
                     child_literals = _basis_literals(n, child_basis)
                     covers = child_literals < parent_literals or (
                         discard_equal and child_literals == parent_literals

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.boolfunc.function import MultiBoolFunc
 from repro.core.pseudocube import Pseudocube
 from repro.core.spp_form import SppForm
+from repro.kernels import coverage_masks
 from repro.minimize import covering as cov
 from repro.minimize.cost import literal_cost
 from repro.minimize.eppp import generate_eppp
@@ -56,14 +57,18 @@ def _candidate_tags(
 ) -> None:
     """Extend each candidate's output tag with every output whose care
     set contains it (a pseudoproduct found for one output is often valid
-    for siblings)."""
-    care_sets = [fo.care_set for fo in func.outputs]
-    for pc, tag in candidates.items():
-        points = list(pc.points())
-        for o, care in enumerate(care_sets):
-            if o in tag:
-                continue
-            if all(p in care for p in points):
+    for siblings).
+
+    Containment is a popcount check on the kernel masks: a pseudocube
+    lies inside a care set iff its care-row mask has ``len(pc)`` bits.
+    """
+    cands = list(candidates)
+    sizes = [len(pc) for pc in cands]
+    for o, fo in enumerate(func.outputs):
+        masks = coverage_masks(sorted(fo.care_set), cands)
+        for pc, mask, size in zip(cands, masks, sizes):
+            tag = candidates[pc]
+            if o not in tag and mask.bit_count() == size:
                 tag.add(o)
 
 
@@ -91,37 +96,41 @@ def minimize_spp_multi(
             candidates.setdefault(pc, set()).add(o)
     _candidate_tags(func, candidates)
 
-    rows: list[tuple[int, int]] = []
-    on_sets = [fo.on_set for fo in func.outputs]
-    for o, on in enumerate(on_sets):
-        rows.extend((o, p) for p in sorted(on))
+    # Rows are all (output, on-point) pairs laid out contiguously per
+    # output, so the tagged candidate's global mask is the OR of its
+    # per-output kernel masks shifted by the output's row offset.
+    rows_per_output = [sorted(fo.on_set) for fo in func.outputs]
+    offsets: list[int] = []
+    num_rows = 0
+    for rows_o in rows_per_output:
+        offsets.append(num_rows)
+        num_rows += len(rows_o)
 
     tagged = list(candidates.items())
+    cands = [pc for pc, _ in tagged]
+    out_masks = [coverage_masks(rows_o, cands) for rows_o in rows_per_output]
 
-    def covered_rows_of(item: tuple[Pseudocube, set[int]]):
-        pc, tag = item
+    global_masks: list[int] = []
+    for i, (_, tag) in enumerate(tagged):
+        mask = 0
         for o in tag:
-            on = on_sets[o]
-            for p in pc.points():
-                if p in on:
-                    yield (o, p)
+            mask |= out_masks[o][i] << offsets[o]
+        global_masks.append(mask)
 
-    problem = cov.build_covering(
-        rows,
-        tagged,
-        covered_rows_of=covered_rows_of,
-        cost_of=lambda item: cost(item[0]),
+    problem = cov.problem_from_masks(
+        num_rows, global_masks, [cost(pc) for pc in cands], tagged
     )
     solution = cov.solve(problem, mode=covering)
 
+    index_of = {id(item): i for i, item in enumerate(tagged)}
     selected = solution.payloads
     shared = tuple(pc for pc, _ in selected)
     forms = []
     for o, fo in enumerate(func.outputs):
         members = [
-            pc
-            for pc, tag in selected
-            if o in tag and any(p in fo.on_set for p in pc.points())
+            item[0]
+            for item in selected
+            if o in item[1] and out_masks[o][index_of[id(item)]]
         ]
         members = _drop_redundant_for_output(members, fo.on_set)
         forms.append(SppForm(func.n, tuple(members)))
@@ -139,12 +148,17 @@ def _drop_redundant_for_output(
 ) -> list[Pseudocube]:
     """Remove pseudoproducts not needed to cover this output's on-set
     (a shared term may have been selected for a sibling output only)."""
+    rows = sorted(on_set)
+    universe = (1 << len(rows)) - 1
+    mask_of = {
+        id(pc): mask for pc, mask in zip(members, coverage_masks(rows, members))
+    }
     kept = list(members)
     for pc in sorted(members, key=lambda pc: -pc.num_literals):
         others = [q for q in kept if q is not pc]
-        covered = set()
+        rest = 0
         for q in others:
-            covered.update(q.points())
-        if on_set <= covered:
+            rest |= mask_of[id(q)]
+        if rest == universe:
             kept = others
     return kept

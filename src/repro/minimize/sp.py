@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.boolfunc.function import BoolFunc
 from repro.budget import Budget
 from repro.core.spp_form import SppForm
+from repro.kernels import build_cube_problem
 from repro.minimize import covering as cov
 from repro.minimize.qm import Cube, prime_implicants
 
@@ -55,11 +56,12 @@ def minimize_sp(
     if budget is not None:
         budget.check()
     rows = sorted(func.on_set)
-    problem = cov.build_covering(
+    problem = build_cube_problem(
         rows,
         primes,
-        covered_rows_of=lambda c: c.points(),
+        func.n,
         cost_of=lambda c: max(c.num_literals(func.n), 1),
+        budget=budget,
     )
     solution = cov.solve(problem, mode=covering, budget=budget)
     form = SppForm(

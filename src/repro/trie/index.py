@@ -20,15 +20,23 @@ from collections.abc import Iterator
 
 from repro.budget import Budget
 from repro.core.pseudocube import Pseudocube
+from repro.kernels.intern import BasisInterner
 
 __all__ = ["StructureIndex"]
 
 
 class StructureIndex:
-    """Same-structure partition of pseudocubes, keyed by direction basis."""
+    """Same-structure partition of pseudocubes, keyed by direction basis.
+
+    Basis keys are interned on insertion, so structurally equal bases
+    arriving as distinct tuples (the normal case — each comes from its
+    own RREF computation) share one key object and later probes hit the
+    dict's identity fast path.
+    """
 
     def __init__(self) -> None:
         self._buckets: dict[tuple[int, ...], dict[int, Pseudocube]] = {}
+        self._interner = BasisInterner()
         self._size = 0
 
     def __len__(self) -> int:
@@ -39,7 +47,7 @@ class StructureIndex:
 
     def insert(self, pc: Pseudocube) -> bool:
         """Insert; returns True when the pseudocube was not present."""
-        bucket = self._buckets.setdefault(pc.basis, {})
+        bucket = self._buckets.setdefault(self._interner.intern(pc.basis), {})
         if pc.anchor in bucket:
             return False
         bucket[pc.anchor] = pc

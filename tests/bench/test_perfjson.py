@@ -1,0 +1,173 @@
+"""The BENCH_*.json perf-report schema: validation, comparison,
+round-trips, the pinned suite, and the ``bench`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.bench import perfjson
+from repro.bench.perfjson import (
+    BenchEntry,
+    compare_reports,
+    environment_fingerprint,
+    load_report,
+    make_report,
+    run_perf_suite,
+    validate_report,
+    write_report,
+)
+from repro.cli import main
+
+
+def entry(name, best=0.01, mean=0.02, group="g"):
+    return BenchEntry(name, group, best, mean, 3, {})
+
+
+class TestSchema:
+    def test_fingerprint_has_required_keys(self):
+        env = environment_fingerprint()
+        assert isinstance(env["python"], str)
+        assert env["implementation"]
+        assert env["platform"]
+        assert env["cpu_count"] >= 1
+        # git_sha is best-effort: a 40-hex string inside a checkout.
+        if env["git_sha"] is not None:
+            assert len(env["git_sha"]) == 40
+
+    def test_make_and_validate(self):
+        report = make_report("t", [entry("a"), entry("b")])
+        validate_report(report)
+        assert report["schema"] == perfjson.SCHEMA
+        assert report["tag"] == "t"
+        assert len(report["entries"]) == 2
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        report = make_report("t", [entry("a")])
+        write_report(path, report)
+        assert load_report(path) == report
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("schema"),
+            lambda d: d.update(schema="other/9"),
+            lambda d: d.update(tag=""),
+            lambda d: d.pop("environment"),
+            lambda d: d["environment"].pop("cpu_count"),
+            lambda d: d.update(entries={}),
+            lambda d: d["entries"].append(d["entries"][0]),  # duplicate name
+            lambda d: d["entries"][0].update(best=-1.0),
+            lambda d: d["entries"][0].update(repeats=0),
+            lambda d: d["entries"][0].update(name=""),
+        ],
+    )
+    def test_validate_rejects(self, mutate):
+        report = make_report("t", [entry("a")])
+        mutate(report)
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_write_refuses_invalid(self, tmp_path):
+        report = make_report("t", [entry("a")])
+        report["entries"][0]["best"] = -1
+        with pytest.raises(ValueError):
+            write_report(str(tmp_path / "x.json"), report)
+
+
+class TestCompare:
+    def test_flags_regressions_beyond_threshold(self):
+        base = make_report("base", [entry("a", best=0.010),
+                                    entry("b", best=0.010)])
+        cur = make_report("cur", [entry("a", best=0.024),
+                                  entry("b", best=0.026)])
+        rows = compare_reports(cur, base, max_regression=2.5)
+        by_name = {r["name"]: r for r in rows}
+        assert not by_name["a"]["regressed"]
+        assert by_name["b"]["regressed"]
+        assert by_name["b"]["ratio"] == pytest.approx(2.6)
+
+    def test_ignores_entries_present_in_only_one_report(self):
+        base = make_report("base", [entry("a"), entry("old")])
+        cur = make_report("cur", [entry("a"), entry("new")])
+        rows = compare_reports(cur, base)
+        assert [r["name"] for r in rows] == ["a"]
+
+    def test_zero_baseline(self):
+        base = make_report("base", [entry("a", best=0.0)])
+        cur = make_report("cur", [entry("a", best=0.001)])
+        (row,) = compare_reports(cur, base)
+        assert row["regressed"]
+
+
+class TestSuite:
+    def test_only_filter_runs_a_subset(self):
+        entries = run_perf_suite(repeats=1, only="gen/adr3")
+        assert [e.name for e in entries] == ["gen/adr3[2]"]
+        assert entries[0].best > 0
+        assert entries[0].mean >= entries[0].best
+
+    def test_covering_entries_record_sizes(self):
+        entries = run_perf_suite(repeats=1, only="covering_build/adr4[3]")
+        (e,) = entries
+        assert e.meta["rows"] > 0
+        assert e.meta["candidates"] > 0
+
+
+class TestCli:
+    def test_bench_writes_schema_valid_report(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_smoke.json")
+        assert main(["bench", "--json", path, "--repeats", "1",
+                     "--only", "gen/adr3"]) == 0
+        report = load_report(path)
+        assert report["tag"] == "smoke"
+        assert [e["name"] for e in report["entries"]] == ["gen/adr3[2]"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_baseline_regression_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        fast = make_report("baseline",
+                           [entry("gen/adr3[2]", best=1e-9, group="gen")])
+        write_report(str(baseline), fast)
+        path = str(tmp_path / "BENCH_x.json")
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--json", path, "--repeats", "1",
+                  "--only", "gen/adr3", "--baseline", str(baseline)])
+        assert exc.value.code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_baseline_pass(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        slow = make_report("baseline",
+                           [entry("gen/adr3[2]", best=1e9, group="gen")])
+        write_report(str(baseline), slow)
+        path = str(tmp_path / "BENCH_x.json")
+        assert main(["bench", "--json", path, "--repeats", "1",
+                     "--only", "gen/adr3", "--baseline", str(baseline)]) == 0
+
+    def test_tables_perf_json(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_tables.json")
+        assert main(["tables", "table1", "--quick", "--perf-json", path]) == 0
+        report = load_report(path)
+        assert report["tag"] == "tables-table1"
+        names = [e["name"] for e in report["entries"]]
+        assert any(n.startswith("tables/table1/") and n.endswith("/spp")
+                   for n in names)
+
+    def test_committed_artifacts_are_valid_and_fast(self):
+        # The committed before/after pair must stay schema-valid, and
+        # the kernel build must hold its >= 2x win on every pinned
+        # covering_build entry.
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        before = load_report(str(bench_dir / "BENCH_prekernel.json"))
+        after = load_report(str(bench_dir / "BENCH_kernels.json"))
+        validate_report(load_report(str(bench_dir / "baseline.json")))
+        rows = compare_reports(after, before, max_regression=1.0)
+        builds = [r for r in rows if r["name"].startswith("covering_build/")]
+        assert len(builds) == 3
+        for row in builds:
+            assert row["ratio"] <= 0.5, row
+        e2e = [r for r in rows if r["name"].startswith("e2e/")]
+        assert len(e2e) == 3

@@ -1,0 +1,145 @@
+"""The lazy (CELF-style) greedy must match the eager rescan pass
+selection for selection.
+
+``_greedy_pass`` was rewritten from a full column rescan per round to a
+max-heap of stale upper-bound gains.  Because stale keys upper-bound
+fresh keys (gains only shrink as the cover grows), re-evaluating only
+the popped column is sound — but the refactor is only safe if the
+sequence of selections (including tie-breaks, which go to the lowest
+column index) is *identical*.  This module pins an eager reference copy
+of the old pass and checks bit-for-bit agreement on randomized
+instances and on real EPPP covering problems.
+"""
+
+import random
+
+import pytest
+
+from repro.budget import Budget, Cancelled
+from repro.minimize import covering as cov
+
+
+def eager_greedy_pass(problem, strategy, forbidden, seed=None):
+    """Reference copy of the pre-kernel eager ``_greedy_pass``."""
+    masks = problem.column_masks
+    costs = problem.costs
+    universe = problem.universe
+    selected = list(seed) if seed else []
+    covered = 0
+    for i in selected:
+        covered |= masks[i]
+    active = [i for i in range(problem.num_columns) if i != forbidden]
+    while covered != universe:
+        best_i = -1
+        best_key = (0.0, 0)
+        still_active = []
+        for i in active:
+            gain = (masks[i] & ~covered).bit_count()
+            if gain == 0:
+                continue
+            still_active.append(i)
+            if strategy == "ratio":
+                key = (gain / costs[i], gain)
+            else:
+                key = (float(gain), -costs[i])
+            if key > best_key:
+                best_key = key
+                best_i = i
+        if best_i < 0:
+            raise ValueError("covering problem is infeasible")
+        active = still_active
+        covered |= masks[best_i]
+        selected.append(best_i)
+    cov._drop_redundant(selected, masks, costs, universe)
+    return selected
+
+
+def random_problem(rng):
+    num_rows = rng.randint(1, 20)
+    num_cols = rng.randint(1, 50)
+    universe = (1 << num_rows) - 1
+    masks = [rng.randint(1, universe) for _ in range(num_cols)]
+    masks[rng.randrange(num_cols)] = universe  # keep it feasible
+    costs = [rng.randint(1, 9) for _ in range(num_cols)]
+    # Duplicate some columns so key ties actually occur.
+    for _ in range(rng.randint(0, 5)):
+        src = rng.randrange(num_cols)
+        masks.append(masks[src])
+        costs.append(costs[src])
+    return cov.CoveringProblem(num_rows, masks, costs,
+                               list(range(len(masks))))
+
+
+class TestLazyGreedyEquivalence:
+    @pytest.mark.parametrize("strategy", ["ratio", "gain"])
+    def test_random_instances_same_selections(self, strategy):
+        rng = random.Random(987654)
+        for _ in range(400):
+            problem = random_problem(rng)
+            assert (cov._greedy_pass(problem, strategy, forbidden=-1)
+                    == eager_greedy_pass(problem, strategy, forbidden=-1))
+
+    @pytest.mark.parametrize("strategy", ["ratio", "gain"])
+    def test_forbidden_and_seed_paths(self, strategy):
+        rng = random.Random(24680)
+        for _ in range(150):
+            problem = random_problem(rng)
+            base = eager_greedy_pass(problem, strategy, forbidden=-1)
+            victim = base[0]
+            seed = base[1:]
+            try:
+                expected = eager_greedy_pass(
+                    problem, strategy, forbidden=victim, seed=seed
+                )
+            except ValueError:
+                with pytest.raises(ValueError):
+                    cov._greedy_pass(problem, strategy, forbidden=victim,
+                                     seed=seed)
+                continue
+            got = cov._greedy_pass(problem, strategy, forbidden=victim,
+                                   seed=seed)
+            assert got == expected
+
+    def test_solve_greedy_cost_unchanged_on_real_instances(self):
+        from repro.bench.suite import get_benchmark
+        from repro.kernels import build_problem
+        from repro.minimize.cost import literal_cost
+        from repro.minimize.eppp import generate_eppp
+
+        for name, output in [("adr3", 2), ("dist3", 1)]:
+            func = get_benchmark(name)[output]
+            generation = generate_eppp(func, max_pseudoproducts=50_000,
+                                       on_limit="stop")
+            rows = sorted(func.on_set)
+            problem = build_problem(rows, generation.eppps,
+                                    cost_of=literal_cost)
+            solution = cov.solve_greedy(problem)
+            # Reconstruct the eager two-strategy result.
+            best_cost = None
+            for strategy in ("ratio", "gain"):
+                selected = eager_greedy_pass(problem, strategy, forbidden=-1)
+                selected = cov._improve(problem, selected, strategy)
+                cost = sum(problem.costs[i] for i in selected)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+            assert solution.cost == best_cost
+
+    def test_budget_ticks_inside_selection_loop(self):
+        rng = random.Random(1357)
+        problem = random_problem(rng)
+        budget = Budget(tick_every=1)
+        cov.solve_greedy(problem, budget=budget)
+        assert budget.ticks > 0
+
+    def test_cancellation_fires_inside_selection(self):
+        rng = random.Random(2468)
+        problem = random_problem(rng)
+        budget = Budget(tick_every=1)
+        budget.cancel()
+        with pytest.raises(Cancelled):
+            cov._greedy_pass(problem, "ratio", forbidden=-1, budget=budget)
+
+    def test_infeasible_problem_raises(self):
+        problem = cov.CoveringProblem(3, [0b011], [1], ["a"])
+        with pytest.raises(ValueError):
+            cov._greedy_pass(problem, "ratio", forbidden=-1)

@@ -73,7 +73,11 @@ class TestSixVariables:
     @given(funcs6)
     @settings(max_examples=8, deadline=None)
     def test_cost_relations(self, func):
-        sp = minimize_sp(func, covering="exact").num_literals
-        spp = minimize_spp(func, covering="exact").num_literals
-        two = minimize_spp_bounded(func, 2, covering="exact").num_literals
-        assert spp <= two <= sp
+        sp = minimize_sp(func, covering="exact")
+        spp = minimize_spp(func, covering="exact")
+        two = minimize_spp_bounded(func, 2, covering="exact")
+        # The cost chain is only guaranteed when every covering was
+        # solved to proved optimality; a node-capped search falls back
+        # to its greedy incumbent, which may order arbitrarily.
+        if sp.covering_optimal and spp.covering_optimal and two.covering_optimal:
+            assert spp.num_literals <= two.num_literals <= sp.num_literals
