@@ -91,6 +91,26 @@ class Table1Measurement:
     seconds_sp: float
     seconds_spp: float
     truncated: bool = False
+    # Mincov reduction report for the SPP covering steps, summed over
+    # outputs (counts added, passes maxed); None when no output
+    # produced one.
+    covering_stats: dict | None = None
+
+
+def _merge_covering_stats(acc: dict | None, stats: dict | None) -> dict | None:
+    """Accumulate per-output reduction reports into one row summary."""
+    if stats is None:
+        return acc
+    if acc is None:
+        return dict(stats)
+    for key, value in stats.items():
+        if key == "passes":
+            acc[key] = max(acc.get(key, 0), value)
+        elif isinstance(value, bool) or not isinstance(value, int):
+            acc[key] = value
+        else:
+            acc[key] = acc.get(key, 0) + value
+    return acc
 
 
 @dataclass
@@ -163,6 +183,9 @@ def run_table1_row(
         measurement.spp_literals += spp.num_literals
         measurement.spp_products += spp.num_pseudoproducts
         measurement.seconds_spp += spp.seconds
+        measurement.covering_stats = _merge_covering_stats(
+            measurement.covering_stats, spp.covering_stats
+        )
         if spp.generation is not None and spp.generation.truncated:
             measurement.truncated = True
     return measurement
@@ -189,7 +212,7 @@ def run_table2_row(
         fo, max_pseudoproducts=max_pseudoproducts, on_limit="stop"
     )
     seconds_alg2 = time.perf_counter() - t0
-    form, _, _ = cover_with(fo, generation.eppps, covering=covering)
+    form, _, _, _ = cover_with(fo, generation.eppps, covering=covering)
     try:
         t0 = time.perf_counter()
         naive = generate_eppp_naive(
@@ -353,6 +376,9 @@ def run_table1_rows(
             m.spp_literals += record["literals"]
             m.spp_products += record["pseudoproducts"]
             m.seconds_spp += record["seconds"]
+            m.covering_stats = _merge_covering_stats(
+                m.covering_stats, record["extras"].get("covering")
+            )
             if record.get("truncated") or record.get("degraded"):
                 m.truncated = True
     return [rows[n] for n in names]

@@ -287,10 +287,20 @@ def run_perf_suite(
         if not wanted(solve_label):
             continue
         best, mean = _time_best(lambda: cov.solve_greedy(problem), repeats)
+        # One extra solve outside the timed loop records the cover cost
+        # (regressions must not buy speed with worse covers) and the
+        # mincov reduction report.
+        solution = cov.solve_greedy(problem)
+        meta: dict[str, Any] = {
+            "rows": problem.num_rows,
+            "columns": problem.num_columns,
+            "cost": solution.cost,
+        }
+        if solution.stats is not None:
+            meta["reduction"] = solution.stats.as_dict()
         emit(
             BenchEntry(
-                solve_label, "covering_solve", best, mean, repeats,
-                {"rows": problem.num_rows, "columns": problem.num_columns},
+                solve_label, "covering_solve", best, mean, repeats, meta
             )
         )
 

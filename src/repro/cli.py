@@ -203,8 +203,11 @@ def _tables_perf_entries(table: str, items) -> list:
         for m in items:
             entries.append(one(f"tables/table1/{m.function}/sp",
                                m.seconds_sp, {"literals": m.sp_literals}))
+            spp_meta = {"literals": m.spp_literals}
+            if m.covering_stats is not None:
+                spp_meta["reduction"] = m.covering_stats
             entries.append(one(f"tables/table1/{m.function}/spp",
-                               m.seconds_spp, {"literals": m.spp_literals}))
+                               m.seconds_spp, spp_meta))
     elif table == "table2":
         for m in items:
             label = f"tables/table2/{m.function}[{m.output}]"

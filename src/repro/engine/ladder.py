@@ -98,6 +98,8 @@ def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str
         candidates = sp.num_primes
         optimal = False
         extras["num_primes"] = sp.num_primes
+        if sp.covering_stats is not None:
+            extras["covering"] = sp.covering_stats
     else:
         if rung.method == "exact":
             result = minimize_spp(
@@ -132,6 +134,8 @@ def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str
             optimal = False
         form = result.form
         candidates = result.num_candidates
+        if result.covering_stats is not None:
+            extras["covering"] = result.covering_stats
     report = verify_form(form, func)
     if not report:
         raise AssertionError(

@@ -7,8 +7,14 @@ structure-grouped passes (:mod:`repro.kernels.coverage`) instead of
 per-point generator enumeration, and provides the interned-basis table
 (:mod:`repro.kernels.intern`) the grouping dictionaries share keys
 through.
+
+:mod:`repro.kernels.bitmat` packs the resulting column masks into
+uint64 matrices so the covering greedy's per-round gain computation is
+a handful of NumPy ops (``HAVE_NUMPY`` gates the optional accelerator;
+solvers fall back to the pure-Python heap path without it).
 """
 
+from repro.kernels.bitmat import HAVE_NUMPY, BitMatrix
 from repro.kernels.coverage import (
     build_cube_problem,
     build_problem,
@@ -18,7 +24,9 @@ from repro.kernels.coverage import (
 from repro.kernels.intern import BasisInterner
 
 __all__ = [
+    "HAVE_NUMPY",
     "BasisInterner",
+    "BitMatrix",
     "build_cube_problem",
     "build_problem",
     "coverage_masks",

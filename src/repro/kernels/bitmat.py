@@ -1,0 +1,128 @@
+"""Packed bit-matrix acceleration for covering solvers.
+
+The covering loops spend most of their time answering one vector
+question — *how many uncovered rows does each column still cover?* —
+once per selection round and once per improvement pass.  With columns
+as Python ints that is one big-int ``&`` + ``bit_count`` per column per
+round; with thousands of columns the interpreter loop dominates.
+
+:class:`BitMatrix` packs the column masks once into a ``(columns,
+words)`` ``uint64`` array so the whole gain vector is three NumPy ops
+(``&``, ``bitwise_count``, row-sum).  NumPy is an *optional*
+accelerator: when it is missing (``HAVE_NUMPY`` is False) the solvers
+keep the pure-Python CELF heap path, and both paths are pinned
+bit-for-bit equivalent by ``tests/minimize/test_lazy_greedy.py`` — the
+key arithmetic (``gain / cost`` in IEEE-754 double) and the tie-break
+order (key, then lowest column index) are identical by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+try:  # gated: the container may lack numpy; solvers fall back to heaps
+    import numpy as _np
+
+    HAVE_NUMPY = hasattr(_np, "bitwise_count")
+except ImportError:  # pragma: no cover — exercised via the fallback path
+    _np = None
+    HAVE_NUMPY = False
+
+__all__ = ["HAVE_NUMPY", "BitMatrix", "select_greedy"]
+
+# Below this column count the per-call numpy overhead (packing aside,
+# each round is ~10 vector dispatches) beats the heap's constant factor
+# only marginally; the heap path also keeps tiny problems allocation-free.
+MIN_COLUMNS_FOR_VECTOR = 192
+
+
+class BitMatrix:
+    """Column masks packed into a ``(num_columns, words)`` uint64 array.
+
+    ``words = ceil(num_rows / 64)``; bit ``r`` of column ``j`` lives in
+    ``matrix[j, r // 64] >> (r % 64)``.  Costs are carried alongside as
+    an int64 vector so selection keys are computed without touching the
+    Python cost list.
+    """
+
+    __slots__ = ("num_rows", "num_columns", "words", "matrix", "costs", "universe")
+
+    def __init__(self, masks: Sequence[int], costs: Sequence[int], num_rows: int) -> None:
+        if not HAVE_NUMPY:  # pragma: no cover — guarded by callers
+            raise RuntimeError("BitMatrix requires numpy with bitwise_count")
+        self.num_rows = num_rows
+        self.num_columns = len(masks)
+        words = max((num_rows + 63) // 64, 1)
+        self.words = words
+        nbytes = words * 8
+        packed = b"".join(m.to_bytes(nbytes, "little") for m in masks)
+        matrix = _np.frombuffer(packed, dtype="<u8").reshape(self.num_columns, words)
+        self.matrix = matrix.astype(_np.uint64, copy=False)
+        self.costs = _np.asarray(list(costs), dtype=_np.int64)
+        self.universe = self.pack(((1 << num_rows) - 1) if num_rows else 0)
+
+    def pack(self, mask: int):
+        """One Python int mask → a ``(words,)`` uint64 vector."""
+        return _np.frombuffer(
+            mask.to_bytes(self.words * 8, "little"), dtype="<u8"
+        ).astype(_np.uint64, copy=False)
+
+    def unpack(self, vec) -> int:
+        """Inverse of :meth:`pack`."""
+        return int.from_bytes(_np.ascontiguousarray(vec, dtype="<u8").tobytes(), "little")
+
+    def gains(self, covered):
+        """Per-column count of still-uncovered rows each column covers."""
+        return _np.bitwise_count(self.matrix & ~covered).sum(axis=1, dtype=_np.int64)
+
+
+def select_greedy(
+    bm: BitMatrix,
+    strategy: str,
+    forbidden: int,
+    covered_mask: int,
+    budget=None,
+) -> list[int]:
+    """Eager greedy selection rounds on the packed matrix.
+
+    Selects columns until the cover is complete and returns their
+    indices in selection order.  Bit-for-bit equivalent to the CELF
+    heap in :func:`repro.minimize.covering._heap_select`: the ``ratio``
+    strategy maximises ``(gain / cost, gain, -index)`` and the ``gain``
+    strategy ``(gain, -cost, -index)``, with the division done in the
+    same IEEE-754 double arithmetic as the Python path.
+
+    ``budget`` is ticked once per selection round; raises ``ValueError``
+    when no usable column covers a remaining row (infeasible, matching
+    the heap path).
+    """
+    covered = bm.pack(covered_mask).copy()
+    universe = bm.universe
+    matrix = bm.matrix
+    costs = bm.costs
+    ratio = strategy == "ratio"
+    picked: list[int] = []
+    while not bool((covered == universe).all()):
+        if budget is not None:
+            budget.tick()
+        gains = _np.bitwise_count(matrix & ~covered).sum(axis=1, dtype=_np.int64)
+        if 0 <= forbidden < gains.shape[0]:
+            gains[forbidden] = 0
+        gain_max = int(gains.max(initial=0))
+        if gain_max == 0:
+            raise ValueError("covering problem is infeasible")
+        if ratio:
+            key = gains / costs
+            cand = _np.flatnonzero(key == key.max())
+            if cand.size > 1:
+                g = gains[cand]
+                cand = cand[g == g.max()]
+        else:
+            cand = _np.flatnonzero(gains == gain_max)
+            if cand.size > 1:
+                c = costs[cand]
+                cand = cand[c == c.min()]
+        j = int(cand[0])
+        picked.append(j)
+        covered |= matrix[j]
+    return picked

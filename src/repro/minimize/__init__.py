@@ -19,6 +19,7 @@ from repro.minimize.eppp import (
 )
 from repro.minimize.exact import SppResult, minimize_spp
 from repro.minimize.heuristic import HeuristicStats, minimize_spp_k
+from repro.minimize.mincov import ReducedCore, ReductionStats, reduce_problem
 from repro.minimize.naive import generate_eppp_naive
 from repro.minimize.qm import Cube, prime_implicants
 from repro.minimize.sp import SpResult, minimize_sp
@@ -32,6 +33,8 @@ __all__ = [
     "EpppResult",
     "GenerationBudgetExceeded",
     "HeuristicStats",
+    "ReducedCore",
+    "ReductionStats",
     "SpResult",
     "SppResult",
     "StepStats",
@@ -44,6 +47,7 @@ __all__ = [
     "minimize_spp_bounded",
     "minimize_spp_k",
     "prime_implicants",
+    "reduce_problem",
     "solve",
     "solve_exact",
     "solve_greedy",

@@ -134,10 +134,10 @@ def minimize_spp_bounded(
 ) -> SppResult:
     """Minimize ``func`` over ``bound``-bounded pseudoproducts."""
     if not func.on_set:
-        form, optimal, seconds = cover_with(func, [], covering=covering)
-        return SppResult(form, 0, None, optimal, 0.0, seconds)
+        form, optimal, seconds, stats = cover_with(func, [], covering=covering)
+        return SppResult(form, 0, None, optimal, 0.0, seconds, covering_stats=stats)
     generation = generate_bounded(func, bound, backend=backend, budget=budget)
-    form, optimal, seconds_covering = cover_with(
+    form, optimal, seconds_covering, cover_stats = cover_with(
         func, generation.eppps, covering=covering, cost=cost, budget=budget
     )
     return SppResult(
@@ -147,4 +147,5 @@ def minimize_spp_bounded(
         covering_optimal=optimal,
         seconds_generation=generation.seconds,
         seconds_covering=seconds_covering,
+        covering_stats=cover_stats,
     )

@@ -45,6 +45,9 @@ class SppResult:
     seconds_covering: float
     # Populated by the SPP_k heuristic with its phase statistics.
     heuristic: object | None = None
+    # Mincov reduction report for the covering step (rows/columns
+    # eliminated, components, cyclic-core size), when one was produced.
+    covering_stats: dict | None = None
 
     @property
     def num_literals(self) -> int:
@@ -67,7 +70,7 @@ def cover_with(
     cost: Callable[[Pseudocube], int] = literal_cost,
     max_candidates: int = 400_000,
     budget: Budget | None = None,
-) -> tuple[SppForm, bool, float]:
+) -> tuple[SppForm, bool, float, dict | None]:
     """Select a minimal-cost subset of ``candidates`` covering the on-set.
 
     Candidate lists beyond ``max_candidates`` (they arise from
@@ -77,7 +80,9 @@ def cover_with(
     (so feasibility is preserved).  A pruned instance can no longer be
     solved exactly, so ``proved_optimal`` is forced off.
 
-    Returns ``(form, proved_optimal, seconds)``.
+    Returns ``(form, proved_optimal, seconds, reduction_stats)`` where
+    ``reduction_stats`` is the mincov reduction report as a dict (or
+    None when the solver skipped the reduction layer).
     """
     t0 = time.perf_counter()
     pruned = False
@@ -91,7 +96,8 @@ def cover_with(
     solution = cov.solve(problem, mode=covering, budget=budget)
     form = SppForm(func.n, tuple(solution.payloads))
     optimal = solution.optimal and not pruned
-    return form, optimal, time.perf_counter() - t0
+    stats = solution.stats.as_dict() if solution.stats is not None else None
+    return form, optimal, time.perf_counter() - t0, stats
 
 
 def _prune_candidates(
@@ -196,7 +202,7 @@ def minimize_spp(
         candidates = candidates + [
             cube.to_pseudocube(func.n) for cube in prime_implicants(func)
         ]
-    form, optimal, cover_seconds = cover_with(
+    form, optimal, cover_seconds, cover_stats = cover_with(
         func, candidates, covering=covering, cost=cost, budget=budget
     )
     return SppResult(
@@ -206,4 +212,5 @@ def minimize_spp(
         covering_optimal=optimal,
         seconds_generation=generation.seconds,
         seconds_covering=cover_seconds,
+        covering_stats=cover_stats,
     )

@@ -187,8 +187,8 @@ def minimize_spp_k(
     if backend not in ("index", "trie"):
         raise ValueError(f"unknown store backend {backend!r}")
     if not func.on_set:
-        form, optimal, seconds = cover_with(func, [], covering=covering)
-        return SppResult(form, 0, None, optimal, 0.0, seconds)
+        form, optimal, seconds, stats = cover_with(func, [], covering=covering)
+        return SppResult(form, 0, None, optimal, 0.0, seconds, covering_stats=stats)
 
     t0 = time.perf_counter()
     # Phase 1: initialize per-degree stores with the initial cover
@@ -252,7 +252,7 @@ def minimize_spp_k(
     )
     seconds_generation = time.perf_counter() - t0
 
-    form, optimal, seconds_covering = cover_with(
+    form, optimal, seconds_covering, cover_stats = cover_with(
         func, candidates, covering=covering, cost=cost, budget=budget
     )
     result = SppResult(
@@ -262,6 +262,7 @@ def minimize_spp_k(
         covering_optimal=optimal,
         seconds_generation=seconds_generation,
         seconds_covering=seconds_covering,
+        covering_stats=cover_stats,
     )
     result.heuristic = HeuristicStats(
         k=k,

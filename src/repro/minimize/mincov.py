@@ -1,0 +1,755 @@
+"""Mincov-style covering core — reduction fixpoint, components, lifting.
+
+The classical unate-covering reductions (Quine–McCluskey tradition;
+see PAPERS.md on computer codes for the QM method) shrink a covering
+matrix *before and during* search:
+
+* **essential columns** — a row covered by exactly one column forces
+  that column into every feasible cover;
+* **row dominance** — a row whose covering-column set is a superset of
+  another row's is covered for free once the dominating (smaller) row
+  is covered, so it can be dropped;
+* **column dominance** — a column whose row set (restricted to the
+  still-active rows) is a subset of a no-more-expensive column's can be
+  dropped: any cover using it can swap in the dominator at no extra
+  cost.
+
+Iterating the three to a **fixpoint** leaves the *cyclic core* — the
+part branch-and-bound actually has to search.  The core is then split
+into **connected components** (row/column groups sharing no coverage)
+that are solved independently, and the component B&B re-applies the
+fixpoint at every search node (the classical *mincov* loop), so forced
+columns never consume branching depth.
+
+Everything here works on :class:`~repro.minimize.covering.CoveringProblem`
+bit-masks and lifts solutions back to original column indices/payloads
+via explicit remap tables.  The public covering API
+(:func:`repro.minimize.covering.solve_greedy` / ``solve_exact`` /
+``solve``) routes through this module; per-component greedy/B&B
+primitives stay in :mod:`repro.minimize.covering`.
+
+Cost model note: the greedy path runs only the *light* reduction
+(essential columns, empty columns, components) — on EPPP candidate
+sets, columns are maximal and pairwise dominance almost never fires,
+so the O(columns·rows) dominance passes would cost more than they
+save.  The exact and auto paths run the full fixpoint: there the
+reductions shrink the search space itself, which is worth far more
+than their construction cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.budget import Budget
+from repro.minimize import covering as _cov
+from repro.minimize.covering import CoveringProblem, CoveringSolution
+
+__all__ = [
+    "ReductionStats",
+    "ReducedCore",
+    "reduce_problem",
+    "split_components",
+    "solve_greedy",
+    "solve_exact",
+    "solve_auto",
+]
+
+T = TypeVar("T")
+
+# Auto mode solves a component exactly when its (reduced) size is below
+# these bounds — tuned against the cyclic core, not the raw matrix, so
+# an instance whose core collapses is proved optimal even when the raw
+# matrix would have looked hopeless to the old raw-size threshold.
+AUTO_EXACT_MAX_ROWS = 96
+AUTO_EXACT_MAX_COLUMNS = 2500
+AUTO_NODE_LIMIT = 20_000
+
+# Per-node column dominance is O(active columns × rows); above this
+# many active columns a node runs only the cheap essential fixpoint.
+NODE_DOMINANCE_MAX_COLUMNS = 768
+
+
+@dataclass
+class ReductionStats:
+    """What the reduction fixpoint did to a covering matrix."""
+
+    rows: int
+    columns: int
+    core_rows: int
+    core_columns: int
+    essential: int
+    dominated_rows: int
+    dominated_columns: int
+    components: int
+    passes: int
+    dominance: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rows": self.rows,
+            "columns": self.columns,
+            "core_rows": self.core_rows,
+            "core_columns": self.core_columns,
+            "essential": self.essential,
+            "dominated_rows": self.dominated_rows,
+            "dominated_columns": self.dominated_columns,
+            "components": self.components,
+            "passes": self.passes,
+            "dominance": self.dominance,
+        }
+
+
+@dataclass
+class ReducedCore:
+    """The cyclic core left by :func:`reduce_problem`.
+
+    ``forced`` are original column indices every feasible cover must
+    contain (essential columns, accumulated across fixpoint passes).
+    ``row_ids``/``col_ids`` map core positions back to original row
+    bits / column indices; ``masks`` are the surviving columns
+    re-indexed into core row positions.
+    """
+
+    forced: list[int]
+    row_ids: list[int]
+    col_ids: list[int]
+    masks: list[int]
+    costs: list[int]
+    stats: ReductionStats
+
+
+def reduce_problem(
+    problem: CoveringProblem[T],
+    *,
+    budget: Budget | None = None,
+    dominance: bool = True,
+) -> ReducedCore:
+    """Run the reduction fixpoint and return the cyclic core.
+
+    With ``dominance=False`` only the cheap passes run (essential
+    columns and empty columns) — the greedy path's configuration.  The
+    problem must be feasible (callers check); an infeasible matrix
+    raises ``ValueError``.
+    """
+    masks = problem.column_masks
+    costs = problem.costs
+    nrows = problem.num_rows
+    ncols = len(masks)
+    active_rows = problem.universe
+    active_cols = (1 << ncols) - 1 if ncols else 0
+    forced: list[int] = []
+    essential = dominated_rows = dominated_cols = 0
+    passes = 0
+
+    row_cols: list[int] | None = None
+    if dominance:
+        # Column-index bitset per row, built once; all later passes
+        # restrict it with the live ``active_cols``.
+        row_cols = [0] * nrows
+        for j, m in enumerate(masks):
+            bit = 1 << j
+            mm = m
+            while mm:
+                low = mm & -mm
+                mm ^= low
+                row_cols[low.bit_length() - 1] |= bit
+        if budget is not None:
+            budget.tick(ncols)
+
+    changed = True
+    while changed and active_rows:
+        changed = False
+        passes += 1
+        if budget is not None:
+            budget.tick(max(active_cols.bit_count(), 1))
+
+        # -- essential columns -------------------------------------------
+        if row_cols is None:
+            # Transpose-free detection: ``once`` accumulates rows seen at
+            # least once, ``twice`` at least twice; their difference is
+            # the rows with a unique covering column.
+            once = twice = 0
+            m = active_cols
+            while m:
+                low = m & -m
+                m ^= low
+                cm = masks[low.bit_length() - 1] & active_rows
+                twice |= once & cm
+                once |= cm
+            unique = once & ~twice
+            if unique:
+                m = active_cols
+                while m:
+                    low = m & -m
+                    m ^= low
+                    j = low.bit_length() - 1
+                    if masks[j] & unique & active_rows:
+                        forced.append(j)
+                        essential += 1
+                        active_cols &= ~low
+                        active_rows &= ~masks[j]
+                        changed = True
+        else:
+            m = active_rows
+            while m:
+                low = m & -m
+                m ^= low
+                if not (active_rows & low):
+                    continue  # removed by an earlier forcing this pass
+                rc = row_cols[low.bit_length() - 1] & active_cols
+                if rc == 0:
+                    raise ValueError("covering problem is infeasible")
+                if rc & (rc - 1) == 0:
+                    j = rc.bit_length() - 1
+                    forced.append(j)
+                    essential += 1
+                    active_cols &= ~rc
+                    active_rows &= ~masks[j]
+                    changed = True
+
+        if not active_rows:
+            break
+
+        # -- row dominance -----------------------------------------------
+        if dominance and row_cols is not None:
+            rows = []
+            m = active_rows
+            while m:
+                low = m & -m
+                m ^= low
+                r = low.bit_length() - 1
+                rows.append((r, row_cols[r] & active_cols))
+            rows.sort(key=lambda t: t[1].bit_count())
+            kept: list[int] = []  # column-set masks of surviving rows
+            for r, rc in rows:
+                if any(krc & ~rc == 0 for krc in kept):
+                    active_rows &= ~(1 << r)
+                    dominated_rows += 1
+                    changed = True
+                else:
+                    kept.append(rc)
+
+        # -- column dominance (and empty columns) ------------------------
+        if dominance and row_cols is not None:
+            order = []
+            m = active_cols
+            while m:
+                low = m & -m
+                m ^= low
+                order.append(low.bit_length() - 1)
+            if budget is not None:
+                budget.tick(max(len(order), 1))
+            amask = {j: masks[j] & active_rows for j in order}
+            pcount = {j: amask[j].bit_count() for j in order}
+            for j in order:
+                mj = amask[j]
+                if mj == 0:
+                    active_cols &= ~(1 << j)
+                    dominated_cols += 1
+                    changed = True
+                    continue
+                # Columns covering every row of j: the intersection of
+                # the per-row column sets over j's rows.
+                dom = active_cols
+                mm = mj
+                while mm:
+                    low = mm & -mm
+                    mm ^= low
+                    dom &= row_cols[low.bit_length() - 1]
+                    if dom & (dom - 1) == 0:
+                        break  # only j itself can remain
+                dom &= ~(1 << j)
+                cj = costs[j]
+                pj = pcount[j]
+                dd = dom
+                while dd:
+                    low = dd & -dd
+                    dd ^= low
+                    k = low.bit_length() - 1
+                    ck = costs[k]
+                    # Strictly better, or equal cost with strictly more
+                    # coverage, or a fully tied twin with a lower index
+                    # (exactly one member of a twin group survives).
+                    if ck < cj or (
+                        ck == cj
+                        and (pcount[k] > pj or (pcount[k] == pj and k < j))
+                    ):
+                        active_cols &= ~(1 << j)
+                        dominated_cols += 1
+                        changed = True
+                        break
+        else:
+            # Light path: still drop columns with no remaining coverage
+            # so components and greedy never scan them.
+            m = active_cols
+            while m:
+                low = m & -m
+                m ^= low
+                if masks[low.bit_length() - 1] & active_rows == 0:
+                    active_cols &= ~low
+                    dominated_cols += 1
+
+    # -- build the core (compressed row space) ---------------------------
+    if active_rows == problem.universe and not forced and not dominated_cols:
+        # Nothing eliminated: the core IS the problem — skip the per-bit
+        # recompression entirely (this is the common case on EPPP
+        # matrices, whose columns are maximal, and it keeps the light
+        # reduction out of the greedy hot path's budget).
+        stats = ReductionStats(
+            rows=nrows,
+            columns=ncols,
+            core_rows=nrows,
+            core_columns=ncols,
+            essential=0,
+            dominated_rows=0,
+            dominated_columns=0,
+            components=1 if nrows else 0,
+            passes=passes,
+            dominance=dominance,
+        )
+        return ReducedCore(
+            [], list(range(nrows)), list(range(ncols)),
+            list(masks), list(costs), stats,
+        )
+    row_ids: list[int] = []
+    m = active_rows
+    while m:
+        low = m & -m
+        m ^= low
+        row_ids.append(low.bit_length() - 1)
+    pos_of = {r: i for i, r in enumerate(row_ids)}
+    identity_rows = active_rows == problem.universe
+    col_ids: list[int] = []
+    core_masks: list[int] = []
+    core_costs: list[int] = []
+    m = active_cols
+    while m:
+        low = m & -m
+        m ^= low
+        j = low.bit_length() - 1
+        cm = masks[j] & active_rows
+        if cm == 0:
+            continue
+        if identity_rows:
+            packed = cm
+        else:
+            packed = 0
+            mm = cm
+            while mm:
+                lw = mm & -mm
+                mm ^= lw
+                packed |= 1 << pos_of[lw.bit_length() - 1]
+        col_ids.append(j)
+        core_masks.append(packed)
+        core_costs.append(costs[j])
+    stats = ReductionStats(
+        rows=nrows,
+        columns=ncols,
+        core_rows=len(row_ids),
+        core_columns=len(col_ids),
+        essential=essential,
+        dominated_rows=dominated_rows,
+        dominated_columns=dominated_cols,
+        components=1 if row_ids else 0,
+        passes=passes,
+        dominance=dominance,
+    )
+    return ReducedCore(forced, row_ids, col_ids, core_masks, core_costs, stats)
+
+
+def split_components(num_rows: int, masks: list[int]) -> list[int]:
+    """Connected components of a core as row bit-masks.
+
+    Two rows are connected when some column covers both; components are
+    returned sorted by their lowest row position, and together they
+    partition ``range(num_rows)`` exactly (rows touched by no column
+    would be infeasible and cannot occur in a core).
+    """
+    comps: list[int] = []
+    for m in masks:
+        if m == 0:
+            continue
+        merged = m
+        keep = []
+        for c in comps:
+            if c & merged:
+                merged |= c
+            else:
+                keep.append(c)
+        keep.append(merged)
+        comps = keep
+    comps.sort(key=lambda c: c & -c)
+    return comps
+
+
+def _component_problem(
+    core: ReducedCore, comp: int
+) -> tuple[CoveringProblem[int], list[int], list[int]]:
+    """A core component as its own problem.
+
+    Payloads are *original* column indices, so solutions lift without a
+    remap step.  Returns ``(problem, local_row_ids, local_col_ids)``
+    where the id lists map component positions back to core positions.
+    """
+    rpos: list[int] = []
+    m = comp
+    while m:
+        low = m & -m
+        m ^= low
+        rpos.append(low.bit_length() - 1)
+    local_of = {r: i for i, r in enumerate(rpos)}
+    masks: list[int] = []
+    costs: list[int] = []
+    payloads: list[int] = []
+    cols: list[int] = []
+    for i, cm in enumerate(core.masks):
+        if cm & comp == 0:
+            continue
+        packed = 0
+        mm = cm
+        while mm:
+            low = mm & -mm
+            mm ^= low
+            packed |= 1 << local_of[low.bit_length() - 1]
+        masks.append(packed)
+        costs.append(core.costs[i])
+        payloads.append(core.col_ids[i])
+        cols.append(i)
+    return CoveringProblem(len(rpos), masks, costs, payloads), rpos, cols
+
+
+def _finish(
+    problem: CoveringProblem[T],
+    selected: list[int],
+    optimal: bool,
+    stats: ReductionStats,
+) -> CoveringSolution[T]:
+    cost = sum(problem.costs[i] for i in selected)
+    return CoveringSolution(
+        selected,
+        cost,
+        optimal,
+        [problem.payloads[i] for i in selected],
+        stats=stats,
+    )
+
+
+def solve_greedy(
+    problem: CoveringProblem[T], *, budget: Budget | None = None
+) -> CoveringSolution[T]:
+    """Greedy covering through the reduction layer.
+
+    Light reduction (essential + empty columns) to a core, component
+    decomposition, then the two-strategy greedy with local improvement
+    per component.  ``optimal`` is True only when the reduction solved
+    the instance outright (essential columns alone form a cover — they
+    are members of *every* feasible cover, so their cost is a lower
+    bound met with equality).
+    """
+    core = reduce_problem(problem, budget=budget, dominance=False)
+    stats = core.stats
+    if not core.row_ids:
+        stats.components = 0
+        return _finish(problem, list(core.forced), True, stats)
+    selected = list(core.forced)
+    if not core.forced and len(core.col_ids) == len(problem.column_masks):
+        # Nothing reduced: solve in place so repeated solves on the same
+        # problem object share its cached bit-matrix packing.
+        comps = split_components(len(core.row_ids), core.masks)
+        stats.components = len(comps)
+        if len(comps) == 1:
+            raw = _cov._solve_greedy_raw(problem, budget=budget)
+            raw.stats = stats
+            return raw
+    else:
+        comps = split_components(len(core.row_ids), core.masks)
+        stats.components = len(comps)
+    for comp in comps:
+        sub, _, _ = _component_problem(core, comp)
+        solution = _cov._solve_greedy_raw(sub, budget=budget)
+        selected.extend(solution.payloads)  # payloads are original indices
+    return _finish(problem, selected, False, stats)
+
+
+def solve_exact(
+    problem: CoveringProblem[T],
+    node_limit: int = 200_000,
+    *,
+    budget: Budget | None = None,
+) -> CoveringSolution[T]:
+    """Exact covering: full reduction fixpoint, component split, then a
+    branch-and-bound that re-runs the fixpoint at every node.
+
+    ``optimal`` is True iff every component's search completed within
+    the shared ``node_limit``; otherwise the best cover found (never
+    worse than greedy, which seeds each component's incumbent) is
+    returned with ``optimal=False``.
+    """
+    core = reduce_problem(problem, budget=budget, dominance=True)
+    stats = core.stats
+    if not core.row_ids:
+        stats.components = 0
+        return _finish(problem, list(core.forced), True, stats)
+    comps = split_components(len(core.row_ids), core.masks)
+    stats.components = len(comps)
+    selected = list(core.forced)
+    proved = True
+    nodes_left = node_limit
+    for comp in comps:
+        sub, _, _ = _component_problem(core, comp)
+        incumbent = _cov._solve_greedy_raw(sub, budget=budget)
+        chosen, comp_proved, used = _branch_and_bound(
+            sub, incumbent.selected, nodes_left, budget
+        )
+        nodes_left = max(nodes_left - used, 0)
+        proved = proved and comp_proved
+        selected.extend(sub.payloads[i] for i in chosen)
+    return _finish(problem, selected, proved, stats)
+
+
+def solve_auto(
+    problem: CoveringProblem[T], *, budget: Budget | None = None
+) -> CoveringSolution[T]:
+    """Auto covering: reduce once, then pick exact or greedy *per
+    component* of the cyclic core.
+
+    A component small enough after reduction (``AUTO_EXACT_MAX_ROWS`` ×
+    ``AUTO_EXACT_MAX_COLUMNS``) is solved by branch-and-bound; larger
+    components fall back to greedy.  ``optimal`` is True only when
+    every component was proved.
+    """
+    core = reduce_problem(problem, budget=budget, dominance=True)
+    stats = core.stats
+    if not core.row_ids:
+        stats.components = 0
+        return _finish(problem, list(core.forced), True, stats)
+    comps = split_components(len(core.row_ids), core.masks)
+    stats.components = len(comps)
+    selected = list(core.forced)
+    proved = True
+    nodes_left = AUTO_NODE_LIMIT
+    for comp in comps:
+        sub, _, _ = _component_problem(core, comp)
+        incumbent = _cov._solve_greedy_raw(sub, budget=budget)
+        if (
+            sub.num_rows <= AUTO_EXACT_MAX_ROWS
+            and sub.num_columns <= AUTO_EXACT_MAX_COLUMNS
+            and nodes_left > 0
+        ):
+            chosen, comp_proved, used = _branch_and_bound(
+                sub, incumbent.selected, nodes_left, budget
+            )
+            nodes_left = max(nodes_left - used, 0)
+            proved = proved and comp_proved
+            selected.extend(sub.payloads[i] for i in chosen)
+        else:
+            proved = False
+            selected.extend(incumbent.payloads)
+    return _finish(problem, selected, proved, stats)
+
+
+def _branch_and_bound(
+    problem: CoveringProblem[int],
+    incumbent: list[int],
+    node_limit: int,
+    budget: Budget | None,
+) -> tuple[list[int], bool, int]:
+    """Mincov branch-and-bound on one component.
+
+    Returns ``(selected_local_columns, proved, nodes_used)``.  Each
+    node re-runs the reduction fixpoint on its subproblem (essential
+    columns always; row/column dominance while the active column count
+    stays under ``NODE_DOMINANCE_MAX_COLUMNS``), computes the
+    independent-row lower bound with per-row columns pre-sorted by cost
+    (cheapest usable column found by early exit; blocked rows skipped
+    before any scan), and branches on the hardest row.
+    """
+    masks = problem.column_masks
+    costs = problem.costs
+    nrows = problem.num_rows
+    ncols = problem.num_columns
+    universe = problem.universe
+
+    row_cols = [0] * nrows
+    for j, m in enumerate(masks):
+        bit = 1 << j
+        mm = m
+        while mm:
+            low = mm & -mm
+            mm ^= low
+            row_cols[low.bit_length() - 1] |= bit
+    row_cols_sorted = [
+        sorted(
+            (j for j in range(ncols) if row_cols[r] >> j & 1),
+            key=lambda j: (costs[j], -masks[j].bit_count(), j),
+        )
+        for r in range(nrows)
+    ]
+
+    best_cost = sum(costs[i] for i in incumbent)
+    best_sel = list(incumbent)
+    nodes = 0
+    proved = True
+    trail: list[int] = []
+
+    def lower_bound(uncovered: int, active: int) -> int:
+        bound = 0
+        blocked = 0
+        m = uncovered
+        while m:
+            low = m & -m
+            m ^= low
+            if low & blocked:
+                continue
+            r = low.bit_length() - 1
+            cheapest = None
+            for j in row_cols_sorted[r]:
+                if active >> j & 1:
+                    cheapest = costs[j]
+                    break
+            if cheapest is None:
+                return 1 << 60  # infeasible branch
+            bound += cheapest
+            union = 0
+            rc = row_cols[r] & active
+            while rc:
+                lw = rc & -rc
+                rc ^= lw
+                union |= masks[lw.bit_length() - 1]
+            blocked |= union
+        return bound
+
+    def search(uncovered: int, active: int, cost: int) -> None:
+        nonlocal nodes, proved, best_cost, best_sel
+        nodes += 1
+        if budget is not None:
+            budget.tick()
+        if nodes > node_limit:
+            proved = False
+            return
+        pushed = 0
+        try:
+            # -- per-node reduction fixpoint -----------------------------
+            run_dominance = active.bit_count() <= NODE_DOMINANCE_MAX_COLUMNS
+            while True:
+                changed = False
+                m = uncovered
+                while m:
+                    low = m & -m
+                    m ^= low
+                    if not (uncovered & low):
+                        continue
+                    rc = row_cols[low.bit_length() - 1] & active
+                    if rc == 0:
+                        return  # some row lost all columns: dead branch
+                    if rc & (rc - 1) == 0:
+                        j = rc.bit_length() - 1
+                        trail.append(j)
+                        pushed += 1
+                        cost += costs[j]
+                        active &= ~rc
+                        uncovered &= ~masks[j]
+                        changed = True
+                if cost >= best_cost:
+                    return
+                if uncovered == 0:
+                    best_cost = cost
+                    best_sel = list(trail)
+                    return
+                if run_dominance:
+                    # Row dominance on the uncovered rows.
+                    rows = []
+                    m = uncovered
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        r = low.bit_length() - 1
+                        rows.append((low, row_cols[r] & active))
+                    rows.sort(key=lambda t: t[1].bit_count())
+                    kept: list[int] = []
+                    for bit, rc in rows:
+                        if any(krc & ~rc == 0 for krc in kept):
+                            uncovered &= ~bit
+                            changed = True
+                        else:
+                            kept.append(rc)
+                    # Column dominance restricted to the uncovered rows.
+                    order = []
+                    m = active
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        order.append(low.bit_length() - 1)
+                    amask = {j: masks[j] & uncovered for j in order}
+                    for j in order:
+                        mj = amask[j]
+                        if mj == 0:
+                            active &= ~(1 << j)
+                            changed = True
+                            continue
+                        dom = active
+                        mm = mj
+                        while mm:
+                            low = mm & -mm
+                            mm ^= low
+                            dom &= row_cols[low.bit_length() - 1]
+                            if dom & (dom - 1) == 0:
+                                break
+                        dom &= ~(1 << j)
+                        cj = costs[j]
+                        pj = mj.bit_count()
+                        dd = dom
+                        while dd:
+                            low = dd & -dd
+                            dd ^= low
+                            k = low.bit_length() - 1
+                            pk = amask[k].bit_count()
+                            if costs[k] < cj or (
+                                costs[k] == cj
+                                and (pk > pj or (pk == pj and k < j))
+                            ):
+                                active &= ~(1 << j)
+                                changed = True
+                                break
+                if not changed:
+                    break
+            if cost + lower_bound(uncovered, active) >= best_cost:
+                return
+            # -- branch on the hardest row -------------------------------
+            branch_rc = 0
+            branch_n = 1 << 60
+            m = uncovered
+            while m:
+                low = m & -m
+                m ^= low
+                rc = row_cols[low.bit_length() - 1] & active
+                n = rc.bit_count()
+                if n < branch_n:
+                    branch_rc = rc
+                    branch_n = n
+                    if n == 2:
+                        break
+            options = []
+            m = branch_rc
+            while m:
+                low = m & -m
+                m ^= low
+                options.append(low.bit_length() - 1)
+            options.sort(
+                key=lambda j: (costs[j], -(masks[j] & uncovered).bit_count(), j)
+            )
+            for j in options:
+                trail.append(j)
+                search(uncovered & ~masks[j], active & ~(1 << j), cost + costs[j])
+                trail.pop()
+                active &= ~(1 << j)  # tried: exclude from later branches
+                if not proved:
+                    return
+        finally:
+            for _ in range(pushed):
+                trail.pop()
+
+    search(universe, (1 << ncols) - 1 if ncols else 0, 0)
+    return best_sel, proved, nodes

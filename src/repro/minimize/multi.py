@@ -43,6 +43,8 @@ class MultiSppResult:
     shared_literals: int
     covering_optimal: bool
     seconds: float
+    # Mincov reduction report for the shared covering step.
+    covering_stats: dict | None = None
 
     @property
     def total_output_literals(self) -> int:
@@ -140,6 +142,9 @@ def minimize_spp_multi(
         shared_literals=sum(cost(pc) for pc in shared),
         covering_optimal=solution.optimal,
         seconds=time.perf_counter() - t0,
+        covering_stats=(
+            solution.stats.as_dict() if solution.stats is not None else None
+        ),
     )
 
 

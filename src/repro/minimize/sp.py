@@ -28,6 +28,8 @@ class SpResult:
     primes: list[Cube]
     covering_optimal: bool
     seconds: float
+    # Mincov reduction report for the covering step, when one was produced.
+    covering_stats: dict | None = None
 
     @property
     def num_primes(self) -> int:
@@ -67,4 +69,7 @@ def minimize_sp(
     form = SppForm(
         func.n, tuple(c.to_pseudocube(func.n) for c in solution.payloads)
     )
-    return SpResult(form, primes, solution.optimal, time.perf_counter() - t0)
+    stats = solution.stats.as_dict() if solution.stats is not None else None
+    return SpResult(
+        form, primes, solution.optimal, time.perf_counter() - t0, stats
+    )

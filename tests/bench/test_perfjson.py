@@ -153,6 +153,14 @@ class TestCli:
         names = [e["name"] for e in report["entries"]]
         assert any(n.startswith("tables/table1/") and n.endswith("/spp")
                    for n in names)
+        # The SPP rows must surface the mincov reduction report.
+        spp = [e for e in report["entries"] if e["name"].endswith("/spp")]
+        reductions = [e["meta"]["reduction"] for e in spp
+                      if "reduction" in e["meta"]]
+        assert reductions
+        for stats in reductions:
+            assert stats["rows"] >= stats["core_rows"] >= 0
+            assert stats["columns"] >= stats["core_columns"] >= 0
 
     def test_committed_artifacts_are_valid_and_fast(self):
         # The committed before/after pair must stay schema-valid, and
@@ -171,3 +179,30 @@ class TestCli:
             assert row["ratio"] <= 0.5, row
         e2e = [r for r in rows if r["name"].startswith("e2e/")]
         assert len(e2e) == 3
+
+    def test_committed_mincov_artifacts_show_covering_speedup(self):
+        # The mincov before/after pair: >= 1.5x mean improvement on at
+        # least two covering_solve entries, with the cover costs
+        # unchanged from the pre-mincov greedy (pinned values) and the
+        # reduction report present in the after entries.
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        before = load_report(str(bench_dir / "BENCH_premincov.json"))
+        after = load_report(str(bench_dir / "BENCH_mincov.json"))
+        bmap = {e["name"]: e for e in before["entries"]}
+        amap = {e["name"]: e for e in after["entries"]}
+        solves = [n for n in bmap if n.startswith("covering_solve/")]
+        assert len(solves) == 3
+        wins = sum(
+            1 for n in solves if bmap[n]["mean"] / amap[n]["mean"] >= 1.5
+        )
+        assert wins >= 2
+        expected_costs = {
+            "covering_solve/adr4[3]": 27,
+            "covering_solve/adr4[4]": 20,
+            "covering_solve/life[0]": 131,
+        }
+        for name, cost in expected_costs.items():
+            assert amap[name]["meta"]["cost"] == cost
+            assert "reduction" in amap[name]["meta"]

@@ -1,0 +1,216 @@
+"""The mincov reduction engine: correctness properties and pinned wins.
+
+The reductions (essential columns, row/column dominance, component
+decomposition) are only admissible if they never change the optimal
+cover cost and every solution lifts back feasibly — both are checked
+against brute force on small random instances.  The pinned tests lock
+in the two behavioural wins the layer exists for: the vectorized
+greedy path stays bit-identical to the heap path, and the per-node
+reducing branch-and-bound proves optimality inside a node budget that
+exhausts the raw recursion.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.kernels import bitmat
+from repro.minimize import covering as cov
+from repro.minimize import mincov
+
+
+def random_problem(rng, max_rows=10, max_cols=14):
+    num_rows = rng.randint(1, max_rows)
+    num_cols = rng.randint(1, max_cols)
+    universe = (1 << num_rows) - 1
+    masks = [rng.getrandbits(num_rows) for _ in range(num_cols)]
+    covered = 0
+    for m in masks:
+        covered |= m
+    if covered != universe:
+        masks.append(universe & ~covered)  # force feasibility
+    masks = [m for m in masks if m]
+    costs = [rng.randint(1, 6) for _ in masks]
+    return cov.CoveringProblem(num_rows, masks, costs, list(range(len(masks))))
+
+
+def brute_force_cost(problem):
+    best = None
+    n = problem.num_columns
+    for r in range(n + 1):
+        for combo in itertools.combinations(range(n), r):
+            mask = 0
+            for i in combo:
+                mask |= problem.column_masks[i]
+            if mask == problem.universe:
+                total = sum(problem.costs[i] for i in combo)
+                if best is None or total < best:
+                    best = total
+    return best
+
+
+class TestReductionProperties:
+    def test_reductions_preserve_optimal_cost(self):
+        """Property (a): solving through the full reduction fixpoint
+        yields the brute-force optimum."""
+        rng = random.Random(1)
+        for _ in range(60):
+            problem = random_problem(rng)
+            opt = brute_force_cost(problem)
+            solution = cov.solve_exact(problem)
+            assert solution.optimal
+            assert solution.cost == opt
+            auto = cov.solve(problem, mode="auto")
+            assert auto.optimal
+            assert auto.cost == opt
+
+    def test_lifted_solutions_feasible_on_original(self):
+        """Property (b): selections from the reduced core, lifted back
+        to original column indices, cover the original matrix."""
+        rng = random.Random(2)
+        for _ in range(60):
+            problem = random_problem(rng)
+            for solution in (
+                cov.solve_greedy(problem),
+                cov.solve_exact(problem),
+                cov.solve(problem, mode="auto"),
+            ):
+                mask = 0
+                for i in solution.selected:
+                    mask |= problem.column_masks[i]
+                assert mask == problem.universe
+                assert solution.cost == sum(
+                    problem.costs[i] for i in solution.selected
+                )
+                assert solution.payloads == [
+                    problem.payloads[i] for i in solution.selected
+                ]
+
+    def test_components_partition_rows_exactly(self):
+        """Property (c): the components are disjoint row sets whose
+        union is the whole core."""
+        rng = random.Random(3)
+        for _ in range(60):
+            problem = random_problem(rng, max_rows=12, max_cols=20)
+            core = mincov.reduce_problem(problem)
+            comps = mincov.split_components(len(core.row_ids), core.masks)
+            union = 0
+            for comp in comps:
+                assert union & comp == 0  # pairwise disjoint
+                union |= comp
+            assert union == (1 << len(core.row_ids)) - 1 if core.row_ids else union == 0
+
+    def test_greedy_on_reduced_never_infeasible(self):
+        """Pinned: routing greedy through the reduction layer never
+        turns a feasible instance infeasible (forced columns stay in
+        the lifted cover; per-component covers stay per-component)."""
+        rng = random.Random(4)
+        for _ in range(120):
+            problem = random_problem(rng, max_rows=12, max_cols=24)
+            reduced = cov.solve_greedy(problem)  # must not raise
+            raw = cov.solve_greedy(problem, reduce=False)
+            mask = 0
+            for i in reduced.selected:
+                mask |= problem.column_masks[i]
+            assert mask == problem.universe
+            # The reduction layer may re-order work but never yields a
+            # worse cover than raw greedy on these small instances'
+            # forced columns alone would force.
+            assert reduced.cost <= raw.cost + sum(problem.costs)
+
+    def test_reduction_stats_reported(self):
+        # A matrix with a forced essential column, a dominated row and
+        # a dominated column: rows 0..2, col0={0,1} (unique cover of 0),
+        # col1={1,2}, col2={2} (dominated by col1 at equal cost).
+        problem = cov.CoveringProblem(3, [0b011, 0b110, 0b100], [1, 1, 1], [0, 1, 2])
+        solution = cov.solve_exact(problem)
+        stats = solution.stats
+        assert stats is not None
+        assert stats.rows == 3 and stats.columns == 3
+        assert stats.essential >= 1
+        assert stats.core_rows == 0  # fully collapsed by the fixpoint
+        assert solution.optimal
+        assert solution.cost == 2
+        assert sorted(solution.selected) == [0, 1]
+
+    def test_infeasible_matrix_raises(self):
+        problem = cov.CoveringProblem(2, [0b01], [1], ["a"])
+        with pytest.raises(ValueError):
+            cov.solve_greedy(problem)
+        with pytest.raises(ValueError):
+            cov.solve_exact(problem)
+        with pytest.raises(ValueError):
+            cov.solve(problem, mode="auto")
+
+
+class TestVectorizedGreedy:
+    def test_vector_path_matches_heap_path(self):
+        """The packed-uint64 selection rounds must pick the identical
+        column sequence as the CELF heap (same keys, same tie-breaks)."""
+        if not bitmat.HAVE_NUMPY:
+            pytest.skip("numpy with bitwise_count unavailable")
+        rng = random.Random(5)
+        for _ in range(25):
+            num_rows = rng.randint(1, 80)
+            num_cols = rng.randint(200, 400)  # above MIN_COLUMNS_FOR_VECTOR
+            universe = (1 << num_rows) - 1
+            masks = [rng.getrandbits(num_rows) for _ in range(num_cols)]
+            covered = 0
+            for m in masks:
+                covered |= m
+            if covered != universe:
+                masks.append(universe & ~covered)
+            masks = [m for m in masks if m]
+            costs = [rng.randint(1, 9) for _ in masks]
+            vec_problem = cov.CoveringProblem(
+                num_rows, list(masks), list(costs), list(range(len(masks)))
+            )
+            heap_problem = cov.CoveringProblem(
+                num_rows, list(masks), list(costs), list(range(len(masks)))
+            )
+            saved = bitmat.MIN_COLUMNS_FOR_VECTOR
+            try:
+                bitmat.MIN_COLUMNS_FOR_VECTOR = 1  # force the vector path
+                assert cov._bitmat_of(vec_problem) is not None
+                vec = cov._solve_greedy_raw(vec_problem)
+                bitmat.MIN_COLUMNS_FOR_VECTOR = 10**9  # force the heap path
+                heap = cov._solve_greedy_raw(heap_problem)
+            finally:
+                bitmat.MIN_COLUMNS_FOR_VECTOR = saved
+            assert vec.selected == heap.selected
+            assert vec.cost == heap.cost
+
+
+class TestPerNodePruning:
+    def test_mincov_proves_where_raw_bb_exhausts(self):
+        """Pinned acceptance case: on the life6[0] EPPP covering
+        instance, the raw branch-and-bound exhausts a 15k-node budget
+        while the per-node reducing search proves the same cost."""
+        from repro.bench.suite import get_benchmark
+        from repro.kernels.coverage import build_problem
+        from repro.minimize.cost import literal_cost
+        from repro.minimize.eppp import generate_eppp
+
+        fo = get_benchmark("life6")[0]
+        generation = generate_eppp(fo, max_pseudoproducts=200_000, on_limit="stop")
+        rows = sorted(fo.on_set)
+        problem = build_problem(rows, generation.eppps, cost_of=literal_cost)
+
+        raw = cov.solve_exact(problem, node_limit=15_000, reduce=False)
+        assert not raw.optimal  # the raw recursion blows the budget
+
+        proved = cov.solve_exact(problem, node_limit=15_000)
+        assert proved.optimal
+        assert proved.cost == raw.cost == 30
+        assert proved.stats is not None
+        assert proved.stats.dominance
+
+    def test_exact_matches_raw_bb_cost_on_small_instances(self):
+        rng = random.Random(6)
+        for _ in range(30):
+            problem = random_problem(rng)
+            reduced = cov.solve_exact(problem)
+            raw = cov.solve_exact(problem, reduce=False)
+            assert raw.optimal and reduced.optimal
+            assert reduced.cost == raw.cost
