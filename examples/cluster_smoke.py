@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the cluster coordinator under fire.
+
+The contract this asserts, operator's-eye view:
+
+1. a coordinator + 2 workers come up and report healthy;
+2. mixed traffic routes across both workers and succeeds;
+3. ``SIGKILL`` of one worker mid-load loses **no accepted request** —
+   every in-flight and subsequent request either succeeds via failover
+   to the ring successor or gets a structured 429/503 with a JSON
+   error body (never a dropped connection), and the shed rate over the
+   outage window stays under a bound;
+4. the supervisor restarts the dead worker, re-admits it to the ring,
+   and it serves again;
+5. ``/metrics`` parses as Prometheus text exposition format, with the
+   cluster histogram and per-worker families present.
+
+A ``signal.alarm`` hard-kills the whole script if anything wedges.
+
+Run:  PYTHONPATH=src python examples/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import sys
+import tempfile
+import threading
+import time
+
+from repro.cluster import ClusterConfig, ClusterCoordinator
+
+PLAS = [f".i 3\n.o 1\n{format(i, '03b')} 1\n111 1\n.e\n" for i in range(8)]
+KILL_WINDOW_REQUESTS = 40
+MAX_SHED_RATE = 0.5  # over the outage window; normally ~0
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.\-]+$|^[a-zA-Z_:]"
+    r"[a-zA-Z0-9_:]*(\{[^}]*\})? \+Inf$"
+)
+
+
+def body_for(pla: str) -> bytes:
+    return json.dumps({"pla": pla, "max_rung": "heuristic"}).encode()
+
+
+def post(host: str, port: int, body: bytes) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("POST", "/minimize", body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def get(host: str, port: int, path: str) -> tuple[int, bytes]:
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def check_prometheus(text: str) -> int:
+    """Validate exposition format line by line; returns sample count."""
+    samples = 0
+    current = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            current = line.split()[2]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[2] == current, f"TYPE outside family: {line!r}"
+            assert parts[3] in ("counter", "gauge", "histogram", "summary")
+            continue
+        assert not line.startswith("#"), f"stray comment: {line!r}"
+        assert _SAMPLE_RE.match(line), f"malformed sample: {line!r}"
+        assert current and line.split("{")[0].split()[0].startswith(current), (
+            f"sample outside its family: {line!r}"
+        )
+        samples += 1
+    return samples
+
+
+def main() -> None:
+    signal.alarm(240)  # hard stop: a supervision bug looks like a hang
+    tmp = tempfile.mkdtemp(prefix="spp-cluster-smoke-")
+    coordinator = ClusterCoordinator(ClusterConfig(
+        port=0,
+        workers=2,
+        worker_threads=2,
+        worker_queue_capacity=4,
+        health_interval=0.2,
+        restart_backoff=0.2,
+        worker_start_timeout=90.0,
+        cache_dir=tmp,
+    ))
+    host, port = coordinator.start()
+    print(f"cluster up at http://{host}:{port}")
+
+    try:
+        # 1. Probes green.
+        assert get(host, port, "/healthz")[0] == 200
+        assert get(host, port, "/readyz")[0] == 200
+
+        # 2. Warm traffic routes across both workers.
+        for pla in PLAS:
+            status, doc = post(host, port, body_for(pla))
+            assert status == 200, (status, doc)
+        per_worker = {
+            name: worker["requests"]
+            for name, worker in coordinator.stats()["workers"].items()
+        }
+        assert all(count > 0 for count in per_worker.values()), (
+            f"one worker starved: {per_worker}"
+        )
+        print(f"routing spread: {per_worker}")
+
+        # 3. SIGKILL one worker mid-load; count outcomes concurrently.
+        victim = next(iter(coordinator._workers.values()))
+        outcomes: list[int] = []
+        lock = threading.Lock()
+
+        def hammer() -> None:
+            for i in range(KILL_WINDOW_REQUESTS):
+                status, doc = post(host, port, body_for(PLAS[i % len(PLAS)]))
+                if status not in (200, 429, 503):
+                    raise AssertionError(f"unstructured answer: {status}")
+                if status != 200:
+                    assert doc["error"]["code"], doc  # structured shed
+                with lock:
+                    outcomes.append(status)
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        time.sleep(0.1)  # let the load overlap the kill
+        print(f"killing worker {victim.proc.name} (pid {victim.proc.pid})")
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "load thread wedged"
+
+        ok = outcomes.count(200)
+        shed = len(outcomes) - ok
+        shed_rate = shed / len(outcomes)
+        print(f"outage window: {ok} ok, {shed} structured sheds "
+              f"({shed_rate:.0%})")
+        assert len(outcomes) == KILL_WINDOW_REQUESTS, "requests went missing"
+        assert shed_rate <= MAX_SHED_RATE, f"shed rate {shed_rate:.0%}"
+
+        # 4. Supervisor restarts and re-admits the victim.
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            workers = coordinator.stats()["workers"]
+            victim_state = workers[victim.proc.name]
+            if victim_state["restarts"] >= 1 and victim_state["status"] == "up":
+                break
+            time.sleep(0.2)
+        else:
+            raise AssertionError(f"victim never recovered: {workers}")
+        print(f"worker {victim.proc.name} restarted and re-admitted")
+        for pla in PLAS:
+            assert post(host, port, body_for(pla))[0] == 200
+
+        # 5. /metrics parses as Prometheus text.
+        status, payload = get(host, port, "/metrics")
+        assert status == 200
+        text = payload.decode()
+        samples = check_prometheus(text)
+        assert "# TYPE repro_cluster_request_seconds histogram" in text
+        assert "repro_cluster_worker_restarts_total" in text
+        print(f"/metrics: {samples} samples, format OK")
+    finally:
+        coordinator.drain(grace=2.0)
+    print("cluster smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@
     spp-minimize batch adr4 life circuit.pla --jobs 4 --timeout 30 \\
         --cache-dir .spp-cache --resume
     spp-minimize serve --port 8351 --threads 4 --queue-capacity 8
+    spp-minimize cluster --workers 4 --cache-dir .spp-cache
+    spp-minimize loadtest --cluster 4 --compare-single --out results
 
 (`python -m repro ...` is equivalent.)
 """
@@ -427,9 +429,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         default_budget=args.default_budget,
         memory_soft_mb=args.memory_soft_mb,
         memory_hard_mb=args.memory_hard_mb,
+        cache_entries=args.cache_entries,
         cache_dir=args.cache_dir,
+        max_disk_entries=args.max_disk_entries,
         manifest_dir=args.manifest_dir,
         drain_grace=args.drain_grace,
+        parent_pid=args.parent_pid,
     )
     service = MinimizeService(config)
     host, port = service.start()
@@ -442,6 +447,206 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     except KeyboardInterrupt:  # second ^C while draining: just leave
         pass
     print("drained, exiting", flush=True)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        replicas=args.replicas,
+        failover_attempts=args.failover_attempts,
+        hedge_after=args.hedge_after,
+        health_interval=args.health_interval,
+        worker_threads=args.threads,
+        worker_queue_capacity=args.queue_capacity,
+        default_timeout=args.default_timeout,
+        default_budget=args.default_budget,
+        cache_entries=args.cache_entries,
+        cache_dir=args.cache_dir,
+        max_disk_entries=args.max_disk_entries,
+    )
+    cluster = ClusterCoordinator(config)
+    host, port = cluster.start()
+    cluster.install_signal_handlers()
+    ports = [state.proc.port for state in cluster._workers.values()]
+    print(f"cluster on http://{host}:{port}  "
+          f"({config.workers} workers on ports {ports}); "
+          "SIGTERM/SIGINT drains gracefully", flush=True)
+    try:
+        cluster.wait_drained()
+    except KeyboardInterrupt:  # second ^C while draining: just leave
+        pass
+    print("drained, exiting", flush=True)
+
+
+def _parse_stages(spec: str, mode: str):
+    """``"4x10,8x10"`` → closed stages; open mode reads rate instead."""
+    from repro.loadgen import Stage
+
+    stages = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            load_part, duration_part = chunk.split("x", 1)
+            load = float(load_part)
+            duration = float(duration_part)
+        except ValueError:
+            raise SystemExit(
+                f"loadtest: bad stage {chunk!r} (want LOADxSECONDS)"
+            ) from None
+        if mode == "open":
+            stages.append(Stage(duration, clients=64, rate=load))
+        else:
+            stages.append(Stage(duration, clients=int(load)))
+    if not stages:
+        raise SystemExit("loadtest: no stages given")
+    return stages
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> None:
+    import contextlib
+    import tempfile
+
+    from repro.cluster import ClusterConfig, ClusterCoordinator, WorkerProcess, free_port
+    from repro.loadgen import LoadDriver, Workload, write_report
+
+    if args.service_time is not None:
+        # Deterministic per-request service time via the fault plan —
+        # the repo's standard way to emulate fixed compute cost (see
+        # docs/SERVING.md).  Exported so spawned servers inherit it.
+        from repro.faults import FaultPlan, FaultRule, install
+
+        install(FaultPlan([FaultRule(site="serve.request", kind="slow",
+                                     arg=args.service_time, times=None)]))
+
+    stages = _parse_stages(args.stages, args.mode)
+    workload = Workload(
+        seed=args.seed,
+        small_pool=args.small_pool,
+        large_pool=args.large_pool,
+        large_fraction=args.large_fraction,
+        timeout=args.request_timeout,
+        max_rung=None if args.max_rung == "none" else args.max_rung,
+    )
+    serve_args = [
+        "--threads", str(args.threads),
+        "--queue-capacity", str(args.queue_capacity),
+        "--default-timeout", str(args.request_timeout),
+    ]
+
+    def show(line: str) -> None:
+        print(f"  {line}", flush=True)
+
+    results = {}
+    with contextlib.ExitStack() as stack:
+        tmp = None
+        if args.cache_dir is None and (args.cluster or args.compare_single):
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="spp-loadtest-")
+            )
+        cache_dir = args.cache_dir or tmp
+
+        def drive(name: str, host: str, port: int, target: str) -> None:
+            print(f"{name}: driving http://{host}:{port}", flush=True)
+            driver = LoadDriver(
+                host, port, workload,
+                request_timeout=args.request_timeout + 30.0,
+                progress=show,
+            )
+            results[name] = driver.run(
+                stages, target=target, warmup_repeats=args.warmup_repeats
+            )
+
+        if args.url:
+            from urllib.parse import urlsplit
+
+            parts = urlsplit(args.url)
+            drive("target", parts.hostname or "127.0.0.1",
+                  parts.port or 80, args.url)
+        if args.compare_single:
+            single = WorkerProcess(
+                "single", free_port(),
+                serve_args=serve_args + (
+                    ["--cache-dir", f"{cache_dir}/single"] if cache_dir else []
+                ),
+            )
+            single.start(wait=True)
+            stack.callback(single.stop)
+            drive("single", single.host, single.port,
+                  f"single-process serve (threads={args.threads})")
+        if args.cluster:
+            cluster = ClusterCoordinator(ClusterConfig(
+                port=0,
+                workers=args.cluster,
+                worker_threads=args.threads,
+                worker_queue_capacity=args.queue_capacity,
+                default_timeout=args.request_timeout,
+                hedge_after=args.hedge_after,
+                cache_dir=f"{cache_dir}/cluster" if cache_dir else None,
+            ))
+            host, port = cluster.start()
+            stack.callback(cluster.drain, 2.0)
+            drive(f"cluster-{args.cluster}", host, port,
+                  f"{args.cluster}-worker cluster (threads={args.threads} each)")
+
+    if not results:
+        raise SystemExit(
+            "loadtest: nothing to drive (use --url, --cluster N and/or "
+            "--compare-single)"
+        )
+    notes = list(args.note or [])
+    if args.service_time is not None:
+        notes.append(
+            f"Deterministic per-request service time of {args.service_time}s "
+            "injected via the fault plan (site serve.request) on every "
+            "spawned server — the repo's standard emulation of fixed "
+            "compute cost for fabric-scaling measurements."
+        )
+    single_result = results.get("single")
+    cluster_result = next(
+        (r for k, r in results.items() if k.startswith("cluster-")), None
+    )
+    if single_result and cluster_result:
+        speedup = (
+            cluster_result.peak_throughput_rps
+            / max(single_result.peak_throughput_rps, 1e-9)
+        )
+        notes.append(
+            f"Peak sustained throughput: cluster "
+            f"{cluster_result.peak_throughput_rps:.1f} rps vs single-process "
+            f"{single_result.peak_throughput_rps:.1f} rps = "
+            f"{speedup:.2f}x."
+        )
+        per_stage = []
+        for s_stage, c_stage in zip(single_result.stages,
+                                    cluster_result.stages):
+            if s_stage.stage == c_stage.stage and s_stage.throughput_rps:
+                per_stage.append(
+                    (s_stage.stage,
+                     c_stage.throughput_rps / s_stage.throughput_rps)
+                )
+        if per_stage:
+            rendered = ", ".join(
+                f"{spec['rate'] or spec['clients']:g}"
+                f"{'rps' if spec['rate'] else ' clients'}: {ratio:.2f}x"
+                for spec, ratio in per_stage
+            )
+            notes.append(
+                "Matched-offered-load speedups (same stage driven at both "
+                f"targets): {rendered}."
+            )
+        print(f"speedup: {speedup:.2f}x peak; matched-load "
+              f"{max((r for _, r in per_stage), default=speedup):.2f}x",
+              flush=True)
+    json_path, md_path = write_report(
+        args.out, args.name, args.title, results, notes
+    )
+    print(f"wrote {json_path} and {md_path}", flush=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -593,14 +798,141 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--memory-hard-mb", type=float, default=None,
                          metavar="MB", help="RSS hard ceiling: shed all new "
                          "requests until RSS recedes")
+    p_serve.add_argument("--cache-entries", type=int, default=1024,
+                         metavar="N", help="in-memory result cache capacity "
+                         "(default 1024)")
     p_serve.add_argument("--cache-dir", default=None,
                          help="persistent result cache directory")
+    p_serve.add_argument("--max-disk-entries", type=int, default=None,
+                         metavar="N", help="cap on disk cache entries; "
+                         "oldest are pruned under a cross-process lock "
+                         "(default: unbounded)")
     p_serve.add_argument("--manifest-dir", default=None,
                          help="journal-backed manifest directory")
     p_serve.add_argument("--drain-grace", type=float, default=10.0,
                          metavar="S", help="SIGTERM grace window before "
                          "in-flight requests are cancelled (default 10s)")
+    p_serve.add_argument("--parent-pid", type=int, default=None, metavar="PID",
+                         help="drain and exit if this process disappears "
+                         "(used by the cluster coordinator)")
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run a sharded multi-process cluster of minimization services",
+        description="Fork N worker processes each running the serve stack "
+        "and front them with a coordinator that routes every request over "
+        "a consistent-hash ring on the job content hash (shard-local "
+        "caches stay hot), health-checks and restarts crashed workers, "
+        "fails requests over to ring successors, and exposes /healthz, "
+        "/stats and Prometheus /metrics.",
+    )
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument("--port", type=int, default=8350,
+                           help="coordinator listen port (0 = ephemeral; "
+                           "default 8350)")
+    p_cluster.add_argument("--workers", type=int, default=4, metavar="N",
+                           help="worker processes (default 4)")
+    p_cluster.add_argument("--replicas", type=int, default=64, metavar="N",
+                           help="virtual nodes per worker on the hash ring "
+                           "(default 64)")
+    p_cluster.add_argument("--failover-attempts", type=int, default=2,
+                           metavar="N", help="distinct workers tried per "
+                           "request before 503 (default 2)")
+    p_cluster.add_argument("--hedge-after", type=float, default=None,
+                           metavar="S", help="duplicate a straggling request "
+                           "to the ring successor after S seconds (off by "
+                           "default; safe — jobs are content-hashed and "
+                           "idempotent)")
+    p_cluster.add_argument("--health-interval", type=float, default=0.5,
+                           metavar="S", help="worker health-probe period "
+                           "(default 0.5s)")
+    p_cluster.add_argument("--threads", type=int, default=4, metavar="N",
+                           help="concurrent minimizations per worker "
+                           "(default 4)")
+    p_cluster.add_argument("--queue-capacity", type=int, default=8,
+                           metavar="N", help="per-worker admission queue "
+                           "(default 8)")
+    p_cluster.add_argument("--default-timeout", type=float, default=5.0,
+                           metavar="S")
+    p_cluster.add_argument("--default-budget", type=float, default=30.0,
+                           metavar="S")
+    p_cluster.add_argument("--cache-entries", type=int, default=1024,
+                           metavar="N", help="per-worker in-memory cache "
+                           "capacity (default 1024)")
+    p_cluster.add_argument("--cache-dir", default=None,
+                           help="shared on-disk result cache tier "
+                           "(lockfile-guarded across workers)")
+    p_cluster.add_argument("--max-disk-entries", type=int, default=None,
+                           metavar="N", help="cap on shared disk cache "
+                           "entries (default: unbounded)")
+    p_cluster.set_defaults(handler=_cmd_cluster)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="drive staged load at a serve/cluster target and report "
+        "p50/p95/p99, shed rate and throughput",
+        description="Closed-loop (virtual clients) or open-loop (fixed "
+        "arrival rate) staged ramps over a seeded mixed small/large "
+        "workload, against an existing --url and/or self-launched "
+        "--compare-single / --cluster N targets.  Writes a "
+        "repro-loadtest/1 JSON + markdown report pair.",
+    )
+    p_load.add_argument("--url", default=None,
+                        help="existing target, e.g. http://127.0.0.1:8350")
+    p_load.add_argument("--cluster", type=int, default=None, metavar="N",
+                        help="also launch and drive an N-worker cluster")
+    p_load.add_argument("--compare-single", action="store_true",
+                        help="also launch and drive a single-process serve "
+                        "baseline")
+    p_load.add_argument("--stages", default="4x10,8x10", metavar="SPEC",
+                        help="comma list of LOADxSECONDS stages; LOAD is "
+                        "clients (closed mode) or rps (open mode) "
+                        "(default '4x10,8x10')")
+    p_load.add_argument("--mode", choices=["closed", "open"],
+                        default="closed",
+                        help="closed = fixed virtual clients, open = fixed "
+                        "arrival rate immune to coordinated omission")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--small-pool", type=int, default=24, metavar="N",
+                        help="distinct small random instances (default 24)")
+    p_load.add_argument("--large-pool", type=int, default=4, metavar="N",
+                        help="distinct benchmark-sized instances (default 4)")
+    p_load.add_argument("--large-fraction", type=float, default=0.25,
+                        metavar="F", help="probability of drawing a large "
+                        "instance (default 0.25)")
+    p_load.add_argument("--max-rung", default="heuristic",
+                        choices=["exact", "bounded", "heuristic", "sp", "none"],
+                        help="ladder cap attached to every request "
+                        "(default heuristic; 'none' = uncapped)")
+    p_load.add_argument("--warmup-repeats", type=int, default=1, metavar="N",
+                        help="passes over the distinct pool before "
+                        "measuring, to prime caches (default 1)")
+    p_load.add_argument("--request-timeout", type=float, default=5.0,
+                        metavar="S", help="per-request rung deadline "
+                        "(default 5s)")
+    p_load.add_argument("--threads", type=int, default=4, metavar="N",
+                        help="threads per launched server (default 4)")
+    p_load.add_argument("--queue-capacity", type=int, default=8, metavar="N")
+    p_load.add_argument("--hedge-after", type=float, default=None, metavar="S",
+                        help="enable request hedging on the launched cluster")
+    p_load.add_argument("--cache-dir", default=None,
+                        help="cache directory for launched targets "
+                        "(default: a throwaway tempdir)")
+    p_load.add_argument("--service-time", type=float, default=None,
+                        metavar="S", help="inject a deterministic per-"
+                        "request service time into launched servers via "
+                        "the fault plan (fabric-scaling experiments on "
+                        "small machines)")
+    p_load.add_argument("--out", default="results", metavar="DIR",
+                        help="report directory (default results/)")
+    p_load.add_argument("--name", default="loadtest", metavar="NAME",
+                        help="report basename (default 'loadtest')")
+    p_load.add_argument("--title", default="Load test", metavar="TITLE")
+    p_load.add_argument("--note", action="append", metavar="TEXT",
+                        help="extra note appended to the report "
+                        "(repeatable)")
+    p_load.set_defaults(handler=_cmd_loadtest)
     return parser
 
 

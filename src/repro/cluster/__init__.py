@@ -1,0 +1,37 @@
+"""repro.cluster — sharded multi-worker serving.
+
+Scales :mod:`repro.serve` past one process: a coordinator accepts the
+same HTTP API and routes each request over a consistent-hash ring on
+the job content hash to N supervised ``serve`` worker subprocesses,
+which share one lockfile-guarded on-disk result-cache tier.
+
+* :mod:`repro.cluster.ring` — the consistent-hash ring (virtual
+  replicas, minimal remapping, failover successors);
+* :mod:`repro.cluster.worker` — one supervised worker subprocess
+  (spawn, health probes, SIGKILL-and-restart);
+* :mod:`repro.cluster.coordinator` — the routing front-end: proxying
+  with connection reuse, failover + optional hedging, health-checking
+  with ring eviction/re-admission, ``/stats`` and Prometheus
+  ``/metrics``.
+
+Start one with ``spp-minimize cluster`` or programmatically::
+
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+
+    cluster = ClusterCoordinator(ClusterConfig(port=0, workers=4))
+    host, port = cluster.start()
+    ...
+    cluster.drain()
+"""
+
+from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator
+from repro.cluster.ring import HashRing
+from repro.cluster.worker import WorkerProcess, free_port
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "HashRing",
+    "WorkerProcess",
+    "free_port",
+]

@@ -1,0 +1,711 @@
+"""The cluster coordinator: shard-routing HTTP front-end over N workers.
+
+One coordinator process accepts the existing ``serve`` API and routes
+every ``POST /minimize`` over a consistent-hash ring
+(:mod:`repro.cluster.ring`) keyed by the **job content hash** to one of
+N supervised worker subprocesses (:mod:`repro.cluster.worker`).  Equal
+jobs always land on the same worker, so each worker's in-memory LRU
+becomes a clean shard of one logical cache; the shared on-disk tier
+under ``cache_dir`` (lockfile-guarded, see :mod:`repro.engine.cache`)
+makes a result computed by *any* worker a disk hit for every worker
+after ring movement or a restart.
+
+Failure handling, in order of escalation:
+
+* a proxy attempt that cannot reach its worker **fails over** to the
+  ring successor (jobs are idempotent and content-hashed, so a retry
+  is at worst a cache hit) and nudges the health checker;
+* optionally, a request outstanding longer than ``hedge_after`` is
+  **hedged**: duplicated to the successor, first response wins;
+* the health loop probes ``/healthz`` continuously; a worker that
+  misses ``health_misses`` probes in a row — or whose process has
+  exited — is removed from the ring, killed, restarted on its own
+  port, and **re-admitted** once it answers probes again;
+* only when *no* ring worker is reachable does the client see a
+  structured 503 (``code="unavailable"``) — never a torn response.
+
+Routing cost is kept off the hot path with a body-bytes → routing-key
+memo (an LRU): warm traffic repeats identical request bodies, so the
+coordinator usually routes without even parsing the JSON.
+
+Endpoints: ``POST /minimize`` (proxied), ``GET /healthz`` ``/readyz``
+``/stats`` ``/metrics`` (answered by the coordinator; ``/metrics`` also
+scrapes and re-exports per-worker counters as Prometheus text).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import http.client
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.cluster.ring import HashRing
+from repro.cluster.worker import WorkerProcess, free_port
+from repro.errors import UsageError
+from repro.serve.metrics import LatencyHistogram, Metric, render_metrics
+from repro.serve.server import jobs_from_payload
+
+__all__ = ["ClusterConfig", "ClusterCoordinator"]
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs of one coordinator (all exposed as CLI flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8350
+    workers: int = 4
+    replicas: int = 64               # ring points per worker
+    failover_attempts: int = 2       # distinct workers tried per request
+    hedge_after: float | None = None  # duplicate slow requests (seconds)
+    proxy_timeout: float = 300.0
+    route_cache_size: int = 4096     # body-bytes -> routing-key memo
+    health_interval: float = 0.5
+    health_timeout: float = 2.0
+    health_misses: int = 2           # consecutive failures before eviction
+    restart_backoff: float = 0.5
+    worker_start_timeout: float = 60.0
+    drain_grace: float = 10.0
+    # Pass-through configuration for every worker's MinimizeService:
+    worker_threads: int = 4
+    worker_queue_capacity: int = 8
+    default_timeout: float = 5.0
+    default_budget: float = 30.0
+    cache_entries: int = 1024
+    cache_dir: str | None = None     # the *shared* disk tier
+    max_disk_entries: int | None = None
+    extra_serve_args: list[str] = field(default_factory=list)
+
+
+class _WorkerState:
+    """Supervision bookkeeping for one worker (owned by the coordinator)."""
+
+    __slots__ = (
+        "proc", "status", "misses", "down_since", "requests", "errors",
+        "failovers",
+    )
+
+    def __init__(self, proc: WorkerProcess) -> None:
+        self.proc = proc
+        self.status = "starting"   # starting | up | restarting
+        self.misses = 0
+        self.down_since = 0.0
+        self.requests = 0
+        self.errors = 0
+        self.failovers = 0  # times a request failed over *away* from it
+
+
+class ClusterCoordinator:
+    """Consistent-hash router + supervisor over serve worker processes."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        if self.config.workers < 1:
+            raise ValueError("need at least one worker")
+        self.ring = HashRing(replicas=self.config.replicas)
+        self.latency = LatencyHistogram()
+        self._workers: dict[str, _WorkerState] = {}
+        self._workers_lock = threading.Lock()
+        self._route_memo: OrderedDict[bytes, str] = OrderedDict()
+        self._route_lock = threading.Lock()
+        self._pool: dict[str, list[http.client.HTTPConnection]] = {}
+        self._pool_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "proxied": 0,
+            "failovers": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "unavailable": 0,
+            "bad_requests": 0,
+            "route_memo_hits": 0,
+        }
+        self._counters_lock = threading.Lock()
+        self._probe_now = threading.Event()
+        self._stop = threading.Event()
+        self._drained = threading.Event()
+        self._draining = False
+        self._health_thread: threading.Thread | None = None
+        self._server: ThreadingHTTPServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._hedge_pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._started_at = time.monotonic()
+
+    # -- worker construction -------------------------------------------
+
+    def _serve_args(self) -> list[str]:
+        cfg = self.config
+        args = [
+            "--threads", str(cfg.worker_threads),
+            "--queue-capacity", str(cfg.worker_queue_capacity),
+            "--default-timeout", str(cfg.default_timeout),
+            "--default-budget", str(cfg.default_budget),
+            "--cache-entries", str(cfg.cache_entries),
+        ]
+        if cfg.cache_dir is not None:
+            args += ["--cache-dir", str(cfg.cache_dir)]
+        if cfg.max_disk_entries is not None:
+            args += ["--max-disk-entries", str(cfg.max_disk_entries)]
+        return args + list(cfg.extra_serve_args)
+
+    def start(self) -> tuple[str, int]:
+        """Spawn the workers, join them to the ring, bind the listener."""
+        cfg = self.config
+        serve_args = self._serve_args()
+        for i in range(cfg.workers):
+            name = f"w{i}"
+            proc = WorkerProcess(
+                name,
+                free_port(cfg.host),
+                host=cfg.host,
+                serve_args=serve_args,
+                start_timeout=cfg.worker_start_timeout,
+            )
+            self._workers[name] = _WorkerState(proc)
+            proc.start(wait=False)  # overlap the N interpreter start-ups
+        deadline = time.monotonic() + cfg.worker_start_timeout
+        for name, state in self._workers.items():
+            remaining = max(deadline - time.monotonic(), 1.0)
+            if not state.proc.wait_healthy(remaining):
+                self.stop_workers()
+                raise RuntimeError(f"worker {name} never became healthy")
+            state.status = "up"
+            self.ring.add(name)
+        if cfg.hedge_after is not None:
+            self._hedge_pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=max(cfg.workers * 2, 4),
+                thread_name_prefix="repro-hedge",
+            )
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="repro-cluster-health", daemon=True
+        )
+        self._health_thread.start()
+        self._server = ThreadingHTTPServer(
+            (cfg.host, cfg.port), _make_handler(self)
+        )
+        self._server.daemon_threads = True
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-cluster-listener",
+            daemon=True,
+        )
+        self._server_thread.start()
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    # -- routing -------------------------------------------------------
+
+    def routing_key(self, body: bytes) -> str:
+        """Job-content-hash routing key for a raw request body.
+
+        Memoized on the exact body bytes: repeated (warm) traffic
+        routes via one dict probe instead of re-parsing and re-hashing
+        the function.  Raises :class:`UsageError` on bodies the workers
+        would reject anyway.
+        """
+        with self._route_lock:
+            key = self._route_memo.get(body)
+            if key is not None:
+                self._route_memo.move_to_end(body)
+                self._bump("route_memo_hits")
+                return key
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError as exc:
+            raise UsageError("request body is not valid JSON") from exc
+        jobs = jobs_from_payload(payload)
+        if len(jobs) == 1:
+            key = jobs[0].content_hash
+        else:  # multi-output request: one stable key over all its jobs
+            digest = hashlib.sha256()
+            for job in jobs:
+                digest.update(job.content_hash.encode("ascii"))
+            key = digest.hexdigest()
+        with self._route_lock:
+            self._route_memo[body] = key
+            while len(self._route_memo) > self.config.route_cache_size:
+                self._route_memo.popitem(last=False)
+        return key
+
+    def plan_for(self, key: str) -> list[str]:
+        """Failover-ordered worker names for a routing key."""
+        plan: list[str] = []
+        for name in self.ring.successors(key):
+            plan.append(name)
+            if len(plan) >= self.config.failover_attempts:
+                break
+        return plan
+
+    # -- proxying ------------------------------------------------------
+
+    def handle_minimize(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        """Route one request; returns (status, extra headers, body bytes)."""
+        started = time.monotonic()
+        self._bump("requests")
+        try:
+            key = self.routing_key(body)
+        except UsageError as exc:
+            self._bump("bad_requests")
+            return 400, {}, _error_body(exc.code, str(exc))
+        plan = self.plan_for(key)
+        response = None
+        for attempt, name in enumerate(plan):
+            if attempt > 0:
+                self._bump("failovers")
+                with self._workers_lock:
+                    state = self._workers.get(plan[attempt - 1])
+                    if state is not None:
+                        state.failovers += 1
+            hedge_to = plan[attempt + 1] if attempt + 1 < len(plan) else None
+            response = self._attempt(name, body, hedge_to)
+            if response is not None:
+                break
+        if response is None:
+            self._bump("unavailable")
+            self._probe_now.set()
+            return (
+                503,
+                {"Retry-After": "1"},
+                _error_body(
+                    "unavailable",
+                    f"no reachable worker among {plan or ['(empty ring)']}",
+                ),
+            )
+        status, headers, data = response
+        self.latency.observe(time.monotonic() - started)
+        self._bump("proxied")
+        return status, headers, data
+
+    def _attempt(
+        self, name: str, body: bytes, hedge_to: str | None = None
+    ) -> tuple[int, dict[str, str], bytes] | None:
+        """One (possibly hedged) attempt against one worker."""
+        hedge_after = self.config.hedge_after
+        if hedge_after is None or self._hedge_pool is None or hedge_to is None:
+            return self._proxy(name, body)
+        primary = self._hedge_pool.submit(self._proxy, name, body)
+        try:
+            return primary.result(timeout=hedge_after)
+        except concurrent.futures.TimeoutError:
+            pass
+        # Primary is slow: duplicate to the ring successor (jobs are
+        # idempotent and content-hashed; the duplicate is at worst a
+        # cache hit there).  First non-None response wins; the loser
+        # finishes in the background and is discarded.
+        self._bump("hedges")
+        backup = self._hedge_pool.submit(self._proxy, hedge_to, body)
+        pending = {primary, backup}
+        deadline = time.monotonic() + self.config.proxy_timeout
+        while pending:
+            done, pending = concurrent.futures.wait(
+                pending,
+                timeout=max(deadline - time.monotonic(), 0.01),
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            if not done:  # overall proxy deadline expired
+                break
+            for future in done:
+                result = future.result()
+                if result is not None:
+                    if future is backup:
+                        self._bump("hedge_wins")
+                    return result
+        return None
+
+    def _proxy(
+        self, name: str, body: bytes
+    ) -> tuple[int, dict[str, str], bytes] | None:
+        """Forward ``body`` to worker ``name``; None when unreachable.
+
+        Tries a pooled (kept-alive) connection first and retries once
+        on a fresh connection, so a stale socket from before a worker
+        restart is indistinguishable from a clean exchange.
+        """
+        with self._workers_lock:
+            state = self._workers.get(name)
+        if state is None:
+            return None
+        for fresh in (False, True):
+            conn = None if fresh else self._pool_get(name)
+            if conn is None:
+                if not state.proc.alive:
+                    return None
+                conn = http.client.HTTPConnection(
+                    state.proc.host, state.proc.port,
+                    timeout=self.config.proxy_timeout,
+                )
+            try:
+                conn.request(
+                    "POST", "/minimize", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                data = response.read()
+                headers = {}
+                retry_after = response.getheader("Retry-After")
+                if retry_after is not None:
+                    headers["Retry-After"] = retry_after
+                with self._workers_lock:
+                    state.requests += 1
+                self._pool_put(name, conn)
+                return response.status, headers, data
+            except (OSError, http.client.HTTPException):
+                conn.close()
+                if fresh:
+                    with self._workers_lock:
+                        state.errors += 1
+                    self._probe_now.set()  # let the health loop confirm
+                    return None
+        return None  # pragma: no cover — loop always returns
+
+    # -- connection pool -----------------------------------------------
+
+    def _pool_get(self, name: str) -> http.client.HTTPConnection | None:
+        with self._pool_lock:
+            conns = self._pool.get(name)
+            if conns:
+                return conns.pop()
+        return None
+
+    def _pool_put(self, name: str, conn: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            self._pool.setdefault(name, [])
+            if len(self._pool[name]) < 8:
+                self._pool[name].append(conn)
+                return
+        conn.close()
+
+    def _pool_drop(self, name: str) -> None:
+        with self._pool_lock:
+            conns = self._pool.pop(name, [])
+        for conn in conns:
+            conn.close()
+
+    # -- health / supervision ------------------------------------------
+
+    def _health_loop(self) -> None:
+        cfg = self.config
+        while not self._stop.is_set():
+            self._probe_now.wait(timeout=cfg.health_interval)
+            self._probe_now.clear()
+            if self._stop.is_set():
+                return
+            for name, state in list(self._workers.items()):
+                if state.status == "up":
+                    if not state.proc.alive:
+                        self._evict(name, state, reason="process exited")
+                    elif state.proc.healthy(timeout=cfg.health_timeout):
+                        state.misses = 0
+                    else:
+                        state.misses += 1
+                        if state.misses >= cfg.health_misses:
+                            self._evict(name, state, reason="unresponsive")
+                elif state.status == "restarting":
+                    if state.proc.alive and state.proc.healthy(
+                        timeout=cfg.health_timeout
+                    ):
+                        state.status = "up"
+                        state.misses = 0
+                        self.ring.add(name)
+                    elif (
+                        not state.proc.alive
+                        and time.monotonic() - state.down_since
+                        >= cfg.restart_backoff
+                    ):
+                        state.down_since = time.monotonic()
+                        try:
+                            state.proc.restart(wait=False)
+                        except OSError:  # pragma: no cover — spawn failed
+                            pass
+
+    def _evict(self, name: str, state: _WorkerState, *, reason: str) -> None:
+        """Pull a sick worker out of the ring and begin its restart."""
+        self.ring.remove(name)
+        self._pool_drop(name)
+        state.status = "restarting"
+        state.misses = 0
+        state.down_since = time.monotonic()
+        state.proc.kill()
+        try:
+            state.proc.restart(wait=False)
+        except OSError:  # pragma: no cover — retried by the health loop
+            pass
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return len(self.ring) > 0 and not self._draining
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += by
+
+    def stats(self) -> dict[str, Any]:
+        with self._counters_lock:
+            counters = dict(self._counters)
+        workers = {}
+        with self._workers_lock:
+            items = list(self._workers.items())
+        for name, state in items:
+            workers[name] = {
+                "port": state.proc.port,
+                "pid": state.proc.pid,
+                "alive": state.proc.alive,
+                "status": state.status,
+                "in_ring": name in self.ring,
+                "restarts": state.proc.restarts,
+                "requests": state.requests,
+                "errors": state.errors,
+                "failovers": state.failovers,
+            }
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "draining": self._draining,
+            "counters": counters,
+            "latency": self.latency.snapshot(),
+            "ring": sorted(self.ring.nodes),
+            "workers": workers,
+        }
+
+    def metrics_text(self) -> str:
+        """Coordinator + per-worker counters as Prometheus text.
+
+        Worker metrics are scraped live from each worker's ``/stats``
+        (short timeout; a dead worker simply contributes nothing this
+        scrape) and re-exported under a ``worker`` label.
+        """
+        with self._counters_lock:
+            counters = dict(self._counters)
+        metrics = [
+            Metric(
+                "repro_cluster_uptime_seconds", "Seconds since cluster start."
+            ).add(time.monotonic() - self._started_at),
+            Metric(
+                "repro_cluster_ring_size", "Workers currently in the ring."
+            ).add(len(self.ring)),
+        ]
+        events = Metric(
+            "repro_cluster_events_total",
+            "Coordinator events by kind (routing, failover, hedging).",
+            "counter",
+        )
+        for key, value in sorted(counters.items()):
+            events.add(value, kind=key)
+        metrics.append(events)
+        per_worker = Metric(
+            "repro_cluster_worker_info",
+            "Worker liveness (1 = in ring) with pid/port labels.",
+        )
+        proxied = Metric(
+            "repro_cluster_worker_requests_total",
+            "Requests proxied to each worker by the coordinator.",
+            "counter",
+        )
+        restarts = Metric(
+            "repro_cluster_worker_restarts_total",
+            "Times each worker was restarted by the supervisor.",
+            "counter",
+        )
+        with self._workers_lock:
+            items = list(self._workers.items())
+        for name, state in items:
+            per_worker.add(
+                1 if name in self.ring else 0,
+                worker=name, port=str(state.proc.port),
+                pid=str(state.proc.pid or 0),
+            )
+            proxied.add(state.requests, worker=name)
+            restarts.add(state.proc.restarts, worker=name)
+        metrics += [per_worker, proxied, restarts]
+        worker_requests = Metric(
+            "repro_worker_requests_total",
+            "Per-worker terminal request outcomes (scraped from /stats).",
+            "counter",
+        )
+        worker_cache = Metric(
+            "repro_worker_cache_events_total",
+            "Per-worker result-cache events (scraped from /stats).",
+            "counter",
+        )
+        worker_breaker = Metric(
+            "repro_worker_breaker_skips_total",
+            "Per-worker ladder rungs skipped by open breakers.",
+            "counter",
+        )
+        worker_latency = Metric(
+            "repro_worker_latency_seconds",
+            "Per-worker latency quantiles (scraped from /stats).",
+        )
+        for name, state in items:
+            stats = state.proc.stats(timeout=2.0) if state.status == "up" else None
+            if stats is None:
+                continue
+            for key, value in sorted(stats.get("counters", {}).items()):
+                if key != "requests":
+                    worker_requests.add(value, worker=name, status=key)
+            shed = stats.get("admission", {}).get("shed")
+            if shed is not None:
+                worker_requests.add(shed, worker=name, status="shed")
+            for key, value in sorted(
+                stats.get("cache", {}).get("counters", {}).items()
+            ):
+                worker_cache.add(value, worker=name, kind=key)
+            worker_breaker.add(
+                stats.get("breaker", {}).get("skips", 0), worker=name
+            )
+            latency = stats.get("latency", {})
+            for q_key, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+                if latency.get(q_key) is not None:
+                    worker_latency.add(latency[q_key], worker=name, quantile=q)
+        metrics += [worker_requests, worker_cache, worker_breaker, worker_latency]
+        metrics.append(
+            Metric.from_histogram(
+                "repro_cluster_request_seconds",
+                "End-to-end latency through the coordinator.",
+                self.latency,
+            )
+        )
+        return render_metrics(metrics)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stop_workers(self, grace: float | None = None) -> None:
+        grace = self.config.drain_grace if grace is None else grace
+        with self._workers_lock:
+            items = list(self._workers.values())
+        for state in items:
+            state.proc.terminate()  # signal first, so the drains overlap
+        for state in items:
+            state.proc.stop(grace=grace)
+
+    def drain(self, grace: float | None = None) -> None:
+        """Stop admitting, stop the health loop, drain every worker."""
+        if self._draining:
+            self._drained.wait()
+            return
+        self._draining = True
+        self._stop.set()
+        self._probe_now.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5.0)
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5.0)
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=False)
+        self.stop_workers(grace)
+        for name in list(self._pool):
+            self._pool_drop(name)
+        self._drained.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → drain on a helper thread (main thread only)."""
+        import signal
+
+        def _on_signal(signum, frame):
+            threading.Thread(
+                target=self.drain, name="repro-cluster-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        return self._drained.wait(timeout)
+
+
+def _error_body(code: str, message: str) -> bytes:
+    return json.dumps(
+        {"ok": False, "error": {"code": code, "message": message}}
+    ).encode("ascii")
+
+
+def _make_handler(coordinator: ClusterCoordinator):
+    """An ``http.server`` handler class bound to one coordinator."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-cluster"
+        # See the serve handler: avoid the Nagle/delayed-ACK 40ms stall
+        # on the headers-then-body response writes.
+        disable_nagle_algorithm = True
+
+        def log_message(self, format, *args):  # noqa: A002 — stdlib name
+            pass
+
+        def _send(self, status: int, data: bytes, content_type: str,
+                  headers: dict[str, str] | None = None) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _send_json(self, status: int, body: dict,
+                       headers: dict[str, str] | None = None) -> None:
+            self._send(
+                status, json.dumps(body).encode("ascii"),
+                "application/json", headers,
+            )
+
+        def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif self.path == "/readyz":
+                if coordinator.ready:
+                    self._send_json(200, {"status": "ready"})
+                else:
+                    self._send_json(
+                        503,
+                        {"status": "draining" if coordinator._draining
+                         else "no-workers"},
+                        headers={"Retry-After": "1"},
+                    )
+            elif self.path == "/stats":
+                self._send_json(200, coordinator.stats())
+            elif self.path == "/metrics":
+                self._send(
+                    200, coordinator.metrics_text().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(
+                    404,
+                    {"ok": False, "error": {
+                        "code": "not-found",
+                        "message": f"no such path {self.path!r}"}},
+                )
+
+        def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+            if self.path != "/minimize":
+                self._send_json(
+                    404,
+                    {"ok": False, "error": {
+                        "code": "not-found",
+                        "message": f"no such path {self.path!r}"}},
+                )
+                return
+            if coordinator._draining:
+                self._send(
+                    429, _error_body("overloaded", "cluster is draining"),
+                    "application/json", {"Retry-After": "1"},
+                )
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length) if length else b"{}"
+            status, headers, data = coordinator.handle_minimize(body)
+            self._send(status, data, "application/json", headers)
+
+    return Handler

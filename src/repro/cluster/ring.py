@@ -1,0 +1,107 @@
+"""Consistent hashing for job-hash request routing.
+
+The cluster shards requests over worker processes by the **job content
+hash** (:mod:`repro.engine.job`): minimization traffic is dominated by
+near-duplicate functions, so sending equal hashes to the same worker
+turns each worker's in-memory LRU into an effective shard of one large
+cache — without any shared mutable state on the request path.
+
+A :class:`HashRing` is the classic Karger construction: every node owns
+``replicas`` pseudo-random points on a 2^64 ring (SHA-256 of
+``"node#i"``), a key routes to the first node point at or after the
+key's own ring position, and adding/removing a node only remaps the
+keys that fell between the changed points — about ``K/N`` of them —
+instead of reshuffling everything the way ``hash(key) % N`` would.
+``successors`` yields the failover order for request hedging: the next
+*distinct* nodes around the ring, which is exactly where the key would
+live if its owner were gone.
+
+Deterministic by construction (SHA-256, no process-seeded hashing), so
+every coordinator instance — and every test — agrees on the layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Iterator
+
+__all__ = ["HashRing"]
+
+_SPACE = 1 << 64
+
+
+def _position(token: str) -> int:
+    """A token's ring coordinate: top 64 bits of its SHA-256."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes with virtual replicas."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: list[tuple[int, str]] = []  # sorted (position, node)
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Insert ``node``'s replica points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            point = (_position(f"{node}#{i}"), node)
+            index = bisect_right(self._points, point)
+            self._points.insert(index, point)
+
+    def remove(self, node: str) -> None:
+        """Drop ``node`` from the ring (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- routing -------------------------------------------------------
+
+    def node_for(self, key: str) -> str | None:
+        """The node owning ``key``; None on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect_right(self._points, (_position(key) % _SPACE, "￿"))
+        if index == len(self._points):  # wrap past twelve o'clock
+            index = 0
+        return self._points[index][1]
+
+    def successors(self, key: str) -> Iterator[str]:
+        """Every node in failover order for ``key`` (owner first).
+
+        Walks the ring clockwise from the key's position, yielding each
+        *distinct* node once — the primary, then the node that would
+        own the key if the primary left, and so on.
+        """
+        if not self._points:
+            return
+        start = bisect_right(self._points, (_position(key) % _SPACE, "￿"))
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in seen:
+                seen.add(node)
+                yield node

@@ -42,13 +42,16 @@ from repro.engine.batch import (
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.job import Job, job_from_dict, job_to_dict
 from repro.engine.ladder import Rung, execute_rung, ladder_for
+from repro.engine.lockfile import FileLock, LockTimeout
 from repro.engine.scheduler import DeadlineExceeded, parallel_map, run_batch
 
 __all__ = [
     "BatchResult",
     "CacheStats",
     "DeadlineExceeded",
+    "FileLock",
     "Job",
+    "LockTimeout",
     "JobOutcome",
     "Manifest",
     "ResultCache",

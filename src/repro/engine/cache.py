@@ -21,6 +21,16 @@ read is **quarantined** — moved to ``cache_dir/quarantine/`` for
 forensics — and treated as a miss, so corruption costs a recompute,
 never a crash or a silently wrong answer.
 
+The disk tier may be **shared between processes** (the cluster's
+workers all point at one ``cache_dir``).  Single-record writes need no
+coordination — the tmp+rename protocol is atomic — but multi-file
+maintenance (disk eviction with ``max_disk_entries``, quarantine moves)
+is serialized through a :class:`~repro.engine.lockfile.FileLock` at
+``cache_dir/.maintenance.lock`` so two workers cannot interleave a
+scan-then-delete sequence.  Maintenance is best-effort: a worker that
+cannot get the lock promptly skips its turn rather than stalling the
+request path.
+
 All counters (hits, misses, evictions, corrupt quarantines, …) are
 exposed via :class:`CacheStats` for the CLI summary and the tests.
 """
@@ -29,10 +39,11 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.engine.lockfile import FileLock, LockTimeout
 from repro.serialize import dump_json_file, load_json_file
 
 __all__ = ["CacheStats", "ResultCache"]
@@ -47,17 +58,24 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    disk_evictions: int = 0  # disk-tier records pruned by this process
     corrupt: int = 0     # disk records quarantined on failed load
 
     @property
     def total_hits(self) -> int:
         return self.hits + self.disk_hits
 
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a flat dict (the ``/stats``/``/metrics`` view)."""
+        return asdict(self)
+
     def summary(self) -> str:
         text = (
             f"{self.total_hits} hits ({self.disk_hits} from disk), "
             f"{self.misses} misses, {self.evictions} evictions"
         )
+        if self.disk_evictions:
+            text += f", {self.disk_evictions} disk-pruned"
         if self.corrupt:
             text += f", {self.corrupt} corrupt quarantined"
         return text
@@ -66,13 +84,27 @@ class CacheStats:
 class ResultCache:
     """LRU + optional disk store for engine result records."""
 
-    def __init__(self, max_entries: int = 4096, cache_dir: str | Path | None = None):
+    # Disk maintenance cadence: check the disk-tier size only every
+    # N stores, so the steady-state put path stays a single file write.
+    _PRUNE_EVERY = 64
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        cache_dir: str | Path | None = None,
+        *,
+        max_disk_entries: int | None = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError("max_disk_entries must be positive")
         self.max_entries = max_entries
+        self.max_disk_entries = max_disk_entries
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.stats = CacheStats()
         self._lru: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._stores_since_prune = 0
 
     # ------------------------------------------------------------------
 
@@ -88,6 +120,12 @@ class ResultCache:
         if self.cache_dir is None:
             return None
         return self.cache_dir / "quarantine"
+
+    def maintenance_lock(self, *, timeout: float | None = 5.0) -> FileLock | None:
+        """The cross-process lock guarding multi-file disk maintenance."""
+        if self.cache_dir is None:
+            return None
+        return FileLock(self.cache_dir / ".maintenance.lock", timeout=timeout)
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Look up a record; None on miss (corrupt entries quarantined)."""
@@ -117,6 +155,61 @@ class ResultCache:
         path = self.path_for(key)
         if path is not None:
             dump_json_file(path, record, checksum=True, fsync=True, site="cache.put")
+            if self.max_disk_entries is not None:
+                self._stores_since_prune += 1
+                if self._stores_since_prune >= self._PRUNE_EVERY:
+                    self._stores_since_prune = 0
+                    self.prune_disk()
+
+    def disk_entries(self) -> list[Path]:
+        """Every record file in the disk tier (unsorted)."""
+        if self.cache_dir is None:
+            return []
+        objects = self.cache_dir / "objects"
+        if not objects.is_dir():
+            return []
+        return [p for p in objects.glob("*/*.json")]
+
+    def prune_disk(self, max_entries: int | None = None) -> int:
+        """Evict the oldest disk records beyond ``max_entries``.
+
+        Serialized across processes through the maintenance lock: the
+        scan-then-delete sequence must not interleave with another
+        worker's prune, or both could count the same survivors and
+        delete past the cap.  A busy lock (another worker is already
+        pruning) makes this a no-op — the cap is enforced either way.
+        Returns the number of records removed by *this* call.
+        """
+        limit = self.max_disk_entries if max_entries is None else max_entries
+        if self.cache_dir is None or limit is None:
+            return 0
+        lock = self.maintenance_lock(timeout=0.0)
+        if not lock.try_acquire():
+            return 0
+        try:
+            entries = self.disk_entries()
+            excess = len(entries) - limit
+            if excess <= 0:
+                return 0
+            # Oldest-mtime first; a record re-written by put() refreshes
+            # its mtime, so recency survives process churn well enough.
+            def mtime(path: Path) -> float:
+                try:
+                    return path.stat().st_mtime
+                except OSError:  # raced with a concurrent quarantine
+                    return 0.0
+
+            removed = 0
+            for path in sorted(entries, key=mtime)[:excess]:
+                try:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                except OSError:  # pragma: no cover — best-effort
+                    continue
+            self.stats.disk_evictions += removed
+            return removed
+        finally:
+            lock.release()
 
     def shrink(self, fraction: float = 0.5) -> int:
         """Evict the oldest entries, keeping ``fraction`` of the LRU.
@@ -145,12 +238,26 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def _quarantine(self, path: Path) -> None:
-        """Move an unreadable record aside; never raises."""
+        """Move an unreadable record aside; never raises.
+
+        Taken under the maintenance lock so a quarantine move cannot
+        interleave with another worker's prune scan of the same files;
+        if the lock is busy (or times out) the move proceeds anyway —
+        ``os.replace`` of a single file is atomic, and a concurrent
+        prune racing it at worst double-counts one unlinked record.
+        """
         self.stats.corrupt += 1
         target_dir = self.quarantine_dir
         if target_dir is None:  # pragma: no cover — disk tier implies a dir
             return
+        lock = self.maintenance_lock(timeout=1.0)
+        locked = False
         try:
+            try:
+                lock.acquire()
+                locked = True
+            except LockTimeout:
+                pass
             target_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, target_dir / path.name)
         except OSError:
@@ -158,6 +265,9 @@ class ResultCache:
                 path.unlink(missing_ok=True)
             except OSError:  # pragma: no cover — at worst, leave it be
                 pass
+        finally:
+            if locked:
+                lock.release()
 
     def _insert(self, key: str, record: dict[str, Any]) -> None:
         self._lru[key] = record

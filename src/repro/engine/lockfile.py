@@ -1,0 +1,132 @@
+"""Cross-process advisory file locks for shared on-disk state.
+
+The cluster runs N worker processes over one ``cache_dir``; record
+writes were already safe (same-directory tmp + ``os.replace`` is atomic
+on POSIX), but *multi-file* maintenance — disk-tier eviction, moving a
+corrupt record into quarantine — involves scan-then-act sequences that
+two workers must not interleave.  :class:`FileLock` serializes them.
+
+Implementation: ``os.open(O_CREAT | O_EXCL)`` on a lock path, which is
+atomic on every filesystem the engine targets, with the owner's pid and
+acquisition time written into the file for forensics.  Liveness over
+strictness: a lock whose file is older than ``stale_after`` seconds is
+broken (the owner presumably died between acquire and release — worker
+crashes are an expected event here, see :mod:`repro.cluster`), so a
+crashed worker can never wedge cache maintenance forever.  The guarded
+operations are best-effort by design (eviction, quarantine): losing a
+race after a stale break costs at worst a redundant scan, never a torn
+record, because individual files are still written/renamed atomically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = ["FileLock", "LockTimeout"]
+
+
+class LockTimeout(TimeoutError):
+    """The lock could not be acquired within the caller's timeout."""
+
+
+class FileLock:
+    """Advisory ``O_CREAT|O_EXCL`` lockfile with stale-lock breaking.
+
+    Usable as a context manager::
+
+        with FileLock(cache_dir / ".maintenance.lock"):
+            ...evict / quarantine...
+
+    Not reentrant.  ``timeout=0`` means try-once; ``timeout=None``
+    waits forever (modulo stale breaking, which bounds the wait by the
+    previous owner's ``stale_after``).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        timeout: float | None = 10.0,
+        poll_interval: float = 0.02,
+        stale_after: float = 60.0,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_after = stale_after
+        self._held = False
+
+    # -- acquisition ---------------------------------------------------
+
+    def try_acquire(self) -> bool:
+        """One non-blocking attempt; True when the lock is now held."""
+        if self._held:
+            raise RuntimeError("FileLock is not reentrant")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = self._open_exclusive()
+        if fd is None and self._break_if_stale():
+            fd = self._open_exclusive()  # retry once after the break
+        if fd is None:
+            return False
+        try:
+            os.write(fd, f"{os.getpid()} {time.time():.3f}\n".encode("ascii"))
+        finally:
+            os.close(fd)
+        self._held = True
+        return True
+
+    def _open_exclusive(self) -> int | None:
+        try:
+            return os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None
+
+    def acquire(self, timeout: float | None = None) -> None:
+        """Block until held; raise :class:`LockTimeout` on expiry."""
+        timeout = self.timeout if timeout is None else timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.try_acquire():
+            if deadline is not None and time.monotonic() >= deadline:
+                raise LockTimeout(f"could not acquire {self.path} in {timeout}s")
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        """Drop the lock; never raises (the file may be stale-broken)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover — nothing useful left to do
+            pass
+
+    # -- staleness -----------------------------------------------------
+
+    def _break_if_stale(self) -> bool:
+        """Unlink the lock if its holder looks dead (file too old)."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:  # already released by the owner
+            return True
+        if age <= self.stale_after:
+            return False
+        try:  # racy by nature: at most one unlinker wins, which is fine
+            self.path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover
+            return False
+        return True
+
+    # -- context protocol ----------------------------------------------
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    @property
+    def held(self) -> bool:
+        return self._held

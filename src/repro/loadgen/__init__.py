@@ -1,0 +1,29 @@
+"""repro.loadgen — a closed/open-loop load harness for the service.
+
+Proves the serving stack under traffic, muBench/Locust-style:
+
+* :mod:`repro.loadgen.workload` — seeded mixed small/large request
+  pools whose finite size makes cache-warm measurement reproducible;
+* :mod:`repro.loadgen.driver` — staged closed-loop (virtual clients)
+  and open-loop (fixed arrival rate) ramps with exact p50/p95/p99,
+  shed-rate and server-``/stats``-delta tracking per stage;
+* :mod:`repro.loadgen.report` — ``repro-loadtest/1`` JSON + markdown
+  experiment reports for ``results/``.
+
+Run one with ``spp-minimize loadtest`` (see ``docs/SERVING.md``).
+"""
+
+from repro.loadgen.driver import LoadDriver, LoadResult, Sample, Stage, StageReport
+from repro.loadgen.report import render_markdown, write_report
+from repro.loadgen.workload import Workload
+
+__all__ = [
+    "LoadDriver",
+    "LoadResult",
+    "Sample",
+    "Stage",
+    "StageReport",
+    "Workload",
+    "render_markdown",
+    "write_report",
+]

@@ -1,0 +1,428 @@
+"""Closed/open-loop load driver for ``serve`` and ``cluster`` targets.
+
+The muBench/Locust-style methodology the ROADMAP calls for:
+
+* **closed loop** — N virtual clients, each issuing the next request
+  the moment the previous answer lands; offered load adapts to the
+  service (the classic saturation probe);
+* **open loop** — a fixed arrival rate with requests fired on
+  schedule regardless of completions; the honest way to measure
+  latency under a *given* load, since closed loops hide queueing by
+  slowing the clients down (coordinated omission).
+
+A run is a list of :class:`Stage` ramps (e.g. 4 → 8 → 16 clients,
+fixed duration each).  Every request is recorded as a :class:`Sample`
+(wall time, latency, HTTP status, outcome code) and the stage summary
+reports throughput, p50/p95/p99 exact percentiles over the samples,
+shed rate (429s), failure and transport-error counts, plus the
+server-side ``/stats`` delta (breaker trips, cache counters) captured
+around the stage.  Nothing here imports outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.loadgen.workload import Workload
+
+__all__ = ["Stage", "Sample", "StageReport", "LoadResult", "LoadDriver"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One ramp step: ``clients`` virtual users (closed loop) or
+    ``rate`` requests/second (open loop) held for ``duration``s."""
+
+    duration: float
+    clients: int = 1
+    rate: float | None = None  # set → open loop at this arrival rate
+
+    @property
+    def mode(self) -> str:
+        return "open" if self.rate is not None else "closed"
+
+
+@dataclass
+class Sample:
+    """One request's outcome."""
+
+    at: float          # seconds since stage start
+    latency: float     # seconds, request → full response
+    status: int        # HTTP status; 0 = transport error
+    code: str = ""     # structured error code when not 200
+
+
+def _percentile(sorted_values: list[float], q: float) -> float | None:
+    """Exact (nearest-rank, interpolated) percentile of sorted data."""
+    if not sorted_values:
+        return None
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = q * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+@dataclass
+class StageReport:
+    """Aggregates of one stage's samples."""
+
+    stage: dict[str, Any]
+    seconds: float
+    requests: int
+    ok: int
+    shed: int
+    failed: int
+    transport_errors: int
+    throughput_rps: float
+    p50: float | None
+    p95: float | None
+    p99: float | None
+    mean: float | None
+    max_latency: float | None
+    server_delta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_samples(
+        cls,
+        stage: Stage,
+        samples: list[Sample],
+        seconds: float,
+        server_delta: dict[str, Any] | None = None,
+    ) -> "StageReport":
+        latencies = sorted(s.latency for s in samples if s.status != 0)
+        ok = sum(1 for s in samples if 200 <= s.status < 300)
+        shed = sum(1 for s in samples if s.status == 429)
+        transport = sum(1 for s in samples if s.status == 0)
+        failed = len(samples) - ok - shed - transport
+        return cls(
+            stage={"mode": stage.mode, "duration": stage.duration,
+                   "clients": stage.clients, "rate": stage.rate},
+            seconds=seconds,
+            requests=len(samples),
+            ok=ok,
+            shed=shed,
+            failed=failed,
+            transport_errors=transport,
+            throughput_rps=(ok / seconds) if seconds > 0 else 0.0,
+            p50=_percentile(latencies, 0.50),
+            p95=_percentile(latencies, 0.95),
+            p99=_percentile(latencies, 0.99),
+            mean=(sum(latencies) / len(latencies)) if latencies else None,
+            max_latency=latencies[-1] if latencies else None,
+            server_delta=dict(server_delta or {}),
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "failed": self.failed,
+            "transport_errors": self.transport_errors,
+            "throughput_rps": self.throughput_rps,
+            "latency": {
+                "p50": self.p50, "p95": self.p95, "p99": self.p99,
+                "mean": self.mean, "max": self.max_latency,
+            },
+            "server_delta": self.server_delta,
+        }
+
+
+@dataclass
+class LoadResult:
+    """Everything one driver run produced."""
+
+    target: str
+    mode: str
+    workload: dict[str, Any]
+    warmup_requests: int
+    stages: list[StageReport]
+    started_unix: float
+    total_seconds: float
+    server_stats_before: dict[str, Any] = field(default_factory=dict)
+    server_stats_after: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-loadtest/1",
+            "target": self.target,
+            "mode": self.mode,
+            "workload": self.workload,
+            "warmup_requests": self.warmup_requests,
+            "started_unix": self.started_unix,
+            "total_seconds": self.total_seconds,
+            "stages": [s.as_dict() for s in self.stages],
+            "server_stats_before": self.server_stats_before,
+            "server_stats_after": self.server_stats_after,
+        }
+
+    @property
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self.stages)
+
+    @property
+    def peak_throughput_rps(self) -> float:
+        return max((s.throughput_rps for s in self.stages), default=0.0)
+
+
+class LoadDriver:
+    """Drive one HTTP target through staged closed/open-loop load."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        workload: Workload,
+        *,
+        request_timeout: float = 60.0,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.workload = workload
+        self.request_timeout = request_timeout
+        self.progress = progress or (lambda line: None)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _one_request(
+        self, conn: http.client.HTTPConnection | None, body: bytes
+    ) -> tuple[Sample, http.client.HTTPConnection | None]:
+        """Fire one request, reusing ``conn`` when possible."""
+        started = time.monotonic()
+        for fresh in (False, True):
+            if fresh or conn is None:
+                if conn is not None:
+                    conn.close()
+                conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.request_timeout
+                )
+            try:
+                conn.request("POST", "/minimize", body=body)
+                response = conn.getresponse()
+                data = response.read()
+                latency = time.monotonic() - started
+                code = ""
+                if response.status != 200:
+                    try:
+                        code = json.loads(data)["error"]["code"]
+                    except (ValueError, KeyError, TypeError):
+                        code = ""
+                return Sample(0.0, latency, response.status, code), conn
+            except (OSError, http.client.HTTPException):
+                if fresh:
+                    conn.close()
+                    latency = time.monotonic() - started
+                    return Sample(0.0, latency, 0, "transport"), None
+                continue
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def fetch_stats(self) -> dict[str, Any]:
+        try:
+            conn = http.client.HTTPConnection(self.host, self.port, timeout=10)
+            try:
+                conn.request("GET", "/stats")
+                response = conn.getresponse()
+                return json.loads(response.read())
+            finally:
+                conn.close()
+        except (OSError, ValueError):
+            return {}
+
+    # -- phases --------------------------------------------------------
+
+    def warmup(self, repeats: int = 1) -> int:
+        """Prime every cache tier: each distinct request, serially.
+
+        Returns the number of warm-up requests issued (excluded from
+        all reported samples).
+        """
+        count = 0
+        conn: http.client.HTTPConnection | None = None
+        for _ in range(max(repeats, 1)):
+            for body in self.workload.distinct():
+                _, conn = self._one_request(conn, body)
+                count += 1
+        if conn is not None:
+            conn.close()
+        return count
+
+    def _run_closed(self, stage: Stage) -> list[Sample]:
+        """Closed loop: ``stage.clients`` threads in think-time-free loops."""
+        samples: list[Sample] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+        start = time.monotonic()
+
+        def client(index: int) -> None:
+            rng = random.Random(f"{self.workload.seed}/{stage.clients}/{index}")
+            conn: http.client.HTTPConnection | None = None
+            while not stop.is_set():
+                body = self.workload.next_body(rng)
+                sample, conn = self._one_request(conn, body)
+                sample.at = time.monotonic() - start
+                with lock:
+                    samples.append(sample)
+            if conn is not None:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(stage.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(stage.duration)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=self.request_timeout + 5.0)
+        return samples
+
+    def _run_open(self, stage: Stage) -> list[Sample]:
+        """Open loop: Poisson-less fixed-interval arrivals at ``rate``/s.
+
+        Arrivals stay on schedule even when responses lag (each request
+        runs on its own thread), which is what exposes queueing delay
+        honestly.  ``stage.clients`` caps the in-flight count as a
+        safety valve; arrivals past the cap are recorded as local
+        sheds (status 0, code ``"local-cap"``) rather than silently
+        skipped.
+        """
+        samples: list[Sample] = []
+        lock = threading.Lock()
+        inflight = threading.Semaphore(max(stage.clients, 1) * 4)
+        threads: list[threading.Thread] = []
+        start = time.monotonic()
+        interval = 1.0 / stage.rate
+        rng = random.Random(f"{self.workload.seed}/open/{stage.rate}")
+
+        def fire(body: bytes, at: float) -> None:
+            sample, conn = self._one_request(None, body)
+            if conn is not None:
+                conn.close()
+            sample.at = at
+            with lock:
+                samples.append(sample)
+            inflight.release()
+
+        next_at = 0.0
+        while next_at < stage.duration:
+            now = time.monotonic() - start
+            if now < next_at:
+                time.sleep(next_at - now)
+            body = self.workload.next_body(rng)
+            if inflight.acquire(blocking=False):
+                thread = threading.Thread(
+                    target=fire, args=(body, next_at), daemon=True
+                )
+                thread.start()
+                threads.append(thread)
+            else:
+                with lock:
+                    samples.append(Sample(next_at, 0.0, 0, "local-cap"))
+            next_at += interval
+        for thread in threads:
+            thread.join(timeout=self.request_timeout + 5.0)
+        return samples
+
+    # -- entry point ---------------------------------------------------
+
+    def run(
+        self,
+        stages: list[Stage],
+        *,
+        target: str = "",
+        warmup_repeats: int = 1,
+    ) -> LoadResult:
+        started_unix = time.time()
+        run_start = time.monotonic()
+        warmed = self.warmup(warmup_repeats) if warmup_repeats else 0
+        self.progress(f"warmup: {warmed} requests (cache primed)")
+        stats_before = self.fetch_stats()
+        reports: list[StageReport] = []
+        mode = stages[0].mode if stages else "closed"
+        for index, stage in enumerate(stages):
+            before = self.fetch_stats()
+            stage_start = time.monotonic()
+            if stage.mode == "open":
+                samples = self._run_open(stage)
+            else:
+                samples = self._run_closed(stage)
+            seconds = time.monotonic() - stage_start
+            after = self.fetch_stats()
+            report = StageReport.from_samples(
+                stage, samples, seconds,
+                server_delta=_stats_delta(before, after),
+            )
+            reports.append(report)
+            self.progress(
+                f"stage {index + 1}/{len(stages)} "
+                f"[{stage.mode} {stage.rate or stage.clients}"
+                f"{'rps' if stage.rate else ' clients'} "
+                f"x {stage.duration:.0f}s]: "
+                f"{report.throughput_rps:.1f} rps ok, "
+                f"p50 {_ms(report.p50)} p95 {_ms(report.p95)} "
+                f"p99 {_ms(report.p99)}, shed {report.shed_rate:.1%}"
+            )
+        stats_after = self.fetch_stats()
+        return LoadResult(
+            target=target or f"http://{self.host}:{self.port}",
+            mode=mode,
+            workload=self.workload.describe(),
+            warmup_requests=warmed,
+            stages=reports,
+            started_unix=started_unix,
+            total_seconds=time.monotonic() - run_start,
+            server_stats_before=stats_before,
+            server_stats_after=stats_after,
+        )
+
+
+def _ms(seconds: float | None) -> str:
+    return "n/a" if seconds is None else f"{seconds * 1e3:.1f}ms"
+
+
+def _numeric_leaves(prefix: str, node: Any, out: dict[str, float]) -> None:
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            _numeric_leaves(f"{prefix}.{key}" if prefix else str(key),
+                            value, out)
+
+
+def _stats_delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """Numeric counter movement between two ``/stats`` documents.
+
+    Flattens both documents to dotted numeric leaves and keeps the
+    leaves that changed — which is how breaker trips, shed counts and
+    cache-tier activity during a stage get attributed to that stage.
+    """
+    flat_before: dict[str, float] = {}
+    flat_after: dict[str, float] = {}
+    _numeric_leaves("", before, flat_before)
+    _numeric_leaves("", after, flat_after)
+    delta = {}
+    for key, value in flat_after.items():
+        moved = value - flat_before.get(key, 0.0)
+        if moved and not key.startswith(("uptime", "latency")):
+            delta[key] = round(moved, 6)
+    return delta

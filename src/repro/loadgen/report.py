@@ -1,0 +1,141 @@
+"""Experiment reports for loadtest runs: JSON + rendered markdown.
+
+Follows the repo's ``BENCH_*.json`` precedent: the JSON document
+(schema ``repro-loadtest/1``) is the machine-readable record a later
+PR can diff against, the markdown is the human summary committed under
+``results/`` so the perf story is reviewable in the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.loadgen.driver import LoadResult
+
+__all__ = ["environment_fingerprint", "write_report", "render_markdown"]
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    import os
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _ms(seconds: float | None) -> str:
+    return "—" if seconds is None else f"{seconds * 1e3:.1f}"
+
+
+def render_markdown(
+    title: str,
+    results: dict[str, LoadResult],
+    notes: list[str] | None = None,
+) -> str:
+    """One markdown document over named runs (e.g. single vs cluster)."""
+    env = environment_fingerprint()
+    lines = [
+        f"# {title}",
+        "",
+        f"Environment: Python {env['python']} ({env['implementation']}) on "
+        f"{env['platform']}, {env['cpus']} CPU(s).",
+        "",
+    ]
+    for name, result in results.items():
+        lines += [
+            f"## {name}",
+            "",
+            f"Target `{result.target}` — {result.mode}-loop workload "
+            f"(pool: {result.workload['small_pool']} small + "
+            f"{result.workload['large_pool']} large, "
+            f"{result.workload['large_fraction']:.0%} large draws, "
+            f"seed {result.workload['seed']}); "
+            f"{result.warmup_requests} warm-up requests primed the caches "
+            f"before measurement.",
+            "",
+            "| stage | load | ok rps | p50 ms | p95 ms | p99 ms "
+            "| shed | failed | transport |",
+            "|---|---|---|---|---|---|---|---|---|",
+        ]
+        for index, stage in enumerate(result.stages):
+            spec = stage.stage
+            load = (
+                f"{spec['rate']:g} rps open" if spec["rate"]
+                else f"{spec['clients']} clients closed"
+            )
+            lines.append(
+                f"| {index + 1} | {load} × {spec['duration']:g}s "
+                f"| {stage.throughput_rps:.1f} "
+                f"| {_ms(stage.p50)} | {_ms(stage.p95)} | {_ms(stage.p99)} "
+                f"| {stage.shed_rate:.1%} | {stage.failed} "
+                f"| {stage.transport_errors} |"
+            )
+        lines.append("")
+        cache = _cache_line(result)
+        if cache:
+            lines += [cache, ""]
+    if notes:
+        lines += ["## Notes", ""]
+        lines += [f"- {note}" for note in notes]
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _cache_line(result: LoadResult) -> str:
+    """Summarize server-side cache movement across the whole run."""
+    before = result.server_stats_before
+    after = result.server_stats_after
+    paths = (
+        ("cache", "counters", "hits"),
+        ("cache", "counters", "disk_hits"),
+        ("cache", "counters", "misses"),
+    )
+
+    def leaf(doc: dict, path: tuple) -> float | None:
+        node: Any = doc
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        return node if isinstance(node, (int, float)) else None
+
+    parts = []
+    for path in paths:
+        b, a = leaf(before, path), leaf(after, path)
+        if b is not None and a is not None:
+            parts.append(f"{path[-1]} +{a - b:g}")
+    if not parts:
+        return ""
+    return f"Server cache movement during the run: {', '.join(parts)}."
+
+
+def write_report(
+    out_dir: str | Path,
+    name: str,
+    title: str,
+    results: dict[str, LoadResult],
+    notes: list[str] | None = None,
+) -> tuple[Path, Path]:
+    """Write ``<name>.json`` + ``<name>.md`` under ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": "repro-loadtest/1",
+        "title": title,
+        "environment": environment_fingerprint(),
+        "runs": {key: value.as_dict() for key, value in results.items()},
+        "notes": list(notes or []),
+    }
+    json_path = out / f"{name}.json"
+    json_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    md_path = out / f"{name}.md"
+    md_path.write_text(render_markdown(title, results, notes))
+    return json_path, md_path

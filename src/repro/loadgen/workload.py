@@ -1,0 +1,122 @@
+"""Workload synthesis for the load generator.
+
+A deployment of the minimization service sees *mixed, near-duplicate*
+traffic: many small ad-hoc functions plus a heavier tail of benchmark
+-sized ones, with the same function resubmitted over and over (CAD
+loops, retries, shared subcircuits).  :class:`Workload` reproduces that
+shape deterministically:
+
+* a finite **pool** of distinct request payloads — ``small_pool``
+  random PLA instances over few variables and ``large_pool`` named
+  benchmark requests (capped rungs so one request never dominates a
+  load stage);
+* draws from the pool with a seeded RNG, large requests appearing with
+  probability ``large_fraction``;
+* because the pool is finite, a warm-up pass over ``distinct()``
+  makes every subsequent draw a **cache-warm** request — which is the
+  regime the cluster's shard-per-worker LRU is designed for.
+
+Everything derives from one integer seed, so a loadtest re-run is the
+same byte-for-byte request sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any
+
+from repro.bench.suite import BENCHMARKS
+
+__all__ = ["Workload", "DEFAULT_LARGE_BENCHMARKS"]
+
+# Benchmark-sized requests for the "large" side of the mix.  Chosen to
+# be real paper functions that still minimize in well under a second at
+# the heuristic rung (the loadtest caps the ladder with ``max_rung`` so
+# a stage is never dominated by one exact solve).
+DEFAULT_LARGE_BENCHMARKS = ("adr2", "life", "csa2", "adr3")
+
+
+def _random_pla(rng: random.Random, n: int) -> str:
+    """A random n-input single-output PLA with a non-empty on-set."""
+    points = rng.sample(range(1 << n), rng.randint(2, max(3, (1 << n) // 3)))
+    lines = [f".i {n}", ".o 1"]
+    for p in points:
+        bits = format(p, f"0{n}b")
+        # Sprinkle don't-care positions for cube-shaped (realistic) rows.
+        row = "".join(
+            "-" if rng.random() < 0.15 else bit for bit in bits
+        )
+        lines.append(f"{row} 1")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+class Workload:
+    """A seeded, finite-pool generator of ``/minimize`` request bodies."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        small_pool: int = 24,
+        large_pool: int = 4,
+        large_fraction: float = 0.25,
+        small_inputs: tuple[int, int] = (3, 5),
+        large_benchmarks: tuple[str, ...] = DEFAULT_LARGE_BENCHMARKS,
+        max_rung: str | None = "heuristic",
+        timeout: float = 5.0,
+        budget_seconds: float = 20.0,
+    ) -> None:
+        if not 0.0 <= large_fraction <= 1.0:
+            raise ValueError("large_fraction must be within [0, 1]")
+        self.seed = seed
+        self.large_fraction = large_fraction
+        rng = random.Random(seed)
+        common: dict[str, Any] = {
+            "timeout": timeout,
+            "budget_seconds": budget_seconds,
+        }
+        if max_rung is not None:
+            common["max_rung"] = max_rung
+        self._small: list[bytes] = []
+        lo, hi = small_inputs
+        for i in range(small_pool):
+            payload = dict(common)
+            payload["pla"] = _random_pla(rng, rng.randint(lo, hi))
+            payload["label"] = f"small-{i}"
+            self._small.append(json.dumps(payload, sort_keys=True).encode())
+        self._large: list[bytes] = []
+        for i in range(large_pool):
+            payload = dict(common)
+            bench = large_benchmarks[i % len(large_benchmarks)]
+            payload["benchmark"] = bench
+            # One output per request keeps large requests bounded; cycle
+            # through each benchmark's real outputs so the pool spans
+            # distinct jobs.
+            payload["output"] = (
+                i // len(large_benchmarks)
+            ) % BENCHMARKS[bench].n_outputs
+            self._large.append(json.dumps(payload, sort_keys=True).encode())
+        self._rng = random.Random(seed + 1)
+
+    # ------------------------------------------------------------------
+
+    def distinct(self) -> list[bytes]:
+        """Every distinct request body once (the cache warm-up set)."""
+        return list(self._small) + list(self._large)
+
+    def next_body(self, rng: random.Random | None = None) -> bytes:
+        """Draw one request body from the mix."""
+        rng = rng or self._rng
+        if self._large and rng.random() < self.large_fraction:
+            return rng.choice(self._large)
+        return rng.choice(self._small)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "small_pool": len(self._small),
+            "large_pool": len(self._large),
+            "large_fraction": self.large_fraction,
+        }

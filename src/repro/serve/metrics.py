@@ -1,0 +1,214 @@
+"""Latency histograms and Prometheus text exposition.
+
+Two small, dependency-free pieces shared by the single-process service
+(:mod:`repro.serve.server`) and the cluster coordinator
+(:mod:`repro.cluster.coordinator`):
+
+* :class:`LatencyHistogram` — a fixed-bucket (log-spaced) histogram of
+  seconds.  Fixed buckets make ``observe`` O(log #buckets) and
+  lock-cheap, quantiles are estimated by linear interpolation inside
+  the owning bucket (the standard Prometheus ``histogram_quantile``
+  estimate), and the bucket counts are directly exposable as a
+  Prometheus ``histogram`` metric — so ``/stats`` percentiles and
+  ``/metrics`` buckets are two views of the same counters.
+* :func:`render_metrics` — renders a list of :class:`Metric` samples as
+  `Prometheus text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+  version 0.0.4 (``# HELP`` / ``# TYPE`` / samples with labels).
+
+Neither imports anything outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LatencyHistogram",
+    "Metric",
+    "render_metrics",
+]
+
+# Upper bounds (seconds) of the fixed buckets: ~1ms .. 60s, roughly
+# ×2.5 per step.  Chosen for a minimization service whose requests span
+# sub-millisecond cache hits to multi-second exact solves; the +Inf
+# bucket is implicit.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket histogram of durations in seconds."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        index = bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def counts(self) -> list[int]:
+        """Per-bucket counts (last entry is the +Inf overflow bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> list[int]:
+        """Cumulative ``le`` counts, one per bound plus +Inf."""
+        total = 0
+        out = []
+        for c in self.counts():
+            total += c
+            out.append(total)
+        return out
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (0..1); None when empty.
+
+        Linear interpolation inside the owning bucket, like Prometheus'
+        ``histogram_quantile``.  Values in the +Inf bucket clamp to the
+        highest finite bound (we cannot know how far past it they went).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        counts = self.counts()
+        total = sum(counts)
+        if total == 0:
+            return None
+        rank = q * total
+        seen = 0
+        for index, bucket_count in enumerate(counts):
+            if seen + bucket_count >= rank and bucket_count > 0:
+                if index >= len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                within = (rank - seen) / bucket_count
+                return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+            seen += bucket_count
+        return self.bounds[-1]  # pragma: no cover — rank <= total always
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``/stats`` view: count, sum, and headline percentiles."""
+        with self._lock:
+            count, total = self._count, self._sum
+        return {
+            "count": count,
+            "sum_seconds": total,
+            "mean_seconds": (total / count) if count else None,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+@dataclass
+class Metric:
+    """One Prometheus metric family and its samples.
+
+    ``samples`` is a list of ``(suffix, labels, value)`` triples; the
+    suffix is empty for plain counters/gauges and ``_bucket`` /
+    ``_sum`` / ``_count`` for histogram series, which the format keeps
+    under the *one* family header (``# TYPE name histogram``).
+    """
+
+    name: str
+    help: str
+    type: str = "gauge"  # counter | gauge | histogram
+    samples: list[tuple[str, dict[str, str], float]] = field(default_factory=list)
+
+    def add(self, value: float, **labels: str) -> "Metric":
+        self.samples.append(("", dict(labels), float(value)))
+        return self
+
+    @classmethod
+    def from_histogram(
+        cls, name: str, help: str, hist: LatencyHistogram, **labels: str
+    ) -> "Metric":
+        """A ``histogram``-typed family with bucket/sum/count series."""
+        metric = cls(name, help, "histogram")
+        cumulative = hist.cumulative()
+        for bound, count in zip(hist.bounds, cumulative):
+            metric.samples.append(
+                ("_bucket", dict(labels, le=_format_value(bound)), float(count))
+            )
+        metric.samples.append(
+            ("_bucket", dict(labels, le="+Inf"),
+             float(cumulative[-1] if cumulative else 0))
+        )
+        metric.samples.append(("_sum", dict(labels), hist.sum))
+        metric.samples.append(("_count", dict(labels), float(hist.count)))
+        return metric
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers without the trailing .0."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def render_metrics(metrics: Iterable[Metric]) -> str:
+    """Render metric families as Prometheus text exposition format.
+
+    Families with the same name are merged under a single HELP/TYPE
+    header (as the format requires), preserving first-seen order.
+    """
+    order: list[str] = []
+    by_name: dict[str, list[Metric]] = {}
+    for metric in metrics:
+        if metric.name not in by_name:
+            order.append(metric.name)
+            by_name[metric.name] = []
+        by_name[metric.name].append(metric)
+    lines: list[str] = []
+    for name in order:
+        family = by_name[name]
+        lines.append(f"# HELP {name} {family[0].help}")
+        lines.append(f"# TYPE {name} {family[0].type}")
+        for metric in family:
+            for suffix, labels, value in metric.samples:
+                series = f"{name}{suffix}"
+                if labels:
+                    rendered = ",".join(
+                        f'{k}="{_escape_label(str(v))}"'
+                        for k, v in sorted(labels.items())
+                    )
+                    lines.append(f"{series}{{{rendered}}} {_format_value(value)}")
+                else:
+                    lines.append(f"{series} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -25,7 +25,9 @@ Endpoints::
     POST /minimize   {"pla": ...} | {"benchmark": ...}, options
     GET  /healthz    process liveness (200 while the process runs)
     GET  /readyz     admission state (503 when draining/shedding)
-    GET  /stats      counters: admission, breaker, watchdog, cache
+    GET  /stats      counters: admission, breaker, watchdog, cache,
+                     latency percentiles (p50/p95/p99)
+    GET  /metrics    the same counters as Prometheus text exposition
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from repro import faults
 from repro.bench.suite import BENCHMARKS, get_benchmark
 from repro.boolfunc.pla import parse_pla
 from repro.budget import Budget
@@ -48,13 +51,67 @@ from repro.engine.scheduler import run_batch
 from repro.errors import Overloaded, ParseError, ReproError, UsageError
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import RungBreaker
+from repro.serve.metrics import LatencyHistogram, Metric, render_metrics
 from repro.serve.watchdog import MemoryWatchdog
 
-__all__ = ["ServeConfig", "MinimizeService"]
+__all__ = ["ServeConfig", "MinimizeService", "jobs_from_payload"]
 
 # Ladder rank of each method: a request's ``max_rung`` gates every rung
 # ranked above it (the scheduler still never gates the final rung).
 _RUNG_RANK = {"sp": 0, "heuristic": 1, "bounded": 2, "exact": 3}
+
+
+def jobs_from_payload(payload: dict[str, Any]) -> list[Job]:
+    """Expand a ``POST /minimize`` body into engine jobs.
+
+    Shared with the cluster coordinator, which needs the same expansion
+    to compute the content-hash routing key without owning an engine.
+    Raises :class:`UsageError` on malformed payloads.
+    """
+    if not isinstance(payload, dict):
+        raise UsageError("request body must be a JSON object")
+    method = payload.get("method", "exact")
+    if method not in METHODS:
+        raise UsageError(
+            f"unknown method {method!r} (one of {', '.join(METHODS)})"
+        )
+    if "pla" in payload:
+        func = parse_pla(str(payload["pla"]), name="request")
+        name = str(payload.get("label", "request"))
+    elif "benchmark" in payload:
+        bench = str(payload["benchmark"])
+        if bench not in BENCHMARKS:
+            raise UsageError(f"unknown benchmark {bench!r}")
+        func = get_benchmark(bench)
+        name = bench
+    else:
+        raise UsageError('request needs "pla" text or a "benchmark" name')
+    outputs = range(func.num_outputs)
+    if payload.get("output") is not None:
+        o = int(payload["output"])
+        if not 0 <= o < func.num_outputs:
+            raise UsageError(f"output {o} out of range")
+        outputs = [o]
+    jobs = []
+    for o in outputs:
+        fo = func[o]
+        if not fo.on_set:
+            continue
+        jobs.append(
+            Job(
+                fo,
+                method=method,
+                k=int(payload.get("k", 0)),
+                bound=int(payload.get("bound", 2)),
+                covering=str(payload.get("covering", "greedy")),
+                backend=str(payload.get("backend", "index")),
+                max_pseudoproducts=payload.get("max_pseudoproducts"),
+                label=f"{name}[{o}]",
+            )
+        )
+    if not jobs:
+        raise UsageError("every requested output is constant 0")
+    return jobs
 
 
 @dataclass
@@ -77,8 +134,10 @@ class ServeConfig:
     breaker_cooldown: float = 30.0
     cache_entries: int = 1024
     cache_dir: str | None = None
+    max_disk_entries: int | None = None  # shared disk tier cap (cluster)
     manifest_dir: str | None = None
     drain_grace: float = 10.0
+    parent_pid: int | None = None  # drain when this process disappears
 
 
 class MinimizeService:
@@ -88,7 +147,9 @@ class MinimizeService:
         self.config = config or ServeConfig()
         cfg = self.config
         self.cache = ResultCache(
-            max_entries=cfg.cache_entries, cache_dir=cfg.cache_dir
+            max_entries=cfg.cache_entries,
+            cache_dir=cfg.cache_dir,
+            max_disk_entries=cfg.max_disk_entries,
         )
         self.manifest = (
             Manifest(cfg.manifest_dir) if cfg.manifest_dir is not None else None
@@ -118,6 +179,7 @@ class MinimizeService:
         self._draining = False
         self._drained = threading.Event()
         self._started_at = time.monotonic()
+        self.latency = LatencyHistogram()
         self._stats_lock = threading.Lock()
         self._counters = {
             "requests": 0,
@@ -140,52 +202,6 @@ class MinimizeService:
             self.admission.shed_all = False
 
     # -- request parsing -----------------------------------------------
-
-    def _jobs_from(self, payload: dict[str, Any]) -> list[Job]:
-        if not isinstance(payload, dict):
-            raise UsageError("request body must be a JSON object")
-        method = payload.get("method", "exact")
-        if method not in METHODS:
-            raise UsageError(
-                f"unknown method {method!r} (one of {', '.join(METHODS)})"
-            )
-        if "pla" in payload:
-            func = parse_pla(str(payload["pla"]), name="request")
-            name = str(payload.get("label", "request"))
-        elif "benchmark" in payload:
-            bench = str(payload["benchmark"])
-            if bench not in BENCHMARKS:
-                raise UsageError(f"unknown benchmark {bench!r}")
-            func = get_benchmark(bench)
-            name = bench
-        else:
-            raise UsageError('request needs "pla" text or a "benchmark" name')
-        outputs = range(func.num_outputs)
-        if payload.get("output") is not None:
-            o = int(payload["output"])
-            if not 0 <= o < func.num_outputs:
-                raise UsageError(f"output {o} out of range")
-            outputs = [o]
-        jobs = []
-        for o in outputs:
-            fo = func[o]
-            if not fo.on_set:
-                continue
-            jobs.append(
-                Job(
-                    fo,
-                    method=method,
-                    k=int(payload.get("k", 0)),
-                    bound=int(payload.get("bound", 2)),
-                    covering=str(payload.get("covering", "greedy")),
-                    backend=str(payload.get("backend", "index")),
-                    max_pseudoproducts=payload.get("max_pseudoproducts"),
-                    label=f"{name}[{o}]",
-                )
-            )
-        if not jobs:
-            raise UsageError("every requested output is constant 0")
-        return jobs
 
     def _budget_from(self, payload: dict[str, Any]) -> Budget:
         cfg = self.config
@@ -223,10 +239,15 @@ class MinimizeService:
         """
         with self._stats_lock:
             self._counters["requests"] += 1
-        jobs = self._jobs_from(payload)
+        jobs = jobs_from_payload(payload)
         budget = self._budget_from(payload)
         timeout = float(payload.get("timeout", self.config.default_timeout))
+        started = time.monotonic()
         with self.admission.admit():
+            # Chaos/loadtest hook: a ``slow`` rule here injects a
+            # deterministic service time into every admitted request —
+            # including cache hits, which never reach a ladder rung.
+            faults.maybe_fire("serve.request")
             request_id = self._register(budget)
             try:
                 result = run_batch(
@@ -240,6 +261,7 @@ class MinimizeService:
                 )
             finally:
                 self._unregister(request_id)
+        self.latency.observe(time.monotonic() - started)
         self._feed_breaker(result)
         return self._respond(result, budget, bool(payload.get("include_form")))
 
@@ -327,6 +349,7 @@ class MinimizeService:
             "inflight": self.inflight,
             "draining": self._draining,
             "counters": counters,
+            "latency": self.latency.snapshot(),
             "admission": self.admission.snapshot(),
             "breaker": {
                 "open": self.breaker.snapshot(),
@@ -335,9 +358,72 @@ class MinimizeService:
             "watchdog": self.watchdog.snapshot(),
             "cache": {
                 "entries": len(self.cache),
+                "counters": self.cache.stats.as_dict(),
                 "stats": self.cache.stats.summary(),
             },
         }
+
+    def metrics_text(self) -> str:
+        """The service's counters as Prometheus text exposition."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+        admission = self.admission.snapshot()
+        cache = self.cache.stats.as_dict()
+        metrics = [
+            Metric(
+                "repro_uptime_seconds", "Seconds since service start."
+            ).add(time.monotonic() - self._started_at),
+            Metric(
+                "repro_inflight_requests", "Requests currently executing."
+            ).add(self.inflight),
+        ]
+        requests = Metric(
+            "repro_requests_total",
+            "Terminal request outcomes by status.",
+            "counter",
+        )
+        for key, value in sorted(counters.items()):
+            if key != "requests":
+                requests.add(value, status=key)
+        requests.add(admission["shed"], status="shed")
+        metrics.append(requests)
+        metrics.append(
+            Metric(
+                "repro_admission_waiting", "Requests parked in the waiting room."
+            ).add(admission["waiting"])
+        )
+        breaker = Metric(
+            "repro_breaker_skips_total",
+            "Ladder rungs skipped by an open circuit breaker.",
+            "counter",
+        ).add(self.breaker.skips)
+        metrics.append(breaker)
+        metrics.append(
+            Metric(
+                "repro_breaker_open", "Circuit breakers currently open."
+            ).add(len(self.breaker.snapshot()))
+        )
+        cache_metric = Metric(
+            "repro_cache_events_total",
+            "Result-cache events by kind (memory/disk tiers).",
+            "counter",
+        )
+        for key, value in sorted(cache.items()):
+            cache_metric.add(value, kind=key)
+        metrics.append(cache_metric)
+        metrics.append(
+            Metric("repro_cache_entries", "Records in the in-memory LRU.").add(
+                len(self.cache)
+            )
+        )
+        metrics.append(
+            Metric.from_histogram(
+                "repro_request_seconds",
+                "End-to-end latency of admitted requests.",
+                self.latency,
+            )
+        )
+        return render_metrics(metrics)
 
     @property
     def ready(self) -> bool:
@@ -359,8 +445,32 @@ class MinimizeService:
             daemon=True,
         )
         self._server_thread.start()
+        if self.config.parent_pid is not None:
+            threading.Thread(
+                target=self._watch_parent,
+                name="repro-serve-parent-watch",
+                daemon=True,
+            ).start()
         host, port = self._server.server_address[:2]
         return str(host), int(port)
+
+    def _watch_parent(self) -> None:
+        """Drain when the supervising parent process disappears.
+
+        Cluster workers are children of a coordinator; if it dies
+        without draining them (SIGKILL, OOM), they must not linger as
+        orphans holding ports and the shared cache lock path.
+        """
+        import os
+
+        pid = self.config.parent_pid
+        while not self._draining:
+            try:
+                os.kill(pid, 0)
+            except (OSError, ProcessLookupError):
+                self.drain(grace=1.0)
+                return
+            time.sleep(1.0)
 
     def drain(self, grace: float | None = None) -> None:
         """Graceful shutdown: stop admitting, finish or cancel in-flight.
@@ -419,6 +529,10 @@ def _make_handler(service: MinimizeService):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "repro-serve"
+        # Headers and body flush as separate writes; without TCP_NODELAY
+        # that pairs Nagle with the peer's delayed ACK for a ~40ms stall
+        # on every response.
+        disable_nagle_algorithm = True
 
         # -- plumbing --------------------------------------------------
 
@@ -461,6 +575,15 @@ def _make_handler(service: MinimizeService):
                     )
             elif self.path == "/stats":
                 self._send_json(200, service.stats())
+            elif self.path == "/metrics":
+                data = service.metrics_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
             else:
                 self._error(404, "not-found", f"no such path {self.path!r}")
 

@@ -1,0 +1,211 @@
+"""Integration tests for the cluster coordinator.
+
+One real 2-worker cluster (subprocess workers, in-process coordinator)
+is shared module-wide to amortize startup; each test leaves it healthy.
+Routing-key unit tests use an unstarted coordinator — no processes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterCoordinator
+from tests.serve.test_metrics import parse_prometheus
+
+PLAS = [
+    f".i 3\n.o 1\n{format(i, '03b')} 1\n111 1\n.e\n" for i in range(6)
+]
+
+
+def _body(pla: str, **extra) -> bytes:
+    payload = {"pla": pla, "max_rung": "heuristic"}
+    payload.update(extra)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class TestRoutingKey:
+    """Key derivation only — no worker processes involved."""
+
+    @pytest.fixture()
+    def coordinator(self):
+        return ClusterCoordinator(ClusterConfig(workers=2))
+
+    def test_same_job_same_key(self, coordinator):
+        a = json.dumps({"pla": PLAS[0], "max_rung": "heuristic"}).encode()
+        b = json.dumps(
+            {"max_rung": "heuristic", "pla": PLAS[0]}
+        ).encode()  # different key order, same job
+        assert coordinator.routing_key(a) == coordinator.routing_key(b)
+
+    def test_different_jobs_different_keys(self, coordinator):
+        keys = {coordinator.routing_key(_body(pla)) for pla in PLAS}
+        assert len(keys) == len(PLAS)
+
+    def test_unparseable_body_is_structured_400(self, coordinator):
+        # A body no worker could parse is rejected at the front door
+        # with the same structured error taxonomy the workers use.
+        status, _, body = coordinator.handle_minimize(b"this is not json")
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "usage"
+
+    def test_routing_key_is_memoized(self, coordinator):
+        body = _body(PLAS[0])
+        first = coordinator.routing_key(body)
+        assert coordinator.routing_key(body) == first
+        assert coordinator._counters["route_memo_hits"] >= 1
+
+    def test_plan_lists_distinct_workers(self, coordinator):
+        coordinator.ring.add("w0")
+        coordinator.ring.add("w1")
+        plan = coordinator.plan_for("somekey")
+        assert len(plan) == len(set(plan)) == 2
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    coordinator = ClusterCoordinator(ClusterConfig(
+        port=0,
+        workers=2,
+        worker_threads=2,
+        worker_queue_capacity=4,
+        health_interval=0.2,
+        restart_backoff=0.2,
+        worker_start_timeout=90.0,
+    ))
+    host, port = coordinator.start()
+    yield coordinator, host, port
+    coordinator.drain(grace=2.0)
+
+
+def _post(host: str, port: int, body: bytes) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("POST", "/minimize", body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def _get(host: str, port: int, path: str) -> tuple[int, bytes]:
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _wait_all_up(coordinator, timeout=60.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = coordinator.stats()
+        if all(w["status"] == "up" for w in stats["workers"].values()):
+            return stats
+        time.sleep(0.2)
+    raise AssertionError(f"workers never all up: {coordinator.stats()}")
+
+
+class TestCluster:
+    def test_requests_route_and_succeed(self, cluster):
+        coordinator, host, port = cluster
+        for pla in PLAS:
+            status, doc = _post(host, port, _body(pla))
+            assert status == 200, doc
+            assert doc["ok"]
+
+    def test_routing_is_sticky(self, cluster):
+        """Repeats of one body land on one worker (cache locality)."""
+        coordinator, host, port = cluster
+        before = {
+            name: w["requests"]
+            for name, w in coordinator.stats()["workers"].items()
+        }
+        body = _body(PLAS[0])
+        for _ in range(4):
+            assert _post(host, port, body)[0] == 200
+        moved = {
+            name: w["requests"] - before[name]
+            for name, w in coordinator.stats()["workers"].items()
+        }
+        assert sorted(moved.values()) == [0, 4], moved
+
+    def test_probes_and_stats(self, cluster):
+        coordinator, host, port = cluster
+        assert _get(host, port, "/healthz")[0] == 200
+        assert _get(host, port, "/readyz")[0] == 200
+        status, body = _get(host, port, "/stats")
+        assert status == 200
+        doc = json.loads(body)
+        assert set(doc["workers"]) == {"w0", "w1"}
+        assert doc["counters"]["requests"] >= 1
+        assert sorted(doc["ring"]) == ["w0", "w1"]
+
+    def test_metrics_parse_as_prometheus(self, cluster):
+        coordinator, host, port = cluster
+        assert _post(host, port, _body(PLAS[0]))[0] == 200
+        status, body = _get(host, port, "/metrics")
+        assert status == 200
+        families = parse_prometheus(body.decode())
+        assert families["repro_cluster_request_seconds"]["type"] == "histogram"
+        in_ring = {
+            s[1]["worker"]: s[2]
+            for s in families["repro_cluster_worker_info"]["samples"]
+        }
+        assert in_ring == {"w0": 1.0, "w1": 1.0}
+        assert "repro_cluster_worker_requests_total" in families
+
+    def test_kill_worker_fails_over_then_restarts(self, cluster):
+        coordinator, host, port = cluster
+        _wait_all_up(coordinator)
+        victim = next(iter(coordinator._workers.values()))
+        old_restarts = victim.proc.restarts
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        # Every request during the outage is answered: success via
+        # failover, or a structured 429/503 — never a dropped socket.
+        outcomes = []
+        for pla in PLAS * 2:
+            status, doc = _post(host, port, _body(pla))
+            outcomes.append(status)
+            assert status in (200, 429, 503), doc
+            if status != 200:
+                assert doc["error"]["code"]
+        assert outcomes.count(200) >= len(PLAS), outcomes
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            stats = coordinator.stats()
+            victim_stats = stats["workers"][victim.proc.name]
+            if (victim_stats["restarts"] > old_restarts
+                    and victim_stats["status"] == "up"):
+                break
+            time.sleep(0.2)
+        else:
+            raise AssertionError(f"victim never restarted: {stats}")
+        _wait_all_up(coordinator)
+        # The restarted worker serves again (same port, back on ring).
+        for pla in PLAS:
+            assert _post(host, port, _body(pla))[0] == 200
+
+    def test_draining_coordinator_rejects_new_work(self, cluster):
+        # Run last: uses an independent cluster so the shared one stays up.
+        inner = ClusterCoordinator(ClusterConfig(
+            port=0, workers=1, worker_threads=1,
+            worker_start_timeout=90.0,
+        ))
+        host, port = inner.start()
+        try:
+            assert _post(host, port, _body(PLAS[0]))[0] == 200
+            inner._draining = True
+            status, doc = _post(host, port, _body(PLAS[1]))
+            assert status == 429
+            assert doc["error"]["code"] == "overloaded"
+        finally:
+            inner._draining = False
+            inner.drain(grace=2.0)

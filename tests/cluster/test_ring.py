@@ -1,0 +1,176 @@
+"""Property tests for the consistent-hash ring.
+
+The two theorems the cluster's routing relies on, checked on random
+node sets and key populations:
+
+* **balance** — with enough virtual replicas, every node owns a
+  similar share of the key space (no worker becomes a hot shard by
+  construction);
+* **minimal remapping** — adding or removing one node only touches the
+  keys that change owner *to or from that node*; every other key keeps
+  its assignment, which is what keeps worker caches warm across
+  membership churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing
+
+node_names = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+keys_strategy = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=64, unique=True
+)
+
+
+def _keys(count: int) -> list[str]:
+    return [f"key-{i:05d}" for i in range(count)]
+
+
+class TestBasics:
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert ring.node_for("anything") is None
+        assert list(ring.successors("anything")) == []
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in _keys(50))
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(replicas=8)
+        ring.add("a")
+        ring.add("a")
+        assert len(ring._points) == 8
+        ring.remove("a")
+        ring.remove("a")
+        assert len(ring._points) == 0
+
+    def test_membership(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "b" in ring and "c" not in ring
+        assert ring.nodes == frozenset({"a", "b"})
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_deterministic_across_instances(self):
+        keys = _keys(100)
+        first = HashRing(["w0", "w1", "w2"])
+        second = HashRing(["w2", "w0", "w1"])  # insertion order irrelevant
+        assert [first.node_for(k) for k in keys] == [
+            second.node_for(k) for k in keys
+        ]
+
+
+class TestBalance:
+    def test_keys_spread_over_all_nodes(self):
+        nodes = [f"w{i}" for i in range(4)]
+        ring = HashRing(nodes, replicas=64)
+        counts = {n: 0 for n in nodes}
+        total = 4000
+        for key in _keys(total):
+            counts[ring.node_for(key)] += 1
+        fair = total / len(nodes)
+        # 64 replicas keep every real node within ~2x of fair share
+        # (deterministic: SHA-256 layout, fixed key population).
+        for node, count in counts.items():
+            assert count > fair / 2, f"{node} starved: {counts}"
+            assert count < fair * 2, f"{node} overloaded: {counts}"
+
+    @given(nodes=node_names)
+    @settings(max_examples=30, deadline=None)
+    def test_every_node_owns_some_keyspace(self, nodes):
+        ring = HashRing(nodes, replicas=64)
+        owners = {ring.node_for(k) for k in _keys(2000)}
+        # With 2000 keys over ≤8 nodes, every node should surface.
+        assert owners == set(nodes)
+
+
+class TestMinimalRemapping:
+    @given(nodes=node_names, keys=keys_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_join_only_pulls_keys_to_the_new_node(self, nodes, keys):
+        ring = HashRing(nodes)
+        before = {k: ring.node_for(k) for k in keys}
+        newcomer = "newcomer-node"
+        ring.add(newcomer)
+        for key in keys:
+            after = ring.node_for(key)
+            if after != before[key]:
+                assert after == newcomer, (
+                    f"{key!r} moved {before[key]!r}→{after!r}, "
+                    f"not to the joining node"
+                )
+
+    @given(nodes=node_names, keys=keys_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_leave_only_moves_the_leavers_keys(self, nodes, keys):
+        ring = HashRing(nodes)
+        victim = sorted(nodes)[0]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove(victim)
+        for key in keys:
+            after = ring.node_for(key)
+            if before[key] != victim:
+                assert after == before[key], (
+                    f"{key!r} moved {before[key]!r}→{after!r} though "
+                    f"only {victim!r} left"
+                )
+            elif after is not None:
+                assert after != victim
+
+    @given(nodes=node_names, keys=keys_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_join_then_leave_is_identity(self, nodes, keys):
+        ring = HashRing(nodes)
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add("transient-node")
+        ring.remove("transient-node")
+        assert {k: ring.node_for(k) for k in keys} == before
+
+    def test_expected_movement_fraction(self):
+        """Adding 1 node to N=4 remaps about 1/(N+1) of keys."""
+        keys = _keys(4000)
+        ring = HashRing([f"w{i}" for i in range(4)], replicas=64)
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add("w4")
+        moved = sum(1 for k in keys if ring.node_for(k) != before[k])
+        fraction = moved / len(keys)
+        assert 0.05 < fraction < 0.40, fraction  # ideal 0.20
+
+
+class TestSuccessors:
+    @given(nodes=node_names, key=st.text(min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_successors_enumerate_all_nodes_once(self, nodes, key):
+        ring = HashRing(nodes)
+        order = list(ring.successors(key))
+        assert order[0] == ring.node_for(key)
+        assert sorted(order) == sorted(nodes)
+
+    @given(nodes=node_names, key=st.text(min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_failover_target_matches_post_eviction_owner(self, nodes, key):
+        """successors[1] is exactly who owns the key once the owner leaves."""
+        ring = HashRing(nodes)
+        order = list(ring.successors(key))
+        if len(order) < 2:
+            return
+        ring.remove(order[0])
+        assert ring.node_for(key) == order[1]

@@ -135,3 +135,73 @@ class TestQuarantine:
         assert cache.get(key) is None
         cache.put(key, _record(1))  # the recompute lands cleanly
         assert ResultCache(cache_dir=tmp_path).get(key) == _record(1)
+
+
+class TestDiskPruning:
+    def _fill(self, cache, count, start=0):
+        import os
+        import time
+
+        for i in range(start, start + count):
+            key = format(i, "x").rjust(64, "0")
+            cache.put(key, _record(i))
+            # Distinct mtimes so "oldest" is well-defined even on
+            # coarse-timestamp filesystems.
+            stamp = time.time() - (1000 - i)
+            os.utime(cache.path_for(key), (stamp, stamp))
+
+    def test_prune_disk_enforces_cap_oldest_first(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, max_disk_entries=4)
+        self._fill(cache, 10)
+        removed = cache.prune_disk()
+        assert removed == 6
+        assert cache.stats.disk_evictions == 6
+        survivors = sorted(p.stem for p in cache.disk_entries())
+        expected = sorted(format(i, "x").rjust(64, "0") for i in range(6, 10))
+        assert survivors == expected
+        # Survivors still load cleanly from a fresh process's view.
+        fresh = ResultCache(max_entries=1, cache_dir=tmp_path)
+        assert fresh.get(expected[-1]) == _record(9)
+
+    def test_prune_noop_under_cap(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, max_disk_entries=100)
+        self._fill(cache, 5)
+        assert cache.prune_disk() == 0
+        assert len(cache.disk_entries()) == 5
+
+    def test_put_triggers_periodic_prune(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(ResultCache, "_PRUNE_EVERY", 8)
+        cache = ResultCache(cache_dir=tmp_path, max_disk_entries=3)
+        self._fill(cache, 8)  # 8th store crosses the cadence
+        assert len(cache.disk_entries()) <= 3
+        assert cache.stats.disk_evictions >= 5
+
+    def test_prune_skips_when_lock_busy(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, max_disk_entries=2)
+        self._fill(cache, 6)
+        holder = cache.maintenance_lock()
+        holder.acquire()
+        try:
+            assert cache.prune_disk() == 0  # best-effort: skipped, not stuck
+            assert len(cache.disk_entries()) == 6
+        finally:
+            holder.release()
+        assert cache.prune_disk() == 4
+
+    def test_shared_dir_between_instances(self, tmp_path):
+        """Two caches over one dir: stores visible, prunes coordinated."""
+        writer = ResultCache(cache_dir=tmp_path, max_disk_entries=4)
+        reader = ResultCache(max_entries=1, cache_dir=tmp_path,
+                             max_disk_entries=4)
+        self._fill(writer, 6)
+        key = format(5, "x").rjust(64, "0")
+        assert reader.get(key) == _record(5)
+        assert reader.stats.disk_hits == 1
+        writer.prune_disk()
+        assert len(reader.disk_entries()) == 4
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultCache(cache_dir=tmp_path, max_disk_entries=0)

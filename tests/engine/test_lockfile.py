@@ -1,0 +1,107 @@
+"""Tests for the cross-process advisory file lock."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.engine.lockfile import FileLock, LockTimeout
+
+
+class TestFileLock:
+    def test_acquire_release(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        lock.acquire()
+        assert (tmp_path / "x.lock").exists()
+        lock.release()
+        assert not (tmp_path / "x.lock").exists()
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            assert path.exists()
+        assert not path.exists()
+
+    def test_mutual_exclusion(self, tmp_path):
+        path = tmp_path / "x.lock"
+        first = FileLock(path)
+        second = FileLock(path, stale_after=3600.0)
+        assert first.try_acquire()
+        assert not second.try_acquire()
+        first.release()
+        assert second.try_acquire()
+        second.release()
+
+    def test_acquire_times_out(self, tmp_path):
+        path = tmp_path / "x.lock"
+        holder = FileLock(path)
+        waiter = FileLock(path, stale_after=3600.0)
+        holder.acquire()
+        started = time.monotonic()
+        with pytest.raises(LockTimeout):
+            waiter.acquire(timeout=0.2)
+        assert time.monotonic() - started < 5.0
+        holder.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        lock.acquire()
+        lock.release()
+        lock.release()  # must not raise
+
+    def test_stale_lock_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("99999 0")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        lock = FileLock(path, stale_after=1.0)
+        assert lock.try_acquire()
+        lock.release()
+
+    def test_fresh_foreign_lock_respected(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(f"{os.getpid()} {time.time()}")
+        lock = FileLock(path, stale_after=3600.0)
+        assert not lock.try_acquire()
+
+    def test_lock_records_pid(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            recorded = int(path.read_text().split()[0])
+            assert recorded == os.getpid()
+
+    def test_cross_process_exclusion(self, tmp_path):
+        """A lock held by another OS process blocks try_acquire here."""
+        path = tmp_path / "x.lock"
+        script = (
+            "import sys, time\n"
+            "from repro.engine.lockfile import FileLock\n"
+            f"lock = FileLock({str(path)!r})\n"
+            "assert lock.try_acquire()\n"
+            "print('locked', flush=True)\n"
+            "time.sleep(30)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, env=env, text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "locked"
+            mine = FileLock(path, stale_after=3600.0)
+            assert not mine.try_acquire()
+        finally:
+            proc.kill()
+            proc.wait()
+        # Holder died without releasing: fresh lockfiles are respected
+        # until stale_after, then broken.
+        aggressive = FileLock(path, stale_after=0.0)
+        time.sleep(0.01)
+        assert aggressive.try_acquire()
+        aggressive.release()

@@ -1,0 +1,245 @@
+"""Tests for latency histograms and Prometheus text exposition.
+
+The mini-parser in :func:`parse_prometheus` checks the exposition
+*format* (HELP/TYPE headers, label syntax, histogram conventions), not
+just substrings — the same checker the cluster smoke example uses.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.serve import MinimizeService, ServeConfig
+from repro.serve.metrics import (
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    Metric,
+    render_metrics,
+)
+
+PLA = ".i 3\n.o 1\n1-- 1\n-11 1\n.e\n"
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse text exposition format; raises on malformed lines.
+
+    Returns {family: {"type": str, "samples": [(series, labels, value)]}}.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            families.setdefault(name, {"type": None, "samples": []})
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            assert name == current, f"TYPE for {name} outside its family"
+            assert kind in ("counter", "gauge", "histogram", "summary")
+            families[name]["type"] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        series = match.group("name")
+        assert current and series.startswith(current), (
+            f"sample {series} outside family {current}"
+        )
+        labels = {}
+        if match.group("labels"):
+            for pair in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"',
+                                   match.group("labels")):
+                labels[pair[0]] = pair[1]
+        value = float(match.group("value").replace("+Inf", "inf"))
+        families[current]["samples"].append((series, labels, value))
+    return families
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.quantile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["mean_seconds"] is None
+
+    def test_counts_and_cumulative(self):
+        hist = LatencyHistogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts() == [1, 2, 1, 1]
+        assert hist.cumulative() == [1, 3, 4, 5]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = LatencyHistogram(buckets=(0.1, 1.0))
+        for _ in range(100):
+            hist.observe(0.5)
+        # All mass in (0.1, 1.0]; estimates stay inside that bucket.
+        for q in (0.01, 0.5, 0.99):
+            assert 0.1 <= hist.quantile(q) <= 1.0
+
+    def test_quantile_orders(self):
+        hist = LatencyHistogram()
+        for value in (0.002, 0.02, 0.2, 2.0):
+            for _ in range(25):
+                hist.observe(value)
+        p50, p95, p99 = (hist.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+
+    def test_overflow_clamps_to_top_bound(self):
+        hist = LatencyHistogram(buckets=(0.1, 1.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 1.0
+
+    def test_negative_clamped(self):
+        hist = LatencyHistogram()
+        hist.observe(-5.0)
+        assert hist.count == 1
+        assert hist.sum == 0.0
+
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_snapshot_keys(self):
+        hist = LatencyHistogram()
+        hist.observe(0.01)
+        snap = hist.snapshot()
+        assert set(snap) == {
+            "count", "sum_seconds", "mean_seconds", "p50", "p95", "p99"
+        }
+        assert snap["count"] == 1
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRenderMetrics:
+    def test_counter_and_labels(self):
+        metric = Metric("jobs_total", "Jobs.", "counter")
+        metric.add(3, status="ok").add(1, status="failed")
+        text = render_metrics([metric])
+        families = parse_prometheus(text)
+        assert families["jobs_total"]["type"] == "counter"
+        samples = {tuple(sorted(s[1].items())): s[2]
+                   for s in families["jobs_total"]["samples"]}
+        assert samples[(("status", "ok"),)] == 3
+        assert samples[(("status", "failed"),)] == 1
+
+    def test_histogram_family_convention(self):
+        hist = LatencyHistogram(buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = render_metrics(
+            [Metric.from_histogram("req_seconds", "Latency.", hist)]
+        )
+        families = parse_prometheus(text)
+        assert list(families) == ["req_seconds"]
+        assert families["req_seconds"]["type"] == "histogram"
+        by_series: dict[str, list] = {}
+        for series, labels, value in families["req_seconds"]["samples"]:
+            by_series.setdefault(series, []).append((labels, value))
+        buckets = by_series["req_seconds_bucket"]
+        assert [lab["le"] for lab, _ in buckets] == ["0.1", "1", "+Inf"]
+        # Cumulative and capped by the total count.
+        values = [v for _, v in buckets]
+        assert values == sorted(values) and values[-1] == 2
+        assert by_series["req_seconds_count"][0][1] == 2
+        assert by_series["req_seconds_sum"][0][1] == pytest.approx(0.55)
+
+    def test_same_family_merged_under_one_header(self):
+        a = Metric("x_total", "X.", "counter").add(1, shard="a")
+        b = Metric("x_total", "X.", "counter").add(2, shard="b")
+        text = render_metrics([a, b])
+        assert text.count("# HELP x_total") == 1
+        assert text.count("# TYPE x_total") == 1
+        assert len(parse_prometheus(text)["x_total"]["samples"]) == 2
+
+    def test_label_escaping(self):
+        metric = Metric("m", "Help.", "gauge").add(1, path='a"b\\c\nd')
+        text = render_metrics([metric])
+        assert r'path="a\"b\\c\nd"' in text
+
+
+class TestServiceMetrics:
+    @pytest.fixture()
+    def service(self):
+        started = []
+
+        def _start(**overrides):
+            svc = MinimizeService(ServeConfig(port=0, **overrides))
+            _, port = svc.start()
+            started.append(svc)
+            return svc, port
+
+        yield _start
+        for svc in started:
+            svc.drain(grace=0.0)
+
+    def _get(self, port, path):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            conn.close()
+
+    def _post(self, port, payload):
+        import http.client
+        import json
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("POST", "/minimize", body=json.dumps(payload))
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_stats_latency_percentiles(self, service):
+        _, port = service()
+        for _ in range(3):
+            status, _ = self._post(port, {"pla": PLA})
+            assert status == 200
+        import json
+
+        _, _, body = self._get(port, "/stats")
+        latency = json.loads(body)["latency"]
+        assert latency["count"] == 3
+        assert latency["p50"] is not None
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_metrics_endpoint(self, service):
+        _, port = service()
+        status, _ = self._post(port, {"pla": PLA})
+        assert status == 200
+        status, headers, body = self._get(port, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        families = parse_prometheus(body.decode())
+        assert families["repro_request_seconds"]["type"] == "histogram"
+        requests = {
+            s[1]["status"]: s[2]
+            for s in families["repro_requests_total"]["samples"]
+        }
+        assert requests["completed"] == 1
+        assert "shed" in requests
+        assert "repro_cache_events_total" in families
+        assert "repro_breaker_open" in families
