@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Deterministic chaos acceptance run for the resilient cluster tier.
+
+The contract this asserts, operator's-eye view:
+
+1. a coordinator + 2 workers come up with adaptive hedging and retry
+   budgets on; every worker computes with a fixed 0.25s service time
+   (injected via the fault plan, so latency is deterministic);
+2. a fault-free phase establishes the baseline p99 and warms the
+   per-route p95 tracker past its minimum sample mass;
+3. a chaos phase — one worker ``SIGSTOP``-ped for 3s mid-load *plus*
+   5% of proxy exchanges stalled 0.15s (seeded) — still satisfies:
+   - **zero lost accepted requests**: every request gets a structured
+     answer (200, or a JSON-bodied 429/503), never a dropped
+     connection or transport error;
+   - **hedged p99 <= 3x the fault-free p99**: the ~p95 hedge delay
+     covers both the wedged worker and the stalled exchanges;
+   - **upstream attempts <= 2x offered load**: the retry budget and
+     single-hedge policy bound duplicate work;
+4. requests carrying an already-expired ``X-Repro-Deadline`` are shed
+   at admission with a structured 503 + Retry-After, never computed;
+5. the ``SIGSTOP``-ped worker resumes and serves again with **zero
+   restarts** — hedging absorbed the wedge, supervision never fired;
+6. a machine-readable report lands on disk for CI artifact upload.
+
+A ``signal.alarm`` hard-kills the whole script if anything wedges.
+
+Run:  PYTHONPATH=src python examples/cluster_chaos.py [report.json]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import sys
+import tempfile
+import threading
+import time
+
+from repro import faults
+from repro.cluster import DEADLINE_HEADER, ClusterConfig, ClusterCoordinator
+from repro.faults import FaultPlan, FaultRule
+from repro.loadgen import ChaosAction, ChaosScenario
+
+SERVICE_TIME = 0.25   # injected per-request compute time (seconds)
+STALL_SECONDS = 0.15  # proxy stall duration; < SERVICE_TIME by design
+STALL_P = 0.05        # fraction of proxy exchanges stalled
+OUTAGE = 3.0          # SIGSTOP duration (seconds)
+SEED = 1234
+BASELINE_REQUESTS = 60
+CHAOS_REQUESTS = 80
+CLIENTS = 4
+
+PLAS = [f".i 3\n.o 1\n{format(i, '03b')} 1\n111 1\n.e\n" for i in range(8)]
+
+
+def body_for(i: int) -> bytes:
+    return json.dumps(
+        {"pla": PLAS[i % len(PLAS)], "max_rung": "heuristic"}
+    ).encode()
+
+
+def post(host: str, port: int, body: bytes,
+         headers: dict | None = None) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("POST", "/minimize", body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def drive(host: str, port: int, total: int) -> list[tuple[int, float]]:
+    """Fire ``total`` requests from CLIENTS threads; (status, latency)."""
+    outcomes: list[tuple[int, float]] = []
+    lock = threading.Lock()
+
+    def worker(offset: int) -> None:
+        for i in range(offset, total, CLIENTS):
+            started = time.monotonic()
+            status, doc = post(host, port, body_for(i))
+            elapsed = time.monotonic() - started
+            if status not in (200, 429, 503):
+                raise AssertionError(f"unstructured answer: {status} {doc}")
+            if status != 200:
+                assert doc["error"]["code"], doc  # structured shed
+            with lock:
+                outcomes.append((status, elapsed))
+
+    threads = [threading.Thread(target=worker, args=(n,))
+               for n in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "load thread wedged"
+    return outcomes
+
+
+def main() -> None:
+    signal.alarm(300)  # hard stop: a resilience bug looks like a hang
+    report_path = sys.argv[1] if len(sys.argv) > 1 else "chaos-report.json"
+    tmp = tempfile.mkdtemp(prefix="spp-cluster-chaos-")
+
+    # Deterministic compute cost, installed BEFORE the coordinator so
+    # the spawned workers inherit it through the environment.
+    faults.install(FaultPlan(
+        [FaultRule(site="serve.request", kind="slow",
+                   arg=SERVICE_TIME, times=None)],
+        seed=SEED,
+    ))
+
+    coordinator = ClusterCoordinator(ClusterConfig(
+        port=0,
+        workers=2,
+        worker_threads=CLIENTS,     # no queueing even during the outage
+        worker_queue_capacity=16,
+        health_interval=30.0,       # hedging, not eviction, owns the wedge
+        proxy_timeout=30.0,
+        default_timeout=10.0,
+        retry_budget_cap=200.0,     # measure hedging, not budget exhaustion
+        retry_budget_ratio=1.0,
+        cache_dir=tmp,
+    ))
+    host, port = coordinator.start()
+    print(f"cluster up at http://{host}:{port}")
+
+    try:
+        # Phase 1: fault-free baseline; also warms the p95 tracker past
+        # min_samples so the chaos phase hedges adaptively.
+        outcomes = drive(host, port, BASELINE_REQUESTS)
+        base_latencies = [latency for status, latency in outcomes
+                          if status == 200]
+        assert len(base_latencies) == BASELINE_REQUESTS, outcomes
+        base_p99 = percentile(base_latencies, 0.99)
+        hedging = coordinator.stats()["hedging"]
+        print(f"baseline: p99={base_p99:.3f}s over {len(base_latencies)} "
+              f"requests, adaptive delays={hedging['delays']}")
+
+        # Phase 2: chaos.  Merge the seeded 5% proxy stall into the
+        # coordinator-side plan and SIGSTOP one worker mid-load.
+        faults.install(FaultPlan(
+            [FaultRule(site="serve.request", kind="slow",
+                       arg=SERVICE_TIME, times=None),
+             FaultRule(site="cluster.proxy.stall", kind="slow",
+                       p=STALL_P, times=None, arg=STALL_SECONDS)],
+            seed=SEED,
+        ))
+        before = coordinator.stats()["counters"]
+        victim = next(iter(coordinator._workers))
+        scenario = ChaosScenario(
+            {name: state.proc
+             for name, state in coordinator._workers.items()},
+            [ChaosAction(at=0.5, kind="sigstop", worker=victim,
+                         duration=OUTAGE)],
+        )
+        print(f"chaos: SIGSTOP {victim} at t+0.5s for {OUTAGE}s, "
+              f"{STALL_P:.0%} stalls of {STALL_SECONDS}s")
+        with scenario:
+            outcomes = drive(host, port, CHAOS_REQUESTS)
+        assert scenario.fired, "chaos timeline never fired"
+        after = coordinator.stats()["counters"]
+
+        # Zero lost accepted requests: every request answered, and all
+        # admitted (200) work completed — nothing vanished.
+        assert len(outcomes) == CHAOS_REQUESTS, "requests went missing"
+        ok = [latency for status, latency in outcomes if status == 200]
+        shed = CHAOS_REQUESTS - len(ok)
+        chaos_p99 = percentile(ok, 0.99)
+        attempts = after["upstream_attempts"] - before["upstream_attempts"]
+        hedges = after["hedges"] - before["hedges"]
+        print(f"chaos window: {len(ok)} ok, {shed} structured sheds, "
+              f"p99={chaos_p99:.3f}s, {attempts} upstream attempts, "
+              f"{hedges} hedges ({after['hedge_wins']} wins total)")
+        assert shed == 0, f"{shed} requests shed despite spare capacity"
+        assert hedges > 0, "chaos never exercised the hedger"
+        assert chaos_p99 <= 3 * base_p99, (
+            f"hedged p99 {chaos_p99:.3f}s breaches 3x baseline "
+            f"{base_p99:.3f}s")
+        assert attempts <= 2 * CHAOS_REQUESTS, (
+            f"{attempts} attempts for {CHAOS_REQUESTS} offered: "
+            "amplification above 2x")
+
+        # Expired deadlines are shed at admission, never computed.
+        status, doc = post(host, port, body_for(0),
+                           headers={DEADLINE_HEADER: "0"})
+        assert status == 503 and doc["error"]["code"] == "deadline-exceeded"
+        assert coordinator.stats()["counters"]["deadline_shed"] >= 1
+        print("expired-deadline request shed at admission (503)")
+
+        # The victim woke up, still serves, and was never restarted.
+        faults.uninstall()
+        for i in range(8):
+            status, _ = post(host, port, body_for(i))
+            assert status == 200
+        workers = coordinator.stats()["workers"]
+        assert workers[victim]["status"] == "up", workers[victim]
+        assert workers[victim]["restarts"] == 0, (
+            f"supervision fired during a hedgeable wedge: {workers[victim]}")
+        print(f"worker {victim} resumed with zero restarts")
+
+        report = {
+            "schema": "repro-cluster-chaos/1",
+            "service_time": SERVICE_TIME,
+            "stall": {"p": STALL_P, "seconds": STALL_SECONDS},
+            "outage_seconds": OUTAGE,
+            "seed": SEED,
+            "baseline": {"requests": BASELINE_REQUESTS, "p99": base_p99},
+            "chaos": {
+                "requests": CHAOS_REQUESTS,
+                "ok": len(ok),
+                "shed": shed,
+                "p99": chaos_p99,
+                "p99_ratio": chaos_p99 / base_p99 if base_p99 else None,
+                "upstream_attempts": attempts,
+                "hedges": hedges,
+            },
+            "counters": after,
+        }
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {report_path}")
+    finally:
+        faults.uninstall()
+        coordinator.drain(grace=2.0)
+    print("cluster chaos: all checks passed")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -456,9 +456,13 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        max_workers=args.max_workers,
         replicas=args.replicas,
         failover_attempts=args.failover_attempts,
+        hedge=not args.no_hedge,
         hedge_after=args.hedge_after,
+        retry_budget_ratio=args.retry_budget_ratio,
+        retry_budget_cap=args.retry_budget_cap,
         health_interval=args.health_interval,
         worker_threads=args.threads,
         worker_queue_capacity=args.queue_capacity,
@@ -508,13 +512,60 @@ def _parse_stages(spec: str, mode: str):
     return stages
 
 
+def _cmd_loadtest_summarize(args: argparse.Namespace) -> None:
+    """``loadtest --summarize``: aggregate repeated report JSONs."""
+    import json
+    from pathlib import Path
+
+    from repro.loadgen import render_summary_markdown, summarize
+
+    docs = []
+    for path in args.summarize:
+        try:
+            docs.append(json.loads(Path(path).read_text()))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"loadtest: cannot read {path}: {exc}") from None
+    try:
+        summary = summarize(docs)
+    except ValueError as exc:
+        raise SystemExit(f"loadtest: {exc}") from None
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / f"{args.name}-summary.json"
+    json_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    markdown = render_summary_markdown(summary)
+    md_path = out / f"{args.name}-summary.md"
+    md_path.write_text(markdown + "\n")
+    print(markdown, flush=True)
+    print(f"wrote {json_path} and {md_path}", flush=True)
+
+
+def _parse_chaos_stall(spec: str) -> tuple[float, float]:
+    """``P:SECONDS`` (e.g. ``0.05:0.4``) for --chaos-stall."""
+    try:
+        p_text, _, seconds_text = spec.partition(":")
+        p = float(p_text)
+        seconds = float(seconds_text)
+        if not 0.0 <= p <= 1.0 or seconds < 0:
+            raise ValueError
+    except ValueError:
+        raise SystemExit(
+            f"loadtest: bad --chaos-stall {spec!r} (want P:SECONDS, "
+            "P within [0,1])"
+        ) from None
+    return p, seconds
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> None:
     import contextlib
     import tempfile
 
     from repro.cluster import ClusterConfig, ClusterCoordinator, WorkerProcess, free_port
-    from repro.loadgen import LoadDriver, Workload, write_report
+    from repro.loadgen import ChaosAction, ChaosScenario, LoadDriver, Workload, write_report
 
+    if args.summarize:
+        _cmd_loadtest_summarize(args)
+        return
     if args.service_time is not None:
         # Deterministic per-request service time via the fault plan —
         # the repo's standard way to emulate fixed compute cost (see
@@ -523,6 +574,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
 
         install(FaultPlan([FaultRule(site="serve.request", kind="slow",
                                      arg=args.service_time, times=None)]))
+    if args.chaos_stall is not None:
+        # Probabilistic proxy stalls on the launched cluster's wire
+        # path; composes with --service-time (both plans merge).
+        from repro.faults import FaultPlan, FaultRule, active, install
+
+        p, seconds = _parse_chaos_stall(args.chaos_stall)
+        plan = active() or FaultPlan(seed=args.chaos_seed)
+        plan.rules.append(FaultRule(
+            site="cluster.proxy.stall", kind="slow",
+            p=p, times=None, arg=seconds,
+        ))
+        plan.seed = args.chaos_seed
+        install(plan)
 
     stages = _parse_stages(args.stages, args.mode)
     workload = Workload(
@@ -556,6 +620,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
             driver = LoadDriver(
                 host, port, workload,
                 request_timeout=args.request_timeout + 30.0,
+                deadline=args.deadline,
                 progress=show,
             )
             results[name] = driver.run(
@@ -583,14 +648,27 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
             cluster = ClusterCoordinator(ClusterConfig(
                 port=0,
                 workers=args.cluster,
+                max_workers=args.max_workers,
                 worker_threads=args.threads,
                 worker_queue_capacity=args.queue_capacity,
                 default_timeout=args.request_timeout,
+                hedge=not args.no_hedge,
                 hedge_after=args.hedge_after,
                 cache_dir=f"{cache_dir}/cluster" if cache_dir else None,
             ))
             host, port = cluster.start()
             stack.callback(cluster.drain, 2.0)
+            if args.chaos_sigstop:
+                actions = [
+                    ChaosAction.parse(spec, kind="sigstop")
+                    for spec in args.chaos_sigstop
+                ]
+                procs = {
+                    name: state.proc
+                    for name, state in cluster._workers.items()
+                }
+                scenario = ChaosScenario(procs, actions)
+                stack.enter_context(scenario)
             drive(f"cluster-{args.cluster}", host, port,
                   f"{args.cluster}-worker cluster (threads={args.threads} each)")
 
@@ -831,6 +909,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--port", type=int, default=8350,
                            help="coordinator listen port (0 = ephemeral; "
                            "default 8350)")
+    p_cluster.add_argument("--max-workers", type=int, default=None,
+                           metavar="N",
+                           help="autoscale up to N workers under admission-"
+                           "queue pressure, reaping back to --workers after "
+                           "a sustained idle window (default: no scaling)")
+    p_cluster.add_argument("--no-hedge", action="store_true",
+                           help="disable adaptive request hedging (on by "
+                           "default at ~p95 of recent per-worker latency)")
     p_cluster.add_argument("--workers", type=int, default=4, metavar="N",
                            help="worker processes (default 4)")
     p_cluster.add_argument("--replicas", type=int, default=64, metavar="N",
@@ -840,10 +926,17 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="N", help="distinct workers tried per "
                            "request before 503 (default 2)")
     p_cluster.add_argument("--hedge-after", type=float, default=None,
-                           metavar="S", help="duplicate a straggling request "
-                           "to the ring successor after S seconds (off by "
-                           "default; safe — jobs are content-hashed and "
-                           "idempotent)")
+                           metavar="S", help="pin a static hedge delay of S "
+                           "seconds instead of the adaptive ~p95 default "
+                           "(safe — jobs are content-hashed and idempotent)")
+    p_cluster.add_argument("--retry-budget-ratio", type=float, default=0.2,
+                           metavar="R", help="retry-budget tokens deposited "
+                           "per primary attempt to a worker; retries and "
+                           "hedges aimed at it spend one (default 0.2, i.e. "
+                           "~20%% steady-state amplification)")
+    p_cluster.add_argument("--retry-budget-cap", type=float, default=10.0,
+                           metavar="N", help="retry-budget bucket size per "
+                           "worker — also the cold-start burst (default 10)")
     p_cluster.add_argument("--health-interval", type=float, default=0.5,
                            metavar="S", help="worker health-probe period "
                            "(default 0.5s)")
@@ -915,7 +1008,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="threads per launched server (default 4)")
     p_load.add_argument("--queue-capacity", type=int, default=8, metavar="N")
     p_load.add_argument("--hedge-after", type=float, default=None, metavar="S",
-                        help="enable request hedging on the launched cluster")
+                        help="pin a static hedge delay on the launched "
+                        "cluster (default: adaptive ~p95 hedging)")
+    p_load.add_argument("--no-hedge", action="store_true",
+                        help="disable hedging on the launched cluster")
+    p_load.add_argument("--max-workers", type=int, default=None, metavar="N",
+                        help="let the launched cluster autoscale up to N "
+                        "workers under admission pressure")
+    p_load.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="stamp an end-to-end X-Repro-Deadline of S "
+                        "seconds on every request; expired requests are "
+                        "shed (503), reported as 'rejected'")
+    p_load.add_argument("--chaos-sigstop", action="append", metavar="W@AT:DUR",
+                        help="SIGSTOP launched-cluster worker W at AT "
+                        "seconds for DUR seconds (repeatable), e.g. "
+                        "w0@5:2.5; the clock starts when the cluster run "
+                        "begins (warm-up included)")
+    p_load.add_argument("--chaos-stall", default=None, metavar="P:S",
+                        help="stall fraction P of coordinator->worker "
+                        "proxy exchanges for S seconds (seeded via "
+                        "--chaos-seed), e.g. 0.05:0.4")
+    p_load.add_argument("--chaos-seed", type=int, default=0, metavar="N",
+                        help="seed for probabilistic chaos draws "
+                        "(default 0)")
+    p_load.add_argument("--summarize", nargs="+", default=None,
+                        metavar="JSON",
+                        help="aggregate repeated loadtest report JSONs "
+                        "into mean +/- 95%% CI per stage and exit "
+                        "(ignores driving flags)")
     p_load.add_argument("--cache-dir", default=None,
                         help="cache directory for launched targets "
                         "(default: a throwaway tempdir)")

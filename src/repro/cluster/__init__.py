@@ -9,9 +9,13 @@ which share one lockfile-guarded on-disk result-cache tier.
   replicas, minimal remapping, failover successors);
 * :mod:`repro.cluster.worker` — one supervised worker subprocess
   (spawn, health probes, SIGKILL-and-restart);
+* :mod:`repro.cluster.resilience` — the pure policy layer: adaptive
+  (p95-tracking) hedge delays, per-worker retry budgets, queue-driven
+  autoscaling decisions, restart backoff, deadline helpers;
 * :mod:`repro.cluster.coordinator` — the routing front-end: proxying
-  with connection reuse, failover + optional hedging, health-checking
-  with ring eviction/re-admission, ``/stats`` and Prometheus
+  with connection reuse and deadline propagation, failover + adaptive
+  hedging under retry budgets, health-checking with ring
+  eviction/re-admission, autoscaling, ``/stats`` and Prometheus
   ``/metrics``.
 
 Start one with ``spp-minimize cluster`` or programmatically::
@@ -25,6 +29,14 @@ Start one with ``spp-minimize cluster`` or programmatically::
 """
 
 from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator
+from repro.cluster.resilience import (
+    DEADLINE_HEADER,
+    AdaptiveHedge,
+    AutoscalePolicy,
+    DecayingQuantileTracker,
+    RetryBudget,
+    restart_delay,
+)
 from repro.cluster.ring import HashRing
 from repro.cluster.worker import WorkerProcess, free_port
 
@@ -34,4 +46,10 @@ __all__ = [
     "HashRing",
     "WorkerProcess",
     "free_port",
+    "DEADLINE_HEADER",
+    "AdaptiveHedge",
+    "AutoscalePolicy",
+    "DecayingQuantileTracker",
+    "RetryBudget",
+    "restart_delay",
 ]

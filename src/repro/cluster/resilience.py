@@ -1,0 +1,386 @@
+"""Adaptive resilience policies for the cluster tier.
+
+SPP/ESOP minimization traffic is intrinsically heavy-tailed — a cache
+hit answers in a millisecond while the exact tier can chew its whole
+node budget — so every mechanism here is about the *tail* and about
+staying stable under overload, not about mean throughput.  Four pure,
+process-free policy pieces (the coordinator wires them to real sockets
+and processes):
+
+* :class:`DecayingQuantileTracker` — a streaming quantile estimator:
+  fixed log-spaced buckets (bounded memory, O(log buckets) observe)
+  with per-route exponential decay, so the estimate follows regime
+  changes instead of averaging over the service's whole life.
+* :class:`AdaptiveHedge` — turns the tracker's p95 into a hedge delay:
+  duplicate a request to the ring successor once it has been
+  outstanding longer than ~p95 of recent traffic.  Hedging at p95
+  prices tail insurance at ~5% duplicate load; the delay floors/caps
+  keep a cold or pathological estimate from hedging everything or
+  nothing.
+* :class:`RetryBudget` — a token bucket that caps retry/hedge
+  *amplification*: deposits accrue in proportion to a worker's primary
+  traffic, retries and hedges aimed at it spend from the bucket, so a
+  brownout degrades into bounded extra load instead of a retry storm
+  (the Finagle/SRE "retry budget" pattern).
+* :class:`AutoscalePolicy` — hysteresis over admission-queue depth and
+  shed deltas: scale up fast when queues build, scale back down only
+  after a sustained idle window.
+
+Also here: :func:`restart_delay`, capped exponential restart backoff
+with deterministic per-worker jitter (N workers crashing together must
+not restart in lockstep), and the re-export of the deadline-propagation
+helpers from :mod:`repro.serve.deadline` so cluster code has one
+resilience import surface.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Any
+
+from repro.serve.deadline import (
+    DEADLINE_HEADER,
+    DeadlineExpired,
+    format_deadline,
+    parse_deadline,
+)
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "DeadlineExpired",
+    "parse_deadline",
+    "format_deadline",
+    "ALL_ROUTES",
+    "DecayingQuantileTracker",
+    "AdaptiveHedge",
+    "RetryBudget",
+    "AutoscalePolicy",
+    "restart_delay",
+]
+
+# ~1ms .. 60s, the span of a minimization service (cache hit ..
+# budgeted exact solve).  Denser than serve.metrics.DEFAULT_BUCKETS
+# (six per decade, adjacent ratio <= 1.5): the hedge delay is read off
+# the p95 estimate, and a 2.5x bucket ratio would let the estimate —
+# and so the delay — overshoot the true p95 by up to 2.5x.
+DEFAULT_TRACKER_BUCKETS = (
+    0.001, 0.0015, 0.0022, 0.0033, 0.0047, 0.0068,
+    0.01, 0.015, 0.022, 0.033, 0.047, 0.068,
+    0.1, 0.15, 0.22, 0.33, 0.47, 0.68,
+    1.0, 1.5, 2.2, 3.3, 4.7, 6.8,
+    10.0, 15.0, 22.0, 33.0, 47.0, 60.0,
+)
+
+# Every observation lands in the route's buckets and in this synthetic
+# aggregate route, the fallback for routes without enough local samples.
+ALL_ROUTES = "__all__"
+
+
+class DecayingQuantileTracker:
+    """Streaming per-route quantiles in bounded memory.
+
+    Each route owns one fixed array of ``len(bounds) + 1`` float
+    counts (the last is the +Inf overflow bucket) — memory is
+    ``O(routes × buckets)`` and routes are LRU-capped, so the tracker
+    cannot grow with traffic.  Every ``decay_every`` observations on a
+    route, its counts are multiplied by ``decay``: a geometric fade
+    that makes the estimate track the *current* latency regime.  With
+    decay 0.9 every 16 observations, mass older than ~500 observations
+    carries under 5% weight.
+
+    Quantiles use the Prometheus ``histogram_quantile`` estimate —
+    linear interpolation inside the owning bucket — so the answer is
+    exact to within one bucket's width by construction.
+    """
+
+    def __init__(
+        self,
+        bounds: tuple[float, ...] = DEFAULT_TRACKER_BUCKETS,
+        *,
+        decay: float = 0.9,
+        decay_every: int = 16,
+        max_routes: int = 64,
+    ) -> None:
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be within (0, 1]")
+        if decay_every < 1:
+            raise ValueError("decay_every must be positive")
+        if max_routes < 1:
+            raise ValueError("max_routes must be positive")
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        self.decay = decay
+        self.decay_every = decay_every
+        self.max_routes = max_routes
+        self._lock = threading.Lock()
+        # route -> [counts..., +Inf count]; parallel dicts for the
+        # observation countdown that schedules decay.
+        self._counts: OrderedDict[str, list[float]] = OrderedDict()
+        self._until_decay: dict[str, int] = {}
+
+    def _route_counts(self, route: str) -> list[float]:
+        counts = self._counts.get(route)
+        if counts is None:
+            counts = [0.0] * (len(self.bounds) + 1)
+            self._counts[route] = counts
+            self._until_decay[route] = self.decay_every
+            while len(self._counts) > self.max_routes:
+                evicted, _ = self._counts.popitem(last=False)
+                self._until_decay.pop(evicted, None)
+        else:
+            self._counts.move_to_end(route)
+        return counts
+
+    def observe(self, route: str, seconds: float) -> None:
+        """Record one latency sample for ``route`` (and the aggregate)."""
+        seconds = max(float(seconds), 0.0)
+        index = bisect_left(self.bounds, seconds)
+        with self._lock:
+            for key in (route, ALL_ROUTES) if route != ALL_ROUTES else (route,):
+                counts = self._route_counts(key)
+                counts[index] += 1.0
+                self._until_decay[key] -= 1
+                if self._until_decay[key] <= 0:
+                    self._until_decay[key] = self.decay_every
+                    for i, value in enumerate(counts):
+                        counts[i] = value * self.decay
+
+    def samples(self, route: str) -> float:
+        """Decayed sample mass currently credited to ``route``."""
+        with self._lock:
+            counts = self._counts.get(route)
+            return sum(counts) if counts else 0.0
+
+    def quantile(self, route: str, q: float) -> float | None:
+        """Estimated ``q``-quantile for ``route``; None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            counts = self._counts.get(route)
+            if counts is None:
+                return None
+            counts = list(counts)
+        total = sum(counts)
+        if total <= 0.0:
+            return None
+        rank = q * total
+        seen = 0.0
+        for index, bucket_count in enumerate(counts):
+            if seen + bucket_count >= rank and bucket_count > 0:
+                if index >= len(self.bounds):  # +Inf overflow bucket
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                within = (rank - seen) / bucket_count
+                return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+            seen += bucket_count
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            routes = list(self._counts)
+        return {
+            "routes": len(routes),
+            "p95": {route: self.quantile(route, 0.95) for route in routes},
+        }
+
+
+class AdaptiveHedge:
+    """p95-tracking hedge delay: observed latency sets when to hedge.
+
+    ``delay(route)`` answers "how long may a request to ``route`` stay
+    outstanding before we duplicate it to the ring successor":
+    ``multiplier × p95`` of recent traffic on that route, falling back
+    to the aggregate route and then to ``initial`` until ``min_samples``
+    of decayed mass exist, always clamped to ``[min_delay, max_delay]``.
+    Hedging at p95 means ~5% of requests hedge — bounded duplicate
+    load — and the clamp floor keeps a cache-hit-dominated p95 (sub-ms)
+    from hedging every slow-but-healthy compute request.
+    """
+
+    def __init__(
+        self,
+        tracker: DecayingQuantileTracker | None = None,
+        *,
+        multiplier: float = 1.0,
+        min_delay: float = 0.05,
+        max_delay: float = 5.0,
+        initial: float = 1.0,
+        min_samples: float = 16.0,
+    ) -> None:
+        if min_delay > max_delay:
+            raise ValueError("min_delay must not exceed max_delay")
+        self.tracker = tracker or DecayingQuantileTracker()
+        self.multiplier = multiplier
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.initial = initial
+        self.min_samples = min_samples
+
+    def observe(self, route: str, seconds: float) -> None:
+        self.tracker.observe(route, seconds)
+
+    def delay(self, route: str = ALL_ROUTES) -> float:
+        p95 = None
+        for key in (route, ALL_ROUTES):
+            if self.tracker.samples(key) >= self.min_samples:
+                p95 = self.tracker.quantile(key, 0.95)
+                if p95 is not None:
+                    break
+        raw = self.initial if p95 is None else p95 * self.multiplier
+        return min(max(raw, self.min_delay), self.max_delay)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "delay": self.delay(),
+            "min_delay": self.min_delay,
+            "max_delay": self.max_delay,
+            "tracker": self.tracker.snapshot(),
+        }
+
+
+class RetryBudget:
+    """A token bucket capping retry/hedge amplification.
+
+    Primary attempts *deposit* ``ratio`` tokens (so sustained retry
+    volume is at most ``ratio`` of primary volume); each retry or hedge
+    *spends* one token, atomically, and is simply not sent when the
+    bucket is empty.  The bucket starts full (``cap``) so cold-start
+    failover works; the cap also bounds the burst a long quiet period
+    can bank.  All methods are thread-safe.
+    """
+
+    def __init__(self, *, ratio: float = 0.2, cap: float = 10.0) -> None:
+        if ratio < 0:
+            raise ValueError("ratio must be non-negative")
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        self.ratio = ratio
+        self.cap = cap
+        self._balance = cap
+        self._deposited = 0
+        self._spent = 0
+        self._denied = 0
+        self._lock = threading.Lock()
+
+    def deposit(self, n: float = 1.0) -> None:
+        """Credit ``ratio × n`` tokens for ``n`` primary attempts."""
+        with self._lock:
+            self._balance = min(self.cap, self._balance + self.ratio * n)
+            self._deposited += 1
+
+    def try_spend(self) -> bool:
+        """Take one token for a retry/hedge; False when exhausted."""
+        with self._lock:
+            if self._balance >= 1.0:
+                self._balance -= 1.0
+                self._spent += 1
+                return True
+            self._denied += 1
+            return False
+
+    @property
+    def balance(self) -> float:
+        with self._lock:
+            return self._balance
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "balance": round(self._balance, 3),
+                "cap": self.cap,
+                "ratio": self.ratio,
+                "spent": self._spent,
+                "denied": self._denied,
+            }
+
+
+class AutoscalePolicy:
+    """Queue-driven scale decisions with hysteresis.
+
+    Pure policy — feed it observations, it answers ``+1`` (spawn a
+    worker), ``-1`` (reap one) or ``0``.  Scale-up triggers the moment
+    pressure shows (admission queues deeper than ``queue_high`` waiting
+    requests per worker, or any shed movement since the last tick):
+    under overload every second of hesitation is shed traffic.
+    Scale-down waits for ``idle_after`` seconds of *continuous* calm
+    and then releases one worker at a time, so a bursty workload does
+    not thrash the fleet.  Decisions are clamped to
+    ``[min_workers, max_workers]``.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_workers: int,
+        max_workers: int,
+        queue_high: float = 1.0,
+        idle_after: float = 10.0,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError("min_workers must be positive")
+        if max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.queue_high = queue_high
+        self.idle_after = idle_after
+        self._idle_since: float | None = None
+
+    def decide(
+        self, *, now: float, workers: int, waiting: float, shed_delta: float
+    ) -> int:
+        pressured = (
+            (waiting / max(workers, 1)) >= self.queue_high or shed_delta > 0
+        )
+        if pressured:
+            self._idle_since = None
+            return 1 if workers < self.max_workers else 0
+        if waiting > 0:
+            # Some queueing but below the trigger: neither grow nor
+            # start the idle clock — hold the current fleet.
+            self._idle_since = None
+            return 0
+        if self._idle_since is None:
+            self._idle_since = now
+            return 0
+        if now - self._idle_since >= self.idle_after and workers > self.min_workers:
+            self._idle_since = now  # space successive reaps one window apart
+            return -1
+        return 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "queue_high": self.queue_high,
+            "idle_after": self.idle_after,
+        }
+
+
+def restart_delay(
+    attempt: int,
+    *,
+    base: float = 0.5,
+    cap: float = 15.0,
+    key: str = "",
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``base × 2^attempt`` capped at ``cap``, then scaled by a jitter
+    factor in ``[0.5, 1.0]`` drawn from a PRNG seeded on
+    ``(key, attempt)``.  The jitter is what breaks restart lockstep: N
+    workers crashing in the same instant (shared poison input, OOM
+    sweep) spread their respawns across half the window instead of
+    re-stampeding the machine together, while the same worker/attempt
+    pair always waits the same time — chaos tests stay reproducible.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be non-negative")
+    delay = min(base * (2.0 ** attempt), cap)
+    jitter = 0.5 + 0.5 * random.Random(f"{key}:{attempt}").random()
+    return delay * jitter

@@ -20,6 +20,7 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import signal
 import socket
 import subprocess
 import sys
@@ -122,6 +123,32 @@ class WorkerProcess:
                 self._proc.kill()
                 self._proc.wait(timeout=5.0)
         self._proc = None
+
+    def suspend(self) -> bool:
+        """SIGSTOP the worker (chaos: a wedged-but-alive process).
+
+        A stopped worker keeps its sockets open but answers nothing —
+        the nastiest failure mode for a proxy, because connections
+        neither complete nor refuse.  Returns False when the process
+        is not running (nothing to stop).
+        """
+        if not self.alive:
+            return False
+        try:
+            os.kill(self._proc.pid, signal.SIGSTOP)
+        except (OSError, ProcessLookupError):  # pragma: no cover — raced exit
+            return False
+        return True
+
+    def resume(self) -> bool:
+        """SIGCONT a suspended worker; False when it is gone."""
+        if self._proc is None:
+            return False
+        try:
+            os.kill(self._proc.pid, signal.SIGCONT)
+        except (OSError, ProcessLookupError):
+            return False
+        return True
 
     def kill(self) -> None:
         """SIGKILL immediately (crash-path restart, tests)."""

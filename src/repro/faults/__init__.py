@@ -24,7 +24,14 @@ from __future__ import annotations
 import os
 from typing import Any
 
-from repro.faults.plan import ENV_VAR, FaultPlan, FaultRule, FireKinds, MangleKinds
+from repro.faults.plan import (
+    ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    FireKinds,
+    MangleKinds,
+    NetworkKinds,
+)
 
 __all__ = [
     "ENV_VAR",
@@ -32,10 +39,12 @@ __all__ = [
     "FaultRule",
     "FireKinds",
     "MangleKinds",
+    "NetworkKinds",
     "active",
     "install",
     "uninstall",
     "maybe_fire",
+    "check",
     "mangle",
 ]
 
@@ -70,6 +79,18 @@ def maybe_fire(site: str, **ctx: Any) -> None:
     plan = active()
     if plan is not None:
         plan.maybe_fire(site, **ctx)
+
+
+def check(site: str, **ctx: Any) -> FaultRule | None:
+    """Return the first rule firing at ``site`` without executing it.
+
+    For sites whose fault semantics live at the call site (the cluster
+    proxy's network faults); usually None — one cached env lookup.
+    """
+    plan = active()
+    if plan is not None:
+        return plan.check(site, **ctx)
+    return None
 
 
 def mangle(site: str, text: str, **ctx: Any) -> str:

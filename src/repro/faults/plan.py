@@ -39,12 +39,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["ENV_VAR", "FaultRule", "FaultPlan", "FireKinds", "MangleKinds"]
+__all__ = [
+    "ENV_VAR", "FaultRule", "FaultPlan",
+    "FireKinds", "MangleKinds", "NetworkKinds",
+]
 
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 FireKinds = ("crash", "slow", "memory", "error")
 MangleKinds = ("corrupt", "truncate")
+# Kinds interpreted by the call site via FaultPlan.check (the cluster
+# proxy's network faults); maybe_fire/mangle never execute them.
+NetworkKinds = ("drop", "black_hole", "sigstop")
 
 _DEFAULT_EXIT_CODE = 86
 _CORRUPT_MARKER = "<<injected-corruption>>"
@@ -69,7 +75,7 @@ class FaultRule:
     arg: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FireKinds + MangleKinds:
+        if self.kind not in FireKinds + MangleKinds + NetworkKinds:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.p <= 1.0:
             raise ValueError(f"probability {self.p!r} outside [0, 1]")
@@ -173,6 +179,25 @@ class FaultPlan:
         return draw < rule.p
 
     # -- hooks ---------------------------------------------------------
+
+    def check(self, site: str, **ctx: Any) -> FaultRule | None:
+        """Evaluate rules at ``site`` and return the first that fires,
+        without executing its kind.
+
+        For sites whose failure semantics live at the call site rather
+        than in the rule kind — the cluster proxy's network faults
+        (``cluster.proxy.drop`` closes the upstream exchange,
+        ``.black_hole`` consumes the attempt's patience, ``.slow_worker``
+        SIGSTOPs the target) interpret the returned rule themselves,
+        using ``rule.arg`` as their duration knob.  Hit counters advance
+        exactly as for :meth:`maybe_fire`.
+        """
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(site, ctx):
+                continue
+            if self._should_fire(index, rule, self._next_hit(index)):
+                return rule
+        return None
 
     def maybe_fire(self, site: str, **ctx: Any) -> None:
         """Evaluate control-flow rules at ``site``; may not return."""

@@ -8,22 +8,34 @@ Proves the serving stack under traffic, muBench/Locust-style:
   and open-loop (fixed arrival rate) ramps with exact p50/p95/p99,
   shed-rate and server-``/stats``-delta tracking per stage;
 * :mod:`repro.loadgen.report` — ``repro-loadtest/1`` JSON + markdown
-  experiment reports for ``results/``.
+  experiment reports for ``results/``;
+* :mod:`repro.loadgen.chaos` — timed process-level faults (SIGSTOP /
+  kill on a schedule) to run *during* a staged load;
+* :mod:`repro.loadgen.summary` — mean ± 95% CI over repeated runs
+  (``spp-minimize loadtest --summarize``).
 
 Run one with ``spp-minimize loadtest`` (see ``docs/SERVING.md``).
 """
 
+from repro.loadgen.chaos import ChaosAction, ChaosScenario, proxy_stall_plan
 from repro.loadgen.driver import LoadDriver, LoadResult, Sample, Stage, StageReport
 from repro.loadgen.report import render_markdown, write_report
+from repro.loadgen.summary import mean_ci, render_summary_markdown, summarize
 from repro.loadgen.workload import Workload
 
 __all__ = [
+    "ChaosAction",
+    "ChaosScenario",
     "LoadDriver",
     "LoadResult",
     "Sample",
     "Stage",
     "StageReport",
     "Workload",
+    "mean_ci",
+    "proxy_stall_plan",
     "render_markdown",
+    "render_summary_markdown",
+    "summarize",
     "write_report",
 ]

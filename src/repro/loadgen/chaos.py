@@ -1,0 +1,163 @@
+"""Scheduled chaos during a load run: timed process-level faults.
+
+The network faults (:mod:`repro.faults` sites ``cluster.proxy.*``) are
+probabilistic — *this* module is the timeline: "SIGSTOP worker w0 two
+seconds into the stage, for 2.5 seconds" — so a chaos loadtest can
+pin exactly when the cluster is degraded and compare the latency
+distribution inside and outside that window.
+
+:class:`ChaosScenario` runs a list of :class:`ChaosAction`\\ s on a
+background thread against any objects exposing the
+:class:`~repro.cluster.worker.WorkerProcess` ``suspend``/``resume``/
+``kill`` surface (duck-typed: the loadgen package keeps its
+stdlib-only promise and never imports the cluster).  ``sigstop``
+actions always SIGCONT their worker on scenario stop, so an aborted
+run cannot leak a stopped process.
+
+:func:`proxy_stall_plan` builds the matching seeded network-fault
+plan for the coordinator's proxy path, for chaos runs that want both
+timed process faults and probabilistic wire faults.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ChaosAction", "ChaosScenario", "proxy_stall_plan"]
+
+_KINDS = ("sigstop", "kill")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One timed fault: ``kind`` against ``worker`` at ``at`` seconds.
+
+    ``duration`` only applies to ``sigstop`` (seconds until SIGCONT);
+    a ``kill`` is instantaneous and the cluster's supervisor owns the
+    recovery.
+    """
+
+    at: float
+    kind: str
+    worker: str
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+        if self.at < 0 or self.duration < 0:
+            raise ValueError("chaos times must be non-negative")
+
+    @classmethod
+    def parse(cls, spec: str, kind: str = "sigstop") -> "ChaosAction":
+        """Parse the CLI shape ``WORKER@AT[:DURATION]``, e.g. ``w0@2:2.5``."""
+        try:
+            worker, _, when = spec.partition("@")
+            if not worker or not when:
+                raise ValueError
+            at_text, _, dur_text = when.partition(":")
+            at = float(at_text)
+            duration = float(dur_text) if dur_text else 0.0
+        except ValueError:
+            raise ValueError(
+                f"chaos spec {spec!r} is not WORKER@AT[:DURATION]"
+            ) from None
+        return cls(at=at, kind=kind, worker=worker, duration=duration)
+
+
+class ChaosScenario:
+    """Run actions against named workers on a background timeline."""
+
+    def __init__(
+        self, workers: dict[str, Any], actions: list[ChaosAction]
+    ) -> None:
+        for action in actions:
+            if action.worker not in workers:
+                raise ValueError(f"chaos targets unknown worker {action.worker!r}")
+        self.workers = workers
+        self.actions = sorted(actions, key=lambda a: a.at)
+        self.fired: list[ChaosAction] = []
+        self._stop = threading.Event()
+        self._suspended: set[str] = set()
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-chaos", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        origin = time.monotonic()
+        for action in self.actions:
+            delay = action.at - (time.monotonic() - origin)
+            if delay > 0 and self._stop.wait(delay):
+                return
+            if self._stop.is_set():
+                return
+            self._fire(action)
+
+    def _fire(self, action: ChaosAction) -> None:
+        proc = self.workers[action.worker]
+        if action.kind == "sigstop":
+            if not proc.suspend():
+                return
+            with self._lock:
+                self._suspended.add(action.worker)
+
+            def _resume() -> None:
+                with self._lock:
+                    self._suspended.discard(action.worker)
+                proc.resume()
+
+            timer = threading.Timer(action.duration, _resume)
+            timer.daemon = True
+            timer.start()
+        else:  # kill
+            proc.kill()
+        self.fired.append(action)
+
+    def stop(self) -> None:
+        """End the timeline and SIGCONT anything still suspended."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._lock:
+            suspended = list(self._suspended)
+            self._suspended.clear()
+        for name in suspended:
+            self.workers[name].resume()
+
+    def __enter__(self) -> "ChaosScenario":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def proxy_stall_plan(p: float, seconds: float, seed: int = 0):
+    """A seeded fault plan stalling ``p`` of proxy exchanges ``seconds``.
+
+    Installed into the *coordinator* process (the ``cluster.proxy.stall``
+    site lives on its proxy path); returns the plan for
+    ``repro.faults.install``.
+    """
+    from repro.faults import FaultPlan, FaultRule
+
+    return FaultPlan(
+        rules=[
+            FaultRule(
+                site="cluster.proxy.stall", kind="slow",
+                p=p, times=None, arg=seconds,
+            )
+        ],
+        seed=seed,
+    )

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.loadgen.workload import Workload
+from repro.serve.deadline import DEADLINE_HEADER
 
 __all__ = ["Stage", "Sample", "StageReport", "LoadResult", "LoadDriver"]
 
@@ -80,6 +81,7 @@ class StageReport:
     requests: int
     ok: int
     shed: int
+    rejected: int      # 503s: deadline-exceeded / no reachable worker
     failed: int
     transport_errors: int
     throughput_rps: float
@@ -101,8 +103,9 @@ class StageReport:
         latencies = sorted(s.latency for s in samples if s.status != 0)
         ok = sum(1 for s in samples if 200 <= s.status < 300)
         shed = sum(1 for s in samples if s.status == 429)
+        rejected = sum(1 for s in samples if s.status == 503)
         transport = sum(1 for s in samples if s.status == 0)
-        failed = len(samples) - ok - shed - transport
+        failed = len(samples) - ok - shed - rejected - transport
         return cls(
             stage={"mode": stage.mode, "duration": stage.duration,
                    "clients": stage.clients, "rate": stage.rate},
@@ -110,6 +113,7 @@ class StageReport:
             requests=len(samples),
             ok=ok,
             shed=shed,
+            rejected=rejected,
             failed=failed,
             transport_errors=transport,
             throughput_rps=(ok / seconds) if seconds > 0 else 0.0,
@@ -133,6 +137,7 @@ class StageReport:
             "ok": self.ok,
             "shed": self.shed,
             "shed_rate": self.shed_rate,
+            "rejected": self.rejected,
             "failed": self.failed,
             "transport_errors": self.transport_errors,
             "throughput_rps": self.throughput_rps,
@@ -191,12 +196,17 @@ class LoadDriver:
         workload: Workload,
         *,
         request_timeout: float = 60.0,
+        deadline: float | None = None,
         progress: Callable[[str], None] | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.workload = workload
         self.request_timeout = request_timeout
+        # End-to-end budget stamped on every request as the
+        # X-Repro-Deadline header; the service decrements it per hop
+        # and sheds (503) what it can no longer finish in time.
+        self.deadline = deadline
         self.progress = progress or (lambda line: None)
 
     # -- plumbing ------------------------------------------------------
@@ -206,6 +216,9 @@ class LoadDriver:
     ) -> tuple[Sample, http.client.HTTPConnection | None]:
         """Fire one request, reusing ``conn`` when possible."""
         started = time.monotonic()
+        headers = {}
+        if self.deadline is not None:
+            headers[DEADLINE_HEADER] = f"{self.deadline:.6f}"
         for fresh in (False, True):
             if fresh or conn is None:
                 if conn is not None:
@@ -214,7 +227,7 @@ class LoadDriver:
                     self.host, self.port, timeout=self.request_timeout
                 )
             try:
-                conn.request("POST", "/minimize", body=body)
+                conn.request("POST", "/minimize", body=body, headers=headers)
                 response = conn.getresponse()
                 data = response.read()
                 latency = time.monotonic() - started

@@ -62,8 +62,8 @@ def render_markdown(
             f"before measurement.",
             "",
             "| stage | load | ok rps | p50 ms | p95 ms | p99 ms "
-            "| shed | failed | transport |",
-            "|---|---|---|---|---|---|---|---|---|",
+            "| shed | rejected | failed | transport |",
+            "|---|---|---|---|---|---|---|---|---|---|",
         ]
         for index, stage in enumerate(result.stages):
             spec = stage.stage
@@ -75,8 +75,8 @@ def render_markdown(
                 f"| {index + 1} | {load} × {spec['duration']:g}s "
                 f"| {stage.throughput_rps:.1f} "
                 f"| {_ms(stage.p50)} | {_ms(stage.p95)} | {_ms(stage.p99)} "
-                f"| {stage.shed_rate:.1%} | {stage.failed} "
-                f"| {stage.transport_errors} |"
+                f"| {stage.shed_rate:.1%} | {stage.rejected} "
+                f"| {stage.failed} | {stage.transport_errors} |"
             )
         lines.append("")
         cache = _cache_line(result)

@@ -1,0 +1,166 @@
+"""Cross-run statistics over repeated loadtest reports.
+
+One loadtest is one draw from a noisy distribution — thread scheduling,
+cache state and CPU contention easily move a p99 by 2x between runs —
+so performance claims need *repeats*.  This module takes N
+``repro-loadtest/1`` JSON documents from identical runs and reports,
+per run name and stage, the **mean and 95% confidence interval** of
+each headline statistic (p50/p95/p99 latency, ok throughput, shed
+rate), using the Student-t interval over the run-level values (runs
+are the independent unit here; per-request samples within a run are
+correlated, so pooling them would fake precision).
+
+Pure stdlib: the t critical values are a small table (two-sided 95%,
+df 1..30) falling back to the normal 1.96 beyond it — loadtests with
+more than 30 repeats have outgrown this tool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["mean_ci", "summarize", "render_summary_markdown"]
+
+# Two-sided 95% Student-t critical values, degrees of freedom 1..30.
+_T_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def _t_critical(df: int) -> float:
+    if df < 1:
+        raise ValueError("need at least two samples for an interval")
+    return _T_95[df - 1] if df <= len(_T_95) else 1.96
+
+
+def mean_ci(values: list[float]) -> dict[str, float | int | None]:
+    """Mean and 95% CI half-width of ``values`` (t-interval).
+
+    With one value the CI is None — an honest "we cannot say" —
+    rather than a zero-width interval.
+    """
+    n = len(values)
+    if n == 0:
+        return {"n": 0, "mean": None, "ci95": None}
+    mean = sum(values) / n
+    if n == 1:
+        return {"n": 1, "mean": mean, "ci95": None}
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = _t_critical(n - 1) * math.sqrt(variance / n)
+    return {"n": n, "mean": mean, "ci95": half}
+
+
+_STAGE_STATS = ("throughput_rps", "shed_rate")
+_LATENCY_STATS = ("p50", "p95", "p99")
+
+
+def _iter_runs(doc: dict[str, Any]):
+    """Yield ``(run_name, run_dict)`` from either report shape.
+
+    ``write_report`` wraps runs in a ``{"runs": {name: ...}}`` envelope;
+    a bare ``LoadResult.as_dict()`` document is treated as one unnamed
+    run, so both ``spp-minimize loadtest --json`` outputs summarize.
+    """
+    if "runs" in doc and isinstance(doc["runs"], dict):
+        yield from doc["runs"].items()
+    elif "stages" in doc:
+        yield "run", doc
+
+
+def summarize(docs: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate repeated ``repro-loadtest/1`` documents.
+
+    Returns ``{run_name: {"stages": [{stat: mean_ci...}]}}`` keyed the
+    way the source reports are; stages are matched by index, so the
+    documents must come from the same loadtest configuration (the stage
+    spec of the first document is carried through for labeling, and a
+    mismatched stage count raises).
+    """
+    collected: dict[str, list[list[dict[str, Any]]]] = {}
+    specs: dict[str, list[dict[str, Any]]] = {}
+    for doc in docs:
+        for name, run in _iter_runs(doc):
+            stages = run.get("stages", [])
+            if name in specs and len(stages) != len(specs[name]):
+                raise ValueError(
+                    f"run {name!r} has {len(stages)} stages in one document "
+                    f"and {len(specs[name])} in another — not repeats of "
+                    "the same loadtest"
+                )
+            specs.setdefault(name, [s.get("stage", {}) for s in stages])
+            collected.setdefault(name, [[] for _ in stages])
+            for index, stage in enumerate(stages):
+                collected[name][index].append(stage)
+    out: dict[str, Any] = {"schema": "repro-loadtest-summary/1", "runs": {}}
+    for name, per_stage in collected.items():
+        stage_rows = []
+        for index, repeats in enumerate(per_stage):
+            row: dict[str, Any] = {
+                "stage": specs[name][index],
+                "repeats": len(repeats),
+            }
+            for stat in _STAGE_STATS:
+                values = [
+                    float(r[stat]) for r in repeats
+                    if isinstance(r.get(stat), (int, float))
+                ]
+                row[stat] = mean_ci(values)
+            for stat in _LATENCY_STATS:
+                values = [
+                    float(r["latency"][stat]) for r in repeats
+                    if isinstance(r.get("latency", {}).get(stat), (int, float))
+                ]
+                row[stat] = mean_ci(values)
+            stage_rows.append(row)
+        out["runs"][name] = {"stages": stage_rows}
+    return out
+
+
+def _fmt_ms(cell: dict[str, Any]) -> str:
+    if cell["mean"] is None:
+        return "—"
+    if cell["ci95"] is None:
+        return f"{cell['mean'] * 1e3:.1f}"
+    return f"{cell['mean'] * 1e3:.1f} ± {cell['ci95'] * 1e3:.1f}"
+
+
+def _fmt(cell: dict[str, Any], scale: float = 1.0, suffix: str = "") -> str:
+    if cell["mean"] is None:
+        return "—"
+    if cell["ci95"] is None:
+        return f"{cell['mean'] * scale:.1f}{suffix}"
+    return (
+        f"{cell['mean'] * scale:.1f} ± {cell['ci95'] * scale:.1f}{suffix}"
+    )
+
+
+def render_summary_markdown(summary: dict[str, Any]) -> str:
+    """The summary as a markdown document (mirrors the report tables)."""
+    lines = ["# Loadtest summary (mean ± 95% CI across repeats)", ""]
+    for name, run in summary.get("runs", {}).items():
+        lines += [
+            f"## {name}",
+            "",
+            "| stage | load | repeats | ok rps | p50 ms | p95 ms "
+            "| p99 ms | shed % |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for index, row in enumerate(run["stages"]):
+            spec = row["stage"]
+            load = (
+                f"{spec['rate']:g} rps open" if spec.get("rate")
+                else f"{spec.get('clients', '?')} clients closed"
+            )
+            lines.append(
+                f"| {index + 1} | {load} × {spec.get('duration', 0):g}s "
+                f"| {row['repeats']} "
+                f"| {_fmt(row['throughput_rps'])} "
+                f"| {_fmt_ms(row['p50'])} | {_fmt_ms(row['p95'])} "
+                f"| {_fmt_ms(row['p99'])} "
+                f"| {_fmt(row['shed_rate'], scale=100.0)} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -129,11 +129,12 @@ class AdmissionQueue:
 
     # -- introspection -------------------------------------------------
 
-    def snapshot(self) -> dict[str, int | bool]:
+    def snapshot(self) -> dict[str, int | float | bool]:
         with self._lock:
             return {
                 "workers": self.workers,
                 "capacity": self.capacity,
+                "retry_after": self.retry_after,
                 "active": self._active,
                 "waiting": self._waiting,
                 "admitted": self._admitted,

@@ -1,0 +1,65 @@
+"""End-to-end deadline propagation over the ``X-Repro-Deadline`` header.
+
+A client that can only use a result for the next N seconds says so once,
+and every hop honors it: the header carries the **remaining seconds**
+(a decimal float, not a wall-clock timestamp — no clock synchronization
+needed between client, coordinator and workers).  The coordinator pins
+the deadline to its monotonic clock on receipt, re-derives the remaining
+time before every proxy attempt (so each hop *and each retry/hedge*
+forwards a smaller value), and a request whose deadline has already
+passed is **shed** — HTTP 503 with ``Retry-After`` — instead of
+computed, at whichever hop first notices.  Inside a worker the remaining
+time also caps the request's :class:`repro.budget.Budget`, so a
+computation can never outlive the client's interest in its answer.
+
+This module is deliberately tiny and stdlib-only so both the serve layer
+and the cluster layer can import it without cycles; the cluster-facing
+surface re-exports it from :mod:`repro.cluster.resilience`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EXIT_BUDGET, ReproError
+
+__all__ = ["DEADLINE_HEADER", "DeadlineExpired", "parse_deadline", "format_deadline"]
+
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+
+class DeadlineExpired(ReproError):
+    """The request's end-to-end deadline passed before work started.
+
+    Mapped to HTTP 503 + ``Retry-After`` by the serving layers: the
+    request was *shed*, not failed — the client already stopped caring,
+    so the only wrong answer is to burn a worker slot computing one.
+    """
+
+    exit_code = EXIT_BUDGET
+    code = "deadline-exceeded"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def parse_deadline(value: str | None) -> float | None:
+    """Remaining seconds from a raw header value, or None.
+
+    Malformed values are treated as absent rather than rejected — a
+    deadline is advisory resilience metadata, and refusing the request
+    over a bad header would invert its purpose.
+    """
+    if value is None:
+        return None
+    try:
+        remaining = float(value)
+    except ValueError:
+        return None
+    if remaining != remaining or remaining in (float("inf"), float("-inf")):
+        return None
+    return remaining
+
+
+def format_deadline(remaining: float) -> str:
+    """Header value for ``remaining`` seconds (floored at zero)."""
+    return f"{max(remaining, 0.0):.6f}"

@@ -51,6 +51,7 @@ from repro.engine.scheduler import run_batch
 from repro.errors import Overloaded, ParseError, ReproError, UsageError
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import RungBreaker
+from repro.serve.deadline import DEADLINE_HEADER, DeadlineExpired, parse_deadline
 from repro.serve.metrics import LatencyHistogram, Metric, render_metrics
 from repro.serve.watchdog import MemoryWatchdog
 
@@ -187,6 +188,7 @@ class MinimizeService:
             "failed": 0,
             "budget_exceeded": 0,
             "cancelled": 0,
+            "deadline_shed": 0,
         }
 
     # -- watchdog callbacks --------------------------------------------
@@ -203,14 +205,31 @@ class MinimizeService:
 
     # -- request parsing -----------------------------------------------
 
-    def _budget_from(self, payload: dict[str, Any]) -> Budget:
+    def _budget_from(
+        self, payload: dict[str, Any], cap: float | None = None
+    ) -> Budget:
         cfg = self.config
         seconds = float(payload.get("budget_seconds", cfg.default_budget))
         seconds = min(max(seconds, 0.001), cfg.max_budget)
+        if cap is not None:
+            # The propagated end-to-end deadline wins over whatever the
+            # payload asked for: a result the client will never read is
+            # pure waste.
+            seconds = min(seconds, max(cap, 0.001))
         memory_mb = payload.get("memory_mb")
         return Budget(
             seconds=seconds,
             memory_mb=float(memory_mb) if memory_mb is not None else None,
+        )
+
+    def _shed_deadline(self, remaining: float) -> None:
+        """Refuse a request whose end-to-end deadline already passed."""
+        with self._stats_lock:
+            self._counters["deadline_shed"] += 1
+        raise DeadlineExpired(
+            f"end-to-end deadline expired {-remaining:.3f}s ago; "
+            "shedding instead of computing",
+            retry_after=self.config.retry_after,
         )
 
     def _gate_from(self, payload: dict[str, Any]):
@@ -231,23 +250,39 @@ class MinimizeService:
 
     # -- the one real endpoint -----------------------------------------
 
-    def handle_minimize(self, payload: dict[str, Any]) -> tuple[int, dict]:
+    def handle_minimize(
+        self, payload: dict[str, Any], deadline: float | None = None
+    ) -> tuple[int, dict]:
         """Run one minimization request; returns (HTTP status, body).
 
         Raises :class:`Overloaded` when shed — the HTTP layer maps it
-        to 429 + ``Retry-After``.
+        to 429 + ``Retry-After`` — and :class:`DeadlineExpired` (503 +
+        ``Retry-After``) when the propagated end-to-end ``deadline``
+        (seconds remaining, from ``X-Repro-Deadline``) has already
+        passed: such a request is shed *before* it costs a worker slot
+        any compute, and a live deadline caps the request budget so the
+        computation cannot outlive the client's interest.
         """
+        received = time.monotonic()
         with self._stats_lock:
             self._counters["requests"] += 1
+        if deadline is not None and deadline <= 0:
+            self._shed_deadline(deadline)
         jobs = jobs_from_payload(payload)
-        budget = self._budget_from(payload)
         timeout = float(payload.get("timeout", self.config.default_timeout))
         started = time.monotonic()
         with self.admission.admit():
+            remaining = None
+            if deadline is not None:
+                # The wait for an admission slot ran on the clock too.
+                remaining = deadline - (time.monotonic() - received)
+                if remaining <= 0:
+                    self._shed_deadline(remaining)
             # Chaos/loadtest hook: a ``slow`` rule here injects a
             # deterministic service time into every admitted request —
             # including cache hits, which never reach a ladder rung.
             faults.maybe_fire("serve.request")
+            budget = self._budget_from(payload, cap=remaining)
             request_id = self._register(budget)
             try:
                 result = run_batch(
@@ -599,8 +634,14 @@ def _make_handler(service: MinimizeService):
             except (ValueError, TypeError):
                 self._error(400, "parse", "request body is not valid JSON")
                 return
+            deadline = parse_deadline(self.headers.get(DEADLINE_HEADER))
             try:
-                status, body = service.handle_minimize(payload)
+                status, body = service.handle_minimize(payload, deadline)
+            except DeadlineExpired as exc:
+                self._error(
+                    503, exc.code, str(exc),
+                    **{"Retry-After": str(exc.retry_after)},
+                )
             except Overloaded as exc:
                 self._error(
                     429, exc.code, str(exc),

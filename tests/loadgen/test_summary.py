@@ -1,0 +1,183 @@
+"""Tests for the loadtest summarizer and the chaos timeline."""
+
+from __future__ import annotations
+
+import copy
+import math
+import time
+
+import pytest
+
+from repro.loadgen import (
+    ChaosAction,
+    ChaosScenario,
+    Sample,
+    Stage,
+    StageReport,
+    mean_ci,
+    proxy_stall_plan,
+    render_summary_markdown,
+    summarize,
+)
+
+
+def _stage_doc(p50=0.01, p95=0.05, p99=0.09, rps=10.0, shed=0.0):
+    return {
+        "stage": {"mode": "closed", "clients": 4, "duration": 10, "rate": None},
+        "throughput_rps": rps,
+        "shed_rate": shed,
+        "latency": {"p50": p50, "p95": p95, "p99": p99},
+    }
+
+
+def _doc(*stages, name="run"):
+    return {"schema": "repro-loadtest/1",
+            "runs": {name: {"stages": list(stages)}}}
+
+
+class TestMeanCI:
+    def test_empty(self):
+        assert mean_ci([]) == {"n": 0, "mean": None, "ci95": None}
+
+    def test_single_value_has_no_interval(self):
+        cell = mean_ci([4.2])
+        assert cell["mean"] == pytest.approx(4.2)
+        assert cell["ci95"] is None
+
+    def test_known_t_interval(self):
+        # n=3, mean 2, sample sd 1: half-width = t(df=2) * 1/sqrt(3).
+        cell = mean_ci([1.0, 2.0, 3.0])
+        assert cell["mean"] == pytest.approx(2.0)
+        assert cell["ci95"] == pytest.approx(4.303 / math.sqrt(3))
+
+    def test_identical_values_zero_width(self):
+        assert mean_ci([5.0, 5.0, 5.0])["ci95"] == pytest.approx(0.0)
+
+    def test_interval_narrows_with_repeats(self):
+        wide = mean_ci([1.0, 3.0])["ci95"]
+        narrow = mean_ci([1.0, 3.0] * 8)["ci95"]
+        assert narrow < wide
+
+
+class TestSummarize:
+    def test_aggregates_repeats_per_stage(self):
+        a = _doc(_stage_doc(rps=10.0))
+        b = _doc(_stage_doc(rps=14.0))
+        summary = summarize([a, b])
+        row = summary["runs"]["run"]["stages"][0]
+        assert row["repeats"] == 2
+        assert row["throughput_rps"]["mean"] == pytest.approx(12.0)
+        assert row["p95"]["n"] == 2
+
+    def test_bare_loadresult_document_counts_as_one_run(self):
+        bare = {"schema": "repro-loadtest/1", "stages": [_stage_doc()]}
+        summary = summarize([bare, copy.deepcopy(bare)])
+        assert summary["runs"]["run"]["stages"][0]["repeats"] == 2
+
+    def test_mismatched_stage_counts_raise(self):
+        with pytest.raises(ValueError, match="not repeats"):
+            summarize([_doc(_stage_doc()),
+                       _doc(_stage_doc(), _stage_doc())])
+
+    def test_markdown_renders_ci(self):
+        summary = summarize([_doc(_stage_doc(rps=10.0)),
+                             _doc(_stage_doc(rps=14.0))])
+        text = render_summary_markdown(summary)
+        assert "12.0 ± " in text
+        assert "4 clients closed" in text
+
+
+class TestRejectedBucket:
+    def test_503_is_rejected_not_failed(self):
+        samples = [
+            Sample(0.0, 0.01, 200),
+            Sample(0.0, 0.01, 429),
+            Sample(0.0, 0.01, 503, "deadline-exceeded"),
+            Sample(0.0, 0.01, 500),
+            Sample(0.0, 0.0, 0, "transport"),
+        ]
+        report = StageReport.from_samples(Stage(1.0), samples, 1.0)
+        assert report.ok == 1
+        assert report.shed == 1
+        assert report.rejected == 1
+        assert report.failed == 1
+        assert report.transport_errors == 1
+        assert report.as_dict()["rejected"] == 1
+
+
+class _FakeProc:
+    def __init__(self):
+        self.events = []
+        self.suspended = False
+
+    def suspend(self):
+        self.suspended = True
+        self.events.append("stop")
+        return True
+
+    def resume(self):
+        self.suspended = False
+        self.events.append("cont")
+        return True
+
+    def kill(self):
+        self.events.append("kill")
+
+
+class TestChaos:
+    def test_parse(self):
+        action = ChaosAction.parse("w2@1.5:0.75")
+        assert action == ChaosAction(at=1.5, kind="sigstop",
+                                     worker="w2", duration=0.75)
+        assert ChaosAction.parse("w0@3").duration == 0.0
+
+    @pytest.mark.parametrize("bad", ["", "w0", "@3", "w0@", "w0@x:y"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ChaosAction.parse(bad)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ChaosAction(at=0.0, kind="meteor", worker="w0")
+
+    def test_unknown_worker_rejected(self):
+        with pytest.raises(ValueError, match="unknown worker"):
+            ChaosScenario({}, [ChaosAction(0.0, "sigstop", "w9")])
+
+    def test_scenario_fires_and_resumes(self):
+        proc = _FakeProc()
+        scenario = ChaosScenario(
+            {"w0": proc},
+            [ChaosAction(at=0.0, kind="sigstop", worker="w0", duration=0.05)],
+        )
+        with scenario:
+            deadline = time.monotonic() + 5.0
+            while not proc.events and time.monotonic() < deadline:
+                time.sleep(0.01)
+            while (proc.suspended
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+        assert proc.events[0] == "stop"
+        assert "cont" in proc.events
+        assert not proc.suspended
+        assert scenario.fired
+
+    def test_stop_resumes_leftover_suspensions(self):
+        proc = _FakeProc()
+        scenario = ChaosScenario(
+            {"w0": proc},
+            [ChaosAction(at=0.0, kind="sigstop", worker="w0", duration=60.0)],
+        )
+        scenario.start()
+        deadline = time.monotonic() + 5.0
+        while not proc.suspended and time.monotonic() < deadline:
+            time.sleep(0.01)
+        scenario.stop()  # aborts the 60s suspension immediately
+        assert not proc.suspended
+
+    def test_proxy_stall_plan_shape(self):
+        plan = proxy_stall_plan(0.05, 0.4, seed=7)
+        (rule,) = plan.rules
+        assert rule.site == "cluster.proxy.stall"
+        assert rule.p == 0.05 and rule.arg == 0.4
+        assert plan.seed == 7

@@ -11,6 +11,7 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
@@ -48,11 +49,11 @@ def service():
         svc.drain(grace=0.0)
 
 
-def _request(port: int, method: str, path: str, payload=None):
+def _request(port: int, method: str, path: str, payload=None, headers=None):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
     try:
         body = json.dumps(payload) if payload is not None else None
-        conn.request(method, path, body=body)
+        conn.request(method, path, body=body, headers=headers or {})
         response = conn.getresponse()
         data = json.loads(response.read() or b"{}")
         return response.status, dict(response.getheaders()), data
@@ -64,8 +65,8 @@ def _get(port, path):
     return _request(port, "GET", path)
 
 
-def _post(port, payload):
-    return _request(port, "POST", "/minimize", payload)
+def _post(port, payload, headers=None):
+    return _request(port, "POST", "/minimize", payload, headers)
 
 
 class TestEndpoints:
@@ -241,3 +242,50 @@ class TestBreakerIntegration:
         assert status == 200
         assert body["results"][0]["rung"] != "exact"
         assert svc.stats()["breaker"]["skips"] >= 1
+
+
+class TestDeadlinePropagation:
+    """The worker end of X-Repro-Deadline: shed expired work unrun."""
+
+    def test_expired_deadline_is_shed_before_compute(self, service):
+        svc, port = service()
+        status, headers, body = _post(
+            port, {"pla": PLA}, headers={"X-Repro-Deadline": "0"}
+        )
+        assert status == 503
+        assert body["error"]["code"] == "deadline-exceeded"
+        assert "Retry-After" in headers
+        assert svc.stats()["counters"]["deadline_shed"] == 1
+        # Never computed: no request ever completed (or even failed) —
+        # the shed happened before any minimization work.
+        counters = svc.stats()["counters"]
+        assert counters["completed"] == 0 and counters["failed"] == 0
+
+    def test_live_deadline_caps_the_request_budget(self, service):
+        svc, port = service(default_budget=30.0)
+        faults.install(FaultPlan(
+            [FaultRule(site="scheduler.rung_start", kind="slow",
+                       arg=30.0, times=None)]
+        ))
+        started = time.monotonic()
+        status, _, body = _post(
+            port, {"pla": PLA, "timeout": 10.0},
+            headers={"X-Repro-Deadline": "1.0"},
+        )
+        elapsed = time.monotonic() - started
+        # The 1s propagated deadline overrode both the 30s default
+        # budget and the 10s requested rung timeout: the stalled rung
+        # was abandoned around the deadline with the structured
+        # budget-exceeded outcome instead of grinding on for 10s+.
+        assert status == 408
+        assert body["error"]["code"] == "budget-exceeded"
+        assert body["results"][0]["source"] == "cancelled"
+        assert elapsed < 8.0, elapsed
+
+    def test_malformed_deadline_is_ignored(self, service):
+        _, port = service()
+        status, _, body = _post(
+            port, {"pla": PLA}, headers={"X-Repro-Deadline": "not-a-number"}
+        )
+        assert status == 200
+        assert body["ok"]
