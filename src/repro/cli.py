@@ -13,6 +13,7 @@
     spp-minimize serve --port 8351 --threads 4 --queue-capacity 8
     spp-minimize cluster --workers 4 --cache-dir .spp-cache
     spp-minimize loadtest --cluster 4 --compare-single --out results
+    spp-minimize fuzz --seed 1 --budget 60
 
 (`python -m repro ...` is equivalent.)
 """
@@ -432,6 +433,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         cache_entries=args.cache_entries,
         cache_dir=args.cache_dir,
         max_disk_entries=args.max_disk_entries,
+        audit_rate=args.audit_rate,
+        shadow_rate=args.shadow_rate,
         manifest_dir=args.manifest_dir,
         drain_grace=args.drain_grace,
         parent_pid=args.parent_pid,
@@ -471,6 +474,8 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
         cache_entries=args.cache_entries,
         cache_dir=args.cache_dir,
         max_disk_entries=args.max_disk_entries,
+        audit_rate=args.audit_rate,
+        shadow_rate=args.shadow_rate,
     )
     cluster = ClusterCoordinator(config)
     host, port = cluster.start()
@@ -727,6 +732,49 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
     print(f"wrote {json_path} and {md_path}", flush=True)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> None:
+    from repro.errors import IntegrityError
+    from repro.fuzz import replay_artifact, run_fuzz
+
+    if args.replay:
+        failures = replay_artifact(args.replay)
+        if failures:
+            for failure in failures:
+                print(f"[{failure.check}] {failure.rung}: {failure.message}",
+                      file=sys.stderr)
+            raise IntegrityError(
+                f"replay reproduced {len(failures)} failure(s) "
+                f"from {args.replay}",
+                detail={"failures": [f.check for f in failures]},
+            )
+        print(f"replay clean: {args.replay}")
+        return
+
+    families = args.families.split(",") if args.families else None
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        max_trials=args.trials,
+        n_min=args.n_min,
+        n_max=args.n_max,
+        families=families,
+        plant_bug=args.plant_bug,
+        out_dir=args.out,
+        rung_budget=args.rung_budget,
+        log=print,
+    )
+    mix = ", ".join(f"{k}={v}" for k, v in sorted(report.family_counts.items()))
+    print(f"fuzz: {report.trials} trials in {report.elapsed_seconds:.1f}s "
+          f"(seed {report.seed}; {mix})")
+    if report.failures:
+        raise IntegrityError(
+            f"{len(report.failures)} failing trial(s); "
+            f"replayable artifacts under {args.out}",
+            detail={"artifacts": [f["path"] for f in report.failures]},
+        )
+    print("fuzz: all checks passed")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spp-minimize",
@@ -885,6 +933,13 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N", help="cap on disk cache entries; "
                          "oldest are pruned under a cross-process lock "
                          "(default: unbounded)")
+    p_serve.add_argument("--audit-rate", type=int, default=16, metavar="N",
+                         help="verify-on-read: re-verify every Nth disk-cache "
+                         "load against its spec (0 disables sampling; "
+                         "salt-stale records are always audited; default 16)")
+    p_serve.add_argument("--shadow-rate", type=int, default=8, metavar="N",
+                         help="shadow-verify every Nth response off the hot "
+                         "path (0 disables; default 8)")
     p_serve.add_argument("--manifest-dir", default=None,
                          help="journal-backed manifest directory")
     p_serve.add_argument("--drain-grace", type=float, default=10.0,
@@ -959,6 +1014,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--max-disk-entries", type=int, default=None,
                            metavar="N", help="cap on shared disk cache "
                            "entries (default: unbounded)")
+    p_cluster.add_argument("--audit-rate", type=int, default=16, metavar="N",
+                           help="per-worker verify-on-read sampling "
+                           "(default 16; 0 disables)")
+    p_cluster.add_argument("--shadow-rate", type=int, default=8, metavar="N",
+                           help="per-worker shadow-verification sampling "
+                           "(default 8; 0 disables)")
     p_cluster.set_defaults(handler=_cmd_cluster)
 
     p_load = sub.add_parser(
@@ -1053,6 +1114,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="extra note appended to the report "
                         "(repeatable)")
     p_load.set_defaults(handler=_cmd_loadtest)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential/metamorphic fuzzing of the engine rungs",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (fully determines the corpus)")
+    p_fuzz.add_argument("--budget", type=float, default=60.0, metavar="S",
+                        help="time budget in seconds (default 60)")
+    p_fuzz.add_argument("--trials", type=int, default=None, metavar="N",
+                        help="hard cap on trial count (default: budget-bound)")
+    p_fuzz.add_argument("--n-min", type=int, default=3, metavar="N",
+                        help="minimum input width (default 3)")
+    p_fuzz.add_argument("--n-max", type=int, default=6, metavar="N",
+                        help="maximum input width (default 6)")
+    p_fuzz.add_argument("--families", default=None, metavar="LIST",
+                        help="comma-separated family subset "
+                        "(dense,sparse,arith-like,dc-heavy; default all)")
+    p_fuzz.add_argument("--plant-bug", choices=("drop-cover",), default=None,
+                        help="mutate one rung's output before checking — "
+                        "proves the harness detects and shrinks a wrong "
+                        "cover (testing/CI)")
+    p_fuzz.add_argument("--rung-budget", type=float, default=5.0, metavar="S",
+                        help="per-minimizer-call budget in seconds; a rung "
+                        "that runs out is skipped (default 5)")
+    p_fuzz.add_argument("--out", default="results/fuzz", metavar="DIR",
+                        help="artifact directory (default results/fuzz)")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run a failure artifact instead of fuzzing")
+    p_fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 
@@ -1060,8 +1151,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point.  Structured errors (:mod:`repro.errors`) become a
     clean one-line message plus their taxonomy exit code: 2 usage /
     verification, 3 parse, 4 corrupt record, 5 quarantined, 6 budget
-    exceeded, 7 cancelled, 8 overloaded, 1 batch failures, 70
-    internal."""
+    exceeded, 7 cancelled, 8 overloaded, 9 integrity, 1 batch
+    failures, 70 internal."""
     args = build_parser().parse_args(argv)
     try:
         args.handler(args)

@@ -131,6 +131,8 @@ class ClusterConfig:
     cache_entries: int = 1024
     cache_dir: str | None = None     # the *shared* disk tier
     max_disk_entries: int | None = None
+    audit_rate: int = 16             # workers' verify-on-read sampling
+    shadow_rate: int = 8             # workers' shadow-verification sampling
     extra_serve_args: list[str] = field(default_factory=list)
 
 
@@ -231,6 +233,8 @@ class ClusterCoordinator:
             "--default-timeout", str(cfg.default_timeout),
             "--default-budget", str(cfg.default_budget),
             "--cache-entries", str(cfg.cache_entries),
+            "--audit-rate", str(cfg.audit_rate),
+            "--shadow-rate", str(cfg.shadow_rate),
         ]
         if cfg.cache_dir is not None:
             args += ["--cache-dir", str(cfg.cache_dir)]
@@ -576,6 +580,11 @@ class ClusterCoordinator:
                 retry_after = response.getheader("Retry-After")
                 if retry_after is not None:
                     out_headers["Retry-After"] = retry_after
+                # Integrity travels end to end: the worker's certificate
+                # level reaches the client unchanged.
+                verified = response.getheader("X-Repro-Verified")
+                if verified is not None:
+                    out_headers["X-Repro-Verified"] = verified
                 with self._workers_lock:
                     state.requests += 1
                 self._pool_put(name, conn)

@@ -37,16 +37,50 @@ exposed via :class:`CacheStats` for the CLI summary and the tests.
 
 from __future__ import annotations
 
+import json
 import os
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
+from repro import faults
+from repro.engine.job import _SOLVER_VERSION
 from repro.engine.lockfile import FileLock, LockTimeout
-from repro.serialize import dump_json_file, load_json_file
+from repro.errors import IntegrityError
+from repro.integrity import check_certificate
+from repro.serialize import dump_json_file, form_from_dict, load_json_file
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.boolfunc.function import BoolFunc
 
 __all__ = ["CacheStats", "ResultCache"]
+
+
+def _corrupt_payload(path: Path) -> None:
+    """The ``cache.disk.corrupt_payload`` fault: checksum-valid bit-rot.
+
+    Re-reads the just-written record, drops the last pseudoproduct of
+    the stored form (so the form no longer covers its spec), and
+    re-wraps a **fresh** checksum envelope before writing the file
+    back.  The result decodes cleanly and passes its checksum — the
+    corruption is purely semantic, the case only verify-on-read
+    auditing (or a shadow verification downstream) can catch.
+    """
+    try:
+        raw = json.loads(path.read_text(encoding="ascii"))
+    except (OSError, ValueError):  # pragma: no cover — racing prune
+        return
+    payload = raw.get("payload") if isinstance(raw, dict) else None
+    if not isinstance(payload, dict):
+        payload = raw if isinstance(raw, dict) else None
+    if payload is None:
+        return
+    form = payload.get("form")
+    if not isinstance(form, dict) or not form.get("pseudoproducts"):
+        return
+    form["pseudoproducts"] = form["pseudoproducts"][:-1]
+    dump_json_file(path, payload, checksum=True, fsync=True)
 
 
 @dataclass
@@ -60,6 +94,8 @@ class CacheStats:
     evictions: int = 0
     disk_evictions: int = 0  # disk-tier records pruned by this process
     corrupt: int = 0     # disk records quarantined on failed load
+    audited: int = 0     # disk loads re-verified against their spec
+    audit_mismatches: int = 0  # audits that failed (record quarantined)
 
     @property
     def total_hits(self) -> int:
@@ -78,6 +114,11 @@ class CacheStats:
             text += f", {self.disk_evictions} disk-pruned"
         if self.corrupt:
             text += f", {self.corrupt} corrupt quarantined"
+        if self.audited:
+            text += (
+                f", {self.audited} audited"
+                f" ({self.audit_mismatches} mismatches)"
+            )
         return text
 
 
@@ -94,17 +135,22 @@ class ResultCache:
         cache_dir: str | Path | None = None,
         *,
         max_disk_entries: int | None = None,
+        audit_rate: int = 16,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         if max_disk_entries is not None and max_disk_entries < 1:
             raise ValueError("max_disk_entries must be positive")
+        if audit_rate < 0:
+            raise ValueError("audit_rate must be non-negative")
         self.max_entries = max_entries
         self.max_disk_entries = max_disk_entries
+        self.audit_rate = audit_rate
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.stats = CacheStats()
         self._lru: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._stores_since_prune = 0
+        self._audit_tick = 0
 
     # ------------------------------------------------------------------
 
@@ -127,8 +173,21 @@ class ResultCache:
             return None
         return FileLock(self.cache_dir / ".maintenance.lock", timeout=timeout)
 
-    def get(self, key: str) -> dict[str, Any] | None:
-        """Look up a record; None on miss (corrupt entries quarantined)."""
+    def get(self, key: str, func: "BoolFunc | None" = None) -> dict[str, Any] | None:
+        """Look up a record; None on miss (corrupt entries quarantined).
+
+        With ``func`` (the trusted specification for ``key``), disk
+        loads go through **verify-on-read auditing**: every
+        ``audit_rate``-th disk hit — and *every* record whose integrity
+        envelope is missing or stamped with a different solver salt —
+        is independently re-verified against the spec before being
+        returned.  A record that fails its audit is quarantined and
+        reported as a miss, so a checksum-valid but semantically wrong
+        record (bit-rot inside the payload, a buggy writer) costs a
+        recompute, never a wrong answer.  In-memory hits are not
+        re-audited: LRU entries were either produced (and verified) by
+        this process or audited when first promoted from disk.
+        """
         record = self._lru.get(key)
         if record is not None:
             self._lru.move_to_end(key)
@@ -141,6 +200,8 @@ class ResultCache:
             except ValueError:
                 self._quarantine(path)
                 record = None
+            if record is not None and func is not None:
+                record = self._audit(path, record, func)
             if record is not None:
                 self.stats.disk_hits += 1
                 self._insert(key, record)
@@ -155,11 +216,26 @@ class ResultCache:
         path = self.path_for(key)
         if path is not None:
             dump_json_file(path, record, checksum=True, fsync=True, site="cache.put")
+            if faults.check("cache.disk.corrupt_payload", label=key) is not None:
+                _corrupt_payload(path)
             if self.max_disk_entries is not None:
                 self._stores_since_prune += 1
                 if self._stores_since_prune >= self._PRUNE_EVERY:
                     self._stores_since_prune = 0
                     self.prune_disk()
+
+    def quarantine_key(self, key: str) -> None:
+        """Purge ``key`` from both tiers after a failed downstream audit.
+
+        Shadow verification runs *after* a response went out; what it
+        can still do is make sure the wrong record is never served
+        again: drop the LRU entry and quarantine the disk file so the
+        next request recomputes.
+        """
+        self._lru.pop(key, None)
+        path = self.path_for(key)
+        if path is not None and path.is_file():
+            self._quarantine(path)
 
     def disk_entries(self) -> list[Path]:
         """Every record file in the disk tier (unsorted)."""
@@ -236,6 +312,44 @@ class ResultCache:
         return key in self._lru
 
     # ------------------------------------------------------------------
+
+    def _audit(
+        self, path: Path, record: dict[str, Any], func: "BoolFunc"
+    ) -> dict[str, Any] | None:
+        """Verify-on-read: maybe re-check a disk record against its spec.
+
+        Sampling is a simple round-robin over disk loads (every
+        ``audit_rate``-th; ``audit_rate=1`` audits everything, ``0``
+        disables sampling), but a record whose envelope is missing or
+        carries a stale solver salt is **always** audited — those are
+        exactly the records whose producer this build cannot vouch for.
+        Returns the record (envelope refreshed) or None after
+        quarantining a failed audit.
+        """
+        cert = record.get("integrity")
+        stale = cert is None or cert.get("solver_salt") != _SOLVER_VERSION
+        self._audit_tick += 1
+        sampled = self.audit_rate > 0 and self._audit_tick % self.audit_rate == 0
+        if not stale and not sampled:
+            return record
+        self.stats.audited += 1
+        try:
+            form = form_from_dict(record["form"])
+            refreshed = check_certificate(
+                record, func, form, expected_salt=_SOLVER_VERSION
+            )
+        except IntegrityError:
+            self.stats.audit_mismatches += 1
+            self._quarantine(path)
+            return None
+        except (KeyError, TypeError, ValueError):
+            # Record shape too mangled to even extract a form: same
+            # treatment as a failed checksum.
+            self.stats.audit_mismatches += 1
+            self._quarantine(path)
+            return None
+        record["integrity"] = refreshed
+        return record
 
     def _quarantine(self, path: Path) -> None:
         """Move an unreadable record aside; never raises.

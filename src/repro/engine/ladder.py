@@ -21,7 +21,9 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.budget import Budget
-from repro.engine.job import Job, job_to_dict
+from repro.engine.job import _SOLVER_VERSION, Job, job_to_dict
+from repro.errors import IntegrityError
+from repro.integrity import VERIFIED_FULL, make_certificate, report_to_dict
 from repro.minimize.bounded import minimize_spp_bounded
 from repro.minimize.exact import minimize_spp
 from repro.minimize.heuristic import minimize_spp_k
@@ -136,14 +138,29 @@ def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str
         candidates = result.num_candidates
         if result.covering_stats is not None:
             extras["covering"] = result.covering_stats
+    v0 = time.perf_counter()
     report = verify_form(form, func)
+    verify_ms = (time.perf_counter() - v0) * 1000.0
     if not report:
-        raise AssertionError(
+        raise IntegrityError(
             f"rung {rung.name} produced a wrong cover: "
             f"misses {len(report.uncovered_on_points)} on-points, "
             f"covers {len(report.covered_off_points)} off-points"
-            + (" (scan truncated)" if report.truncated else "")
+            + (" (scan truncated)" if report.truncated else ""),
+            report=report,
+            detail={
+                "rung": rung.name,
+                "counterexamples": report_to_dict(report),
+            },
         )
+    certificate = make_certificate(
+        func,
+        form,
+        solver_salt=_SOLVER_VERSION,
+        claimed_cost=form.num_literals,
+        verified=VERIFIED_FULL,
+        verify_ms=verify_ms,
+    )
     return {
         "version": RECORD_VERSION,
         "kind": "engine_record",
@@ -156,5 +173,6 @@ def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str
         "optimal": optimal,
         "truncated": truncated,
         "form": form_to_dict(form),
+        "integrity": certificate,
         "extras": extras,
     }

@@ -62,7 +62,7 @@ from repro.engine.batch import (
 from repro.engine.cache import ResultCache
 from repro.engine.job import Job
 from repro.engine.ladder import Rung, execute_rung, ladder_for
-from repro.errors import BudgetExceeded, Cancelled
+from repro.errors import BudgetExceeded, Cancelled, IntegrityError
 
 __all__ = ["DeadlineExceeded", "run_batch", "parallel_map"]
 
@@ -184,6 +184,17 @@ def _run_rung_task(
         return {"status": "timeout", "seconds": time.perf_counter() - t0}
     except MemoryError:
         return {"status": "memory", "seconds": time.perf_counter() - t0}
+    except IntegrityError as exc:
+        # A rung produced a wrong cover (or a mismatched certificate):
+        # record the structured counterexamples — serving layers surface
+        # them in error bodies — and degrade to the next rung like any
+        # other per-attempt failure.
+        return {
+            "status": "integrity",
+            "seconds": time.perf_counter() - t0,
+            "message": str(exc),
+            "detail": exc.detail,
+        }
     except Exception as exc:  # noqa: BLE001 — report, degrade, continue
         return {
             "status": "error",
@@ -290,7 +301,7 @@ def run_batch(
             if record is not None:
                 finish(index, job, record, SOURCE_MANIFEST)
                 continue
-        record = cache.get(key)
+        record = cache.get(key, func=job.func)
         if record is not None:
             if manifest is not None:
                 manifest.store(key, record)
@@ -450,6 +461,7 @@ def _run_inline(
                 "status": result["status"],
                 "seconds": round(result.get("seconds", 0.0), 3),
                 **({"message": result["message"]} if "message" in result else {}),
+                **({"detail": result["detail"]} if "detail" in result else {}),
             }
         )
         if result["status"] == "cancelled" or (
@@ -566,11 +578,14 @@ def _run_pooled(
         in_flight[future] = pending
         return True
 
-    def advance(pending: _Pending, status: str, seconds: float, message=None) -> None:
+    def advance(pending: _Pending, status: str, seconds: float, message=None,
+                detail=None) -> None:
         rung = pending.ladder[pending.rung_idx]
         attempt = {"rung": rung.name, "status": status, "seconds": round(seconds, 3)}
         if message:
             attempt["message"] = message
+        if detail:
+            attempt["detail"] = detail
         pending.attempts.append(attempt)
         if pending.rung_idx >= len(pending.ladder) - 1:
             resolve(pending, None, failed_message=message)
@@ -623,6 +638,7 @@ def _run_pooled(
                         result["status"],
                         result.get("seconds", 0.0),
                         result.get("message"),
+                        result.get("detail"),
                     )
     finally:
         executor.shutdown(wait=False, cancel_futures=True)

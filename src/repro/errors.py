@@ -22,6 +22,10 @@ class                  exit code   meaning
                                    :class:`repro.budget.CancelToken`
 ``Overloaded``         8           the service shed the request (admission
                                    queue full); carries ``retry_after``
+``IntegrityError``     9           a result failed independent verification
+                                   (wrong cover, cost mismatch, bad
+                                   certificate); carries the
+                                   :class:`~repro.verify.VerificationReport`
 ``BatchFailedError``   1           a batch finished but some jobs failed
 =====================  ==========  =============================================
 
@@ -41,6 +45,7 @@ __all__ = [
     "EXIT_BUDGET",
     "EXIT_CANCELLED",
     "EXIT_OVERLOADED",
+    "EXIT_INTEGRITY",
     "EXIT_INTERNAL",
     "ReproError",
     "UsageError",
@@ -50,6 +55,7 @@ __all__ = [
     "BudgetExceeded",
     "Cancelled",
     "Overloaded",
+    "IntegrityError",
     "BatchFailedError",
     "exit_code_for",
 ]
@@ -63,6 +69,7 @@ EXIT_QUARANTINED = 5
 EXIT_BUDGET = 6
 EXIT_CANCELLED = 7
 EXIT_OVERLOADED = 8
+EXIT_INTEGRITY = 9
 EXIT_INTERNAL = 70  # sysexits.h EX_SOFTWARE
 
 
@@ -178,6 +185,33 @@ class Overloaded(ReproError):
     def __init__(self, message: str, *, retry_after: float = 1.0):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class IntegrityError(ReproError):
+    """A result failed independent verification.
+
+    Raised wherever the integrity layer (:mod:`repro.integrity`)
+    re-checks a minimization result against its specification: a form
+    that misses on-set points or covers off-set points, a recomputed
+    literal cost that disagrees with the solver's claim, or a
+    certificate whose hashes do not match the record they travel with.
+
+    ``report`` is the :class:`repro.verify.VerificationReport` when the
+    failure has semantic counterexamples (``None`` for pure hash/cost
+    mismatches); ``detail`` is a JSON-compatible dict with whatever
+    structured context the check site had (recomputed vs claimed cost,
+    offending hashes, cache path) — serving layers surface it in error
+    bodies instead of an opaque message.
+    """
+
+    exit_code = EXIT_INTEGRITY
+    code = "integrity"
+
+    def __init__(self, message: str, *, report=None,
+                 detail: dict | None = None):
+        super().__init__(message)
+        self.report = report
+        self.detail = dict(detail) if detail else {}
 
 
 class BatchFailedError(ReproError):

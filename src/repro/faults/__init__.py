@@ -31,6 +31,7 @@ from repro.faults.plan import (
     FireKinds,
     MangleKinds,
     NetworkKinds,
+    PayloadKinds,
 )
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "FireKinds",
     "MangleKinds",
     "NetworkKinds",
+    "PayloadKinds",
     "active",
     "install",
     "uninstall",

@@ -41,7 +41,7 @@ from typing import Any
 
 __all__ = [
     "ENV_VAR", "FaultRule", "FaultPlan",
-    "FireKinds", "MangleKinds", "NetworkKinds",
+    "FireKinds", "MangleKinds", "NetworkKinds", "PayloadKinds",
 ]
 
 ENV_VAR = "REPRO_FAULT_PLAN"
@@ -51,6 +51,12 @@ MangleKinds = ("corrupt", "truncate")
 # Kinds interpreted by the call site via FaultPlan.check (the cluster
 # proxy's network faults); maybe_fire/mangle never execute them.
 NetworkKinds = ("drop", "black_hole", "sigstop")
+# Semantic payload faults, also call-site interpreted: the cache's
+# ``cache.disk.corrupt_payload`` mutates a stored result *after* the
+# checksum envelope is computed, producing a record that is
+# checksum-valid but semantically wrong — the case only verify-on-read
+# auditing can catch.
+PayloadKinds = ("corrupt_payload",)
 
 _DEFAULT_EXIT_CODE = 86
 _CORRUPT_MARKER = "<<injected-corruption>>"
@@ -75,7 +81,7 @@ class FaultRule:
     arg: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FireKinds + MangleKinds + NetworkKinds:
+        if self.kind not in FireKinds + MangleKinds + NetworkKinds + PayloadKinds:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.p <= 1.0:
             raise ValueError(f"probability {self.p!r} outside [0, 1]")

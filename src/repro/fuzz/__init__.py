@@ -1,0 +1,38 @@
+"""Differential and metamorphic fuzzing of the minimization stack.
+
+:mod:`repro.fuzz.generators` draws seeded random functions from
+weighted families (dense, sparse, arith-like, dc-heavy);
+:mod:`repro.fuzz.harness` runs every engine rung over each draw and
+checks cross-rung equivalence against a brute-force truth-table
+oracle, exact-below-heuristic cost sanity, and metamorphic invariants
+(permutation, input negation, Shannon cofactor).  Failures are shrunk
+and written as replayable JSON artifacts.
+
+Entry point: ``spp-minimize fuzz --seed N --budget 60``.
+"""
+
+from repro.fuzz.generators import FAMILIES, FAMILY_WEIGHTS, draw_function
+from repro.fuzz.harness import (
+    CHECKS,
+    PLANT_BUGS,
+    FuzzFailure,
+    FuzzReport,
+    replay_artifact,
+    run_fuzz,
+    run_trial,
+    shrink_function,
+)
+
+__all__ = [
+    "CHECKS",
+    "FAMILIES",
+    "FAMILY_WEIGHTS",
+    "PLANT_BUGS",
+    "FuzzFailure",
+    "FuzzReport",
+    "draw_function",
+    "replay_artifact",
+    "run_fuzz",
+    "run_trial",
+    "shrink_function",
+]

@@ -1,0 +1,233 @@
+"""Result certificates and independent re-verification.
+
+The engine already refuses to *produce* a wrong cover — every ladder
+rung runs :func:`repro.verify.verify_form` before building its record.
+But a record outlives the process that proved it: it sits in the disk
+cache, travels through the cluster, and is replayed from manifests.
+This module is the trust layer for that afterlife:
+
+* :func:`make_certificate` stamps a record with an **integrity
+  envelope** ``{spec_hash, form_hash, cost_recomputed, solver_salt,
+  verified, verify_ms}``.  The cost is recomputed from the form through
+  the CEX expression builder (:func:`repro.core.cex.cex_of`) — a
+  different code path from the closed-form ``Pseudocube.num_literals``
+  the solvers use — so a cost-accounting bug in either path is caught
+  by the other.
+* :func:`check_certificate` re-derives everything the envelope claims
+  from the record it travels with and raises
+  :class:`~repro.errors.IntegrityError` on any disagreement.  It is
+  what verify-on-read cache auditing and serve-tier shadow verification
+  call; its ``detail`` dict is surfaced verbatim in HTTP 500 bodies.
+
+Certificates are *self-describing but not self-certifying*: the
+envelope hashes bind spec to form, and the semantic check re-verifies
+the form against the spec the caller trusts (the request body, the
+job's own truth table) — never against a spec recovered from the
+suspect record.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.cex import cex_of
+from repro.core.spp_form import SppForm
+from repro.errors import IntegrityError
+from repro.serialize import checksum_of, form_to_dict, func_to_dict
+from repro.verify import VerificationReport, verify_form
+
+__all__ = [
+    "CERTIFICATE_VERSION",
+    "VERIFIED_FULL",
+    "VERIFIED_SAMPLED",
+    "VERIFIED_NONE",
+    "spec_hash",
+    "form_hash",
+    "recompute_cost",
+    "make_certificate",
+    "check_certificate",
+    "report_to_dict",
+]
+
+CERTIFICATE_VERSION = 1
+
+# ``verified`` levels, weakest to strongest.  ``none`` means the
+# envelope's hashes and recomputed cost were produced but no semantic
+# check ran at stamping time; ``sampled`` means this record was picked
+# by a sampling audit (cache verify-on-read, serve shadow verification)
+# and passed; ``full`` means the producer verified it synchronously.
+VERIFIED_NONE = "none"
+VERIFIED_SAMPLED = "sampled"
+VERIFIED_FULL = "full"
+
+_LEVELS = (VERIFIED_NONE, VERIFIED_SAMPLED, VERIFIED_FULL)
+
+
+def spec_hash(func: BoolFunc) -> str:
+    """Content hash of the specification (canonical function dict)."""
+    return checksum_of(func_to_dict(func))
+
+
+def form_hash(form: SppForm) -> str:
+    """Content hash of the produced form (canonical form dict)."""
+    return checksum_of(form_to_dict(form))
+
+
+def recompute_cost(form: SppForm) -> int:
+    """Literal cost of ``form``, recomputed independently of the solver.
+
+    Builds the CEX expression of every pseudoproduct and counts literals
+    factor by factor, instead of trusting the cached
+    ``SppForm.num_literals`` (which sums the closed-form
+    ``popcount``-based ``Pseudocube.num_literals``).  The two paths are
+    proved equal in the core tests; at runtime their agreement is the
+    certificate's cost check.
+    """
+    pseudoproducts = getattr(form, "pseudoproducts", None)
+    if pseudoproducts is None:  # non-SPP forms: fall back to the form's own count
+        return form.num_literals
+    return sum(cex_of(pc).num_literals for pc in pseudoproducts)
+
+
+def make_certificate(
+    func: BoolFunc,
+    form: SppForm,
+    *,
+    solver_salt: str,
+    claimed_cost: int | None = None,
+    verified: str = VERIFIED_NONE,
+    verify_ms: float = 0.0,
+) -> dict[str, Any]:
+    """Build the integrity envelope for a (spec, form) pair.
+
+    ``claimed_cost`` is the literal count the solver reported; when
+    given, it must agree with the independent recompute or this raises
+    :class:`IntegrityError` immediately — a wrong cost claim is caught
+    at stamping time, not at audit time.
+    """
+    if verified not in _LEVELS:
+        raise ValueError(f"unknown verified level {verified!r}")
+    cost = recompute_cost(form)
+    if claimed_cost is not None and claimed_cost != cost:
+        raise IntegrityError(
+            f"cost mismatch: solver claims {claimed_cost} literals, "
+            f"independent recompute finds {cost}",
+            detail={"claimed_cost": claimed_cost, "cost_recomputed": cost},
+        )
+    return {
+        "version": CERTIFICATE_VERSION,
+        "spec_hash": spec_hash(func),
+        "form_hash": form_hash(form),
+        "cost_recomputed": cost,
+        "solver_salt": solver_salt,
+        "verified": verified,
+        "verify_ms": round(verify_ms, 3),
+    }
+
+
+def report_to_dict(report: VerificationReport) -> dict[str, Any]:
+    """JSON-compatible rendering of a verification report.
+
+    The counterexample lists are already capped by ``verify_form``'s
+    ``max_counterexamples``; ``truncated`` says whether they are
+    complete.  This is the shape HTTP 500 bodies embed.
+    """
+    return {
+        "ok": report.ok,
+        "uncovered_on_points": list(report.uncovered_on_points),
+        "covered_off_points": list(report.covered_off_points),
+        "truncated": report.truncated,
+    }
+
+
+def check_certificate(
+    record: dict[str, Any],
+    func: BoolFunc,
+    form: SppForm,
+    *,
+    expected_salt: str | None = None,
+    semantic: bool = True,
+    max_counterexamples: int = 8,
+) -> dict[str, Any]:
+    """Audit ``record`` against the trusted spec ``func``.
+
+    Re-derives every claim in the record's ``integrity`` envelope:
+
+    * ``spec_hash`` must match the trusted spec (a record keyed to the
+      wrong function — hash collision in the cache layer, a routing
+      bug — is an integrity failure, not a miss);
+    * ``form_hash`` must match the form actually stored in the record
+      (a checksum-valid but semantically mutated payload breaks here);
+    * the recomputed literal cost must match both the envelope's
+      ``cost_recomputed`` and the record's top-level ``literals``;
+    * with ``semantic=True`` the form is re-verified against the spec
+      point by point.
+
+    Records without an envelope (pre-integrity cache dirs) are audited
+    semantically only.  Returns an *updated* envelope (``verified`` is
+    raised to ``sampled`` if a semantic check ran and the stamped level
+    was ``none``; ``verify_ms`` reflects this audit) — callers decide
+    whether to write it back.  Raises
+    :class:`~repro.errors.IntegrityError` on any mismatch.
+    """
+    t0 = time.perf_counter()
+    cert = record.get("integrity")
+    detail: dict[str, Any] = {}
+    if expected_salt is not None:
+        detail["expected_salt"] = expected_salt
+
+    fh = form_hash(form)
+    cost = recompute_cost(form)
+    claimed = record.get("literals")
+    if claimed is not None and claimed != cost:
+        raise IntegrityError(
+            f"record claims {claimed} literals, recompute finds {cost}",
+            detail={**detail, "claimed_cost": claimed, "cost_recomputed": cost},
+        )
+    if cert is not None:
+        sh = spec_hash(func)
+        if cert.get("spec_hash") != sh:
+            raise IntegrityError(
+                "certificate spec_hash does not match the trusted spec",
+                detail={**detail, "spec_hash": sh,
+                        "certificate_spec_hash": cert.get("spec_hash")},
+            )
+        if cert.get("form_hash") != fh:
+            raise IntegrityError(
+                "certificate form_hash does not match the stored form",
+                detail={**detail, "form_hash": fh,
+                        "certificate_form_hash": cert.get("form_hash")},
+            )
+        if cert.get("cost_recomputed") != cost:
+            raise IntegrityError(
+                f"certificate cost {cert.get('cost_recomputed')} disagrees "
+                f"with recompute {cost}",
+                detail={**detail, "cost_recomputed": cost,
+                        "certificate_cost": cert.get("cost_recomputed")},
+            )
+    if semantic:
+        report = verify_form(form, func, max_counterexamples=max_counterexamples)
+        if not report:
+            raise IntegrityError(
+                f"stored form is not equivalent to its spec: misses "
+                f"{len(report.uncovered_on_points)} on-points, covers "
+                f"{len(report.covered_off_points)} off-points"
+                + (" (scan truncated)" if report.truncated else ""),
+                report=report,
+                detail={**detail, "counterexamples": report_to_dict(report)},
+            )
+    verify_ms = (time.perf_counter() - t0) * 1000.0
+    level = (cert or {}).get("verified", VERIFIED_NONE)
+    if semantic and level == VERIFIED_NONE:
+        level = VERIFIED_SAMPLED
+    return {
+        "version": CERTIFICATE_VERSION,
+        "spec_hash": (cert or {}).get("spec_hash") or spec_hash(func),
+        "form_hash": fh,
+        "cost_recomputed": cost,
+        "solver_salt": (cert or {}).get("solver_salt", expected_salt or ""),
+        "verified": level,
+        "verify_ms": round(verify_ms, 3),
+    }

@@ -11,7 +11,9 @@ cooperative budgets of :mod:`repro.budget`:
 * :mod:`repro.serve.breaker` — a per-(rung, job-size) circuit breaker
   that stops re-attempting rungs that keep timing out;
 * :mod:`repro.serve.watchdog` — RSS sampling with a soft ceiling
-  (shrink the result cache) and a hard one (shed all new work).
+  (shrink the result cache) and a hard one (shed all new work);
+* :mod:`repro.serve.shadow` — sampled post-response re-verification
+  of served results (quarantine + per-rung breaker feed on mismatch).
 
 Start one with ``spp-minimize serve`` or programmatically::
 
@@ -25,7 +27,8 @@ Start one with ``spp-minimize serve`` or programmatically::
 
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import RungBreaker
-from repro.serve.server import MinimizeService, ServeConfig
+from repro.serve.server import VERIFIED_HEADER, MinimizeService, ServeConfig
+from repro.serve.shadow import ShadowVerifier
 from repro.serve.watchdog import MemoryWatchdog
 
 __all__ = [
@@ -34,4 +37,6 @@ __all__ = [
     "MinimizeService",
     "RungBreaker",
     "ServeConfig",
+    "ShadowVerifier",
+    "VERIFIED_HEADER",
 ]

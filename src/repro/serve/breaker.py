@@ -60,6 +60,7 @@ class RungBreaker:
         self._lock = threading.Lock()
         self._states: dict[tuple[str, int], _State] = {}
         self.skips = 0  # attempts avoided while open
+        self.quarantined: dict[str, int] = {}  # integrity mismatches by rung
 
     def _state(self, rung: str, size: int) -> _State:
         return self._states.setdefault((rung, size_bucket(size)), _State())
@@ -83,6 +84,24 @@ class RungBreaker:
 
     def record_timeout(self, rung: str, size: int) -> None:
         with self._lock:
+            state = self._state(rung, size)
+            state.failures += 1
+            if state.status == _HALF_OPEN or state.failures >= self.threshold:
+                state.status = _OPEN
+                state.opened_at = self._clock()
+
+    def record_mismatch(self, rung: str, size: int) -> None:
+        """An integrity failure (shadow verification, cache audit) on a
+        result this rung produced.
+
+        Counts into the per-rung quarantine tally and feeds the same
+        trip logic as a timeout: a rung that keeps producing wrong
+        covers on a size class is worse than a slow one, so
+        ``threshold`` consecutive mismatches open its breaker and the
+        ladder routes around it.
+        """
+        with self._lock:
+            self.quarantined[rung] = self.quarantined.get(rung, 0) + 1
             state = self._state(rung, size)
             state.failures += 1
             if state.status == _HALF_OPEN or state.failures >= self.threshold:

@@ -48,14 +48,34 @@ from repro.engine.cache import ResultCache
 from repro.engine.job import METHODS, Job
 from repro.engine.ladder import Rung
 from repro.engine.scheduler import run_batch
-from repro.errors import Overloaded, ParseError, ReproError, UsageError
+from repro.errors import (
+    IntegrityError,
+    Overloaded,
+    ParseError,
+    ReproError,
+    UsageError,
+)
+from repro.integrity import (
+    VERIFIED_FULL,
+    VERIFIED_NONE,
+    VERIFIED_SAMPLED,
+    report_to_dict,
+)
+from repro.serialize import form_from_dict
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import RungBreaker
 from repro.serve.deadline import DEADLINE_HEADER, DeadlineExpired, parse_deadline
 from repro.serve.metrics import LatencyHistogram, Metric, render_metrics
+from repro.serve.shadow import ShadowVerifier
 from repro.serve.watchdog import MemoryWatchdog
+from repro.verify import verify_form
 
-__all__ = ["ServeConfig", "MinimizeService", "jobs_from_payload"]
+__all__ = ["ServeConfig", "MinimizeService", "jobs_from_payload", "VERIFIED_HEADER"]
+
+# Every /minimize response carries the weakest verification level among
+# the records it returns: "full" (producer-verified or synchronously
+# re-verified), "sampled" (audited on a cache read), or "none".
+VERIFIED_HEADER = "X-Repro-Verified"
 
 # Ladder rank of each method: a request's ``max_rung`` gates every rung
 # ranked above it (the scheduler still never gates the final rung).
@@ -136,6 +156,8 @@ class ServeConfig:
     cache_entries: int = 1024
     cache_dir: str | None = None
     max_disk_entries: int | None = None  # shared disk tier cap (cluster)
+    audit_rate: int = 16     # verify-on-read: audit every Nth disk load
+    shadow_rate: int = 8     # shadow-verify every Nth response (0 = off)
     manifest_dir: str | None = None
     drain_grace: float = 10.0
     parent_pid: int | None = None  # drain when this process disappears
@@ -151,6 +173,7 @@ class MinimizeService:
             max_entries=cfg.cache_entries,
             cache_dir=cfg.cache_dir,
             max_disk_entries=cfg.max_disk_entries,
+            audit_rate=cfg.audit_rate,
         )
         self.manifest = (
             Manifest(cfg.manifest_dir) if cfg.manifest_dir is not None else None
@@ -163,6 +186,9 @@ class MinimizeService:
         )
         self.breaker = RungBreaker(
             threshold=cfg.breaker_threshold, cooldown=cfg.breaker_cooldown
+        )
+        self.shadow = ShadowVerifier(
+            rate=cfg.shadow_rate, breaker=self.breaker, cache=self.cache
         )
         self.watchdog = MemoryWatchdog(
             soft_mb=cfg.memory_soft_mb,
@@ -189,6 +215,7 @@ class MinimizeService:
             "budget_exceeded": 0,
             "cancelled": 0,
             "deadline_shed": 0,
+            "integrity": 0,
         }
 
     # -- watchdog callbacks --------------------------------------------
@@ -252,8 +279,8 @@ class MinimizeService:
 
     def handle_minimize(
         self, payload: dict[str, Any], deadline: float | None = None
-    ) -> tuple[int, dict]:
-        """Run one minimization request; returns (HTTP status, body).
+    ) -> tuple[int, dict, dict[str, str]]:
+        """Run one minimization request; returns (HTTP status, body, headers).
 
         Raises :class:`Overloaded` when shed — the HTTP layer maps it
         to 429 + ``Retry-After`` — and :class:`DeadlineExpired` (503 +
@@ -262,6 +289,16 @@ class MinimizeService:
         passed: such a request is shed *before* it costs a worker slot
         any compute, and a live deadline caps the request budget so the
         computation cannot outlive the client's interest.
+
+        The returned headers carry ``X-Repro-Verified``: the weakest
+        certificate level among the returned records (``full`` /
+        ``sampled`` / ``none``).  With ``"verify": true`` in the payload
+        every record is synchronously re-verified before responding —
+        a failure becomes a 500 whose body carries the counterexamples
+        (:class:`~repro.errors.IntegrityError`).  Independently of all
+        that, a sample of successful responses is handed to the shadow
+        verifier after the response is built (off the hot path, bounded
+        by the request's remaining deadline).
         """
         received = time.monotonic()
         with self._stats_lock:
@@ -298,7 +335,81 @@ class MinimizeService:
                 self._unregister(request_id)
         self.latency.observe(time.monotonic() - started)
         self._feed_breaker(result)
-        return self._respond(result, budget, bool(payload.get("include_form")))
+        synced = bool(payload.get("verify"))
+        if synced:
+            self._sync_verify(result)
+        status, body = self._respond(
+            result, budget, bool(payload.get("include_form"))
+        )
+        headers = {VERIFIED_HEADER: self._verified_level(result, synced=synced)}
+        if status == 200:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - received)
+            self.shadow.consider(result, remaining)
+        return status, body, headers
+
+    def _sync_verify(self, result) -> None:
+        """Client-requested (``"verify": true``) pre-response verification.
+
+        Re-checks every returned record's form against its spec before
+        the response goes out — the paranoid mode that turns a wrong
+        cached or computed answer into a structured 500 (with
+        counterexamples) instead of a response.  A failing record is
+        purged from the cache and fed to the per-rung quarantine
+        counter, same as a shadow-verification mismatch.
+        """
+        for outcome in result:
+            record = outcome.record
+            if record is None or not isinstance(record.get("form"), dict):
+                continue
+            label = outcome.job.display_label
+            try:
+                form = form_from_dict(record["form"])
+            except (KeyError, TypeError, ValueError) as exc:
+                self._record_integrity_failure(outcome, record)
+                raise IntegrityError(
+                    f"stored form for {label} is undecodable: {exc}",
+                    detail={"label": label},
+                ) from exc
+            report = verify_form(form, outcome.job.func)
+            if not report:
+                self._record_integrity_failure(outcome, record)
+                raise IntegrityError(
+                    f"result for {label} failed verification: misses "
+                    f"{len(report.uncovered_on_points)} on-points, covers "
+                    f"{len(report.covered_off_points)} off-points",
+                    report=report,
+                    detail={
+                        "label": label,
+                        "counterexamples": report_to_dict(report),
+                    },
+                )
+
+    def _record_integrity_failure(self, outcome, record) -> None:
+        with self._stats_lock:
+            self._counters["integrity"] += 1
+        self.cache.quarantine_key(outcome.job.content_hash)
+        self.breaker.record_mismatch(
+            record.get("rung", ""), len(outcome.job.func.on_set)
+        )
+
+    @staticmethod
+    def _verified_level(result, synced: bool = False) -> str:
+        """The weakest certificate level among the returned records."""
+        if synced:
+            return VERIFIED_FULL
+        order = {VERIFIED_NONE: 0, VERIFIED_SAMPLED: 1, VERIFIED_FULL: 2}
+        levels = []
+        for outcome in result:
+            record = outcome.record
+            if record is None:
+                continue
+            cert = record.get("integrity") or {}
+            levels.append(cert.get("verified", VERIFIED_NONE))
+        if not levels:
+            return VERIFIED_NONE
+        return min(levels, key=lambda level: order.get(level, 0))
 
     def _feed_breaker(self, result) -> None:
         for outcome in result:
@@ -389,7 +500,9 @@ class MinimizeService:
             "breaker": {
                 "open": self.breaker.snapshot(),
                 "skips": self.breaker.skips,
+                "quarantined": dict(self.breaker.quarantined),
             },
+            "shadow": self.shadow.snapshot(),
             "watchdog": self.watchdog.snapshot(),
             "cache": {
                 "entries": len(self.cache),
@@ -438,6 +551,23 @@ class MinimizeService:
                 "repro_breaker_open", "Circuit breakers currently open."
             ).add(len(self.breaker.snapshot()))
         )
+        quarantine = Metric(
+            "repro_rung_quarantine_total",
+            "Integrity mismatches attributed to a rung's results.",
+            "counter",
+        )
+        for rung, count in sorted(self.breaker.quarantined.items()):
+            quarantine.add(count, rung=rung or "unknown")
+        metrics.append(quarantine)
+        shadow = Metric(
+            "repro_shadow_events_total",
+            "Shadow-verification events by kind.",
+            "counter",
+        )
+        for key, value in sorted(self.shadow.snapshot().items()):
+            if key not in ("rate", "verify_seconds"):
+                shadow.add(value, kind=key)
+        metrics.append(shadow)
         cache_metric = Metric(
             "repro_cache_events_total",
             "Result-cache events by kind (memory/disk tiers).",
@@ -535,6 +665,7 @@ class MinimizeService:
         while self.inflight and time.monotonic() < deadline:
             time.sleep(0.02)
         self.watchdog.stop()
+        self.shadow.stop()
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -586,11 +717,15 @@ def _make_handler(service: MinimizeService):
             self.end_headers()
             self.wfile.write(data)
 
-        def _error(self, status: int, code: str, message: str, **headers) -> None:
+        def _error(
+            self, status: int, code: str, message: str,
+            extra: dict | None = None, **headers,
+        ) -> None:
+            error: dict[str, Any] = {"code": code, "message": message}
+            if extra:
+                error.update(extra)
             self._send_json(
-                status,
-                {"ok": False, "error": {"code": code, "message": message}},
-                headers=headers,
+                status, {"ok": False, "error": error}, headers=headers
             )
 
         # -- GET -------------------------------------------------------
@@ -636,7 +771,7 @@ def _make_handler(service: MinimizeService):
                 return
             deadline = parse_deadline(self.headers.get(DEADLINE_HEADER))
             try:
-                status, body = service.handle_minimize(payload, deadline)
+                status, body, headers = service.handle_minimize(payload, deadline)
             except DeadlineExpired as exc:
                 self._error(
                     503, exc.code, str(exc),
@@ -649,9 +784,14 @@ def _make_handler(service: MinimizeService):
                 )
             except (UsageError, ParseError) as exc:
                 self._error(400, exc.code, str(exc))
+            except IntegrityError as exc:
+                # Counterexamples (first few points + truncation flag)
+                # instead of an opaque message: the client can replay
+                # them against its own spec.
+                self._error(500, exc.code, str(exc), extra=exc.detail or None)
             except ReproError as exc:
                 self._error(500, exc.code, str(exc))
             else:
-                self._send_json(status, body)
+                self._send_json(status, body, headers=headers)
 
     return Handler

@@ -121,6 +121,18 @@ class TestCluster:
             assert status == 200, doc
             assert doc["ok"]
 
+    def test_verified_header_passes_through_proxy(self, cluster):
+        _, host, port = cluster
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            conn.request("POST", "/minimize", body=_body(PLAS[0]))
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.getheader("X-Repro-Verified") == "full"
+        finally:
+            conn.close()
+
     def test_routing_is_sticky(self, cluster):
         """Repeats of one body land on one worker (cache locality)."""
         coordinator, host, port = cluster

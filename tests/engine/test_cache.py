@@ -1,10 +1,31 @@
 """Tests for the two-tier result cache."""
 
+from repro.boolfunc.function import BoolFunc
 from repro.engine.cache import ResultCache
+from repro.engine.job import _SOLVER_VERSION
+from repro.integrity import VERIFIED_FULL, make_certificate
+from repro.minimize.exact import minimize_spp
+from repro.serialize import form_to_dict
 
 
 def _record(i):
     return {"kind": "engine_record", "literals": i}
+
+
+_FUNC = BoolFunc(3, frozenset({0, 3, 5, 6}))
+_FORM = minimize_spp(_FUNC).form
+
+
+def _verified_record(salt=_SOLVER_VERSION):
+    cert = make_certificate(
+        _FUNC, _FORM, solver_salt=salt, verified=VERIFIED_FULL
+    )
+    return {
+        "kind": "engine_record",
+        "literals": _FORM.num_literals,
+        "form": form_to_dict(_FORM),
+        "integrity": cert,
+    }
 
 
 class TestMemoryTier:
@@ -205,3 +226,69 @@ class TestDiskPruning:
 
         with pytest.raises(ValueError):
             ResultCache(cache_dir=tmp_path, max_disk_entries=0)
+
+
+class TestVerifyOnRead:
+    KEY = "ab" * 32
+
+    def _disk_cache(self, tmp_path, record, **kwargs):
+        """A cache whose memory tier is cold but whose disk holds ``record``."""
+        writer = ResultCache(cache_dir=tmp_path)
+        writer.put(self.KEY, record)
+        return ResultCache(cache_dir=tmp_path, **kwargs)
+
+    def test_sampled_audit_cadence(self, tmp_path):
+        cache = self._disk_cache(tmp_path, _verified_record(), audit_rate=2,
+                                 max_entries=1)
+        for _ in range(4):
+            assert cache.get(self.KEY, func=_FUNC) is not None
+            cache.put("ff" * 32, _record(0))  # evict KEY from memory
+        assert cache.stats.audited == 2  # every 2nd disk load
+
+    def test_audit_disabled_at_rate_zero(self, tmp_path):
+        cache = self._disk_cache(tmp_path, _verified_record(), audit_rate=0)
+        assert cache.get(self.KEY, func=_FUNC) is not None
+        assert cache.stats.audited == 0
+
+    def test_stale_salt_always_audited(self, tmp_path):
+        record = _verified_record(salt="some-older-solver")
+        cache = self._disk_cache(tmp_path, record, audit_rate=0)
+        got = cache.get(self.KEY, func=_FUNC)
+        assert got is not None  # still a valid cover: audited, kept
+        assert cache.stats.audited == 1
+        assert cache.stats.audit_mismatches == 0
+
+    def test_missing_envelope_always_audited(self, tmp_path):
+        record = _verified_record()
+        del record["integrity"]
+        cache = self._disk_cache(tmp_path, record, audit_rate=0)
+        assert cache.get(self.KEY, func=_FUNC) is not None
+        assert cache.stats.audited == 1
+
+    def test_no_func_no_audit(self, tmp_path):
+        cache = self._disk_cache(tmp_path, _verified_record(), audit_rate=1)
+        assert cache.get(self.KEY) is not None
+        assert cache.stats.audited == 0
+
+    def test_mismatch_quarantines_and_misses(self, tmp_path):
+        record = _verified_record()
+        record["literals"] += 1  # lie about the cost
+        cache = self._disk_cache(tmp_path, record, audit_rate=1)
+        assert cache.get(self.KEY, func=_FUNC) is None
+        assert cache.stats.audit_mismatches == 1
+        assert cache.stats.corrupt == 1
+        assert list(cache.quarantine_dir.iterdir())
+
+    def test_quarantine_key_purges_both_tiers(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(self.KEY, _verified_record())
+        cache.quarantine_key(self.KEY)
+        assert cache.get(self.KEY) is None
+        assert list(cache.quarantine_dir.iterdir())
+
+    def test_audit_counters_in_summary(self, tmp_path):
+        record = _verified_record()
+        record["literals"] += 1
+        cache = self._disk_cache(tmp_path, record, audit_rate=1)
+        cache.get(self.KEY, func=_FUNC)
+        assert "audit" in cache.stats.summary()

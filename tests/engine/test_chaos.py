@@ -234,6 +234,58 @@ class TestCorruptionRecovery:
         # Exactly one job recomputed; the rest served from intact disk.
         assert sum(1 for o in second if o.source == "computed") == 1
 
+    def test_checksum_valid_corrupt_payload_is_audited_and_recomputed(
+        self, chaos_dir
+    ):
+        # corrupt_payload mutates the record *semantically* (drops a
+        # pseudoproduct) and re-wraps a fresh, valid checksum: the
+        # checksum layer is blind to it.  Only verify-on-read auditing
+        # can catch it.
+        cache_dir = chaos_dir / "cache"
+        faults.install(
+            FaultPlan([FaultRule(site="cache.disk.corrupt_payload",
+                                 kind="corrupt_payload", times=1)])
+        )
+        first = run_batch(
+            _jobs("adr2"), workers=0, cache=ResultCache(cache_dir=cache_dir)
+        )
+        assert first.ok
+        faults.uninstall()
+
+        fresh = ResultCache(cache_dir=cache_dir, audit_rate=1)
+        second = run_batch(_jobs("adr2"), workers=0, cache=fresh)
+        assert second.ok
+        assert fresh.stats.audit_mismatches == 1
+        assert fresh.stats.audited >= 1
+        assert fresh.stats.corrupt == 1          # quarantined on audit
+        assert len(list((cache_dir / "quarantine").iterdir())) == 1
+        assert [o.literals for o in second] == [o.literals for o in first]
+        # The tampered record was recomputed; peers served from disk.
+        assert sum(1 for o in second if o.source == "computed") == 1
+        for outcome in second:
+            _assert_verified(outcome)
+
+    def test_corrupt_payload_invisible_without_auditing(self, chaos_dir):
+        # Control: with auditing disabled the tampered record sails
+        # through (its checksum is valid) — proving the detection in
+        # the test above comes from the audit layer, not the checksum.
+        cache_dir = chaos_dir / "cache"
+        faults.install(
+            FaultPlan([FaultRule(site="cache.disk.corrupt_payload",
+                                 kind="corrupt_payload", times=1)])
+        )
+        first = run_batch(
+            _jobs("adr2"), workers=0, cache=ResultCache(cache_dir=cache_dir)
+        )
+        assert first.ok
+        faults.uninstall()
+
+        blind = ResultCache(cache_dir=cache_dir, audit_rate=0)
+        second = run_batch(_jobs("adr2"), workers=0, cache=blind)
+        assert blind.stats.audit_mismatches == 0
+        assert blind.stats.corrupt == 0
+        assert all(o.source == "cache" for o in second)
+
     def test_truncated_journal_tail_is_tolerated(self, chaos_dir):
         manifest_dir = chaos_dir / "manifest"
         faults.install(

@@ -1,0 +1,166 @@
+"""Tests for the differential/metamorphic fuzz subsystem.
+
+The harness itself is safety equipment, so these tests exercise both
+directions: a clean corpus produces no findings, and a planted solver
+bug is detected, shrunk, written as a replayable artifact, and turned
+into the integrity exit code by the CLI.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.boolfunc.function import BoolFunc
+from repro.cli import main
+from repro.errors import EXIT_INTEGRITY
+from repro.fuzz import (
+    CHECKS,
+    FAMILIES,
+    draw_function,
+    replay_artifact,
+    run_fuzz,
+    run_trial,
+    shrink_function,
+)
+from repro.fuzz.harness import PLANT_BUGS, _oracle_mismatches
+from repro.minimize.exact import minimize_spp
+
+SMALL = dict(n_min=3, n_max=4)  # keep trials fast; width is not under test
+
+
+class TestGenerators:
+    def test_families_produce_valid_functions(self):
+        rng = random.Random(0)
+        for name, gen in FAMILIES.items():
+            for n in (3, 4, 5):
+                func = gen(rng, n)
+                assert isinstance(func, BoolFunc)
+                assert func.n == n
+                assert func.on_set, name
+
+    def test_draw_is_deterministic_per_seed(self):
+        a = [draw_function(random.Random(5), **SMALL) for _ in range(10)]
+        b = [draw_function(random.Random(5), **SMALL) for _ in range(10)]
+        assert a == b
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz families"):
+            draw_function(random.Random(0), families=["bogus"])
+
+    def test_dc_heavy_has_dont_cares(self):
+        rng = random.Random(1)
+        assert any(FAMILIES["dc-heavy"](rng, 5).dc_set for _ in range(5))
+
+
+class TestRunTrial:
+    def test_clean_function_has_no_findings(self):
+        func = BoolFunc.from_truth_table("01101001")  # 3-var parity
+        assert run_trial(func, seed=1) == []
+
+    def test_planted_bug_is_a_differential_finding(self):
+        func = BoolFunc(3, frozenset({0, 3, 5, 6}))
+        failures = run_trial(func, seed=1, plant_bug="drop-cover")
+        assert any(f.check == "differential" for f in failures)
+        diff = next(f for f in failures if f.check == "differential")
+        assert diff.rung == "heuristic-k0"
+        assert diff.detail["counterexamples"]
+
+    def test_checks_filter_restricts_work(self):
+        func = BoolFunc(3, frozenset({1, 2, 4}))
+        failures = run_trial(
+            func, seed=1, plant_bug="drop-cover", checks=("cost-sanity",)
+        )
+        # The planted bug only mutates the differential check's input.
+        assert failures == []
+
+    def test_drop_cover_mutator_uncovers_an_on_point(self):
+        func = BoolFunc(3, frozenset({0, 3, 5, 6}))
+        form = minimize_spp(func).form
+        mutated = PLANT_BUGS["drop-cover"](form, func)
+        assert _oracle_mismatches(mutated, func)
+
+
+class TestShrinking:
+    def test_shrinks_to_a_minimal_failing_on_set(self):
+        # Failure predicate: function still contains on-point 5.
+        func = BoolFunc(4, frozenset({1, 3, 5, 9, 12}), frozenset({2, 6}))
+        shrunk = shrink_function(func, lambda f: 5 in f.on_set)
+        assert shrunk.on_set == frozenset({5})
+        assert shrunk.dc_set == frozenset()
+
+    def test_never_empties_the_on_set(self):
+        func = BoolFunc(3, frozenset({1, 2}))
+        shrunk = shrink_function(func, lambda f: True)
+        assert shrunk.on_set
+
+
+class TestCampaign:
+    def test_clean_campaign_is_green_and_deterministic(self, tmp_path):
+        kwargs = dict(seed=99, budget=10.0, max_trials=8,
+                      out_dir=tmp_path, **SMALL)
+        first = run_fuzz(**kwargs)
+        assert first.ok
+        assert first.trials == 8
+        assert sum(first.family_counts.values()) == 8
+        second = run_fuzz(**kwargs)
+        assert second.family_counts == first.family_counts
+
+    def test_planted_bug_yields_shrunk_replayable_artifact(self, tmp_path):
+        report = run_fuzz(
+            seed=7, budget=30.0, max_trials=10, max_failures=1,
+            plant_bug="drop-cover", out_dir=tmp_path, **SMALL,
+        )
+        assert not report.ok
+        artifact = report.failures[0]
+        data = json.loads(Path(artifact["path"]).read_text())
+        assert data["plant_bug"] == "drop-cover"
+        assert data["failures"][0]["check"] == "differential"
+        # Shrinking made progress and the shrunk function still fails.
+        assert data["shrunk_on_points"] <= len(data["func"]["on"])
+        assert data["shrunk_failures"]
+        replayed = replay_artifact(artifact["path"])
+        assert any(f.check == "differential" for f in replayed)
+
+    def test_unknown_plant_bug_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown plant bug"):
+            run_fuzz(seed=0, budget=1.0, plant_bug="nope", out_dir=tmp_path)
+
+
+class TestCli:
+    def test_fuzz_green_exits_zero(self, tmp_path, capsys):
+        code = main(["fuzz", "--seed", "99", "--budget", "10", "--trials", "4",
+                     "--n-min", "3", "--n-max", "4",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_planted_bug_exits_with_integrity_code(self, tmp_path, capsys):
+        code = main(["fuzz", "--seed", "7", "--budget", "30", "--trials", "10",
+                     "--n-min", "3", "--n-max", "4",
+                     "--plant-bug", "drop-cover", "--out", str(tmp_path)])
+        assert code == EXIT_INTEGRITY
+        err = capsys.readouterr().err
+        assert "failing trial" in err
+
+    def test_replay_of_artifact(self, tmp_path, capsys):
+        report = run_fuzz(
+            seed=7, budget=30.0, max_trials=10, max_failures=1,
+            plant_bug="drop-cover", out_dir=tmp_path, **SMALL,
+        )
+        path = report.failures[0]["path"]
+        assert main(["fuzz", "--replay", path]) == EXIT_INTEGRITY
+        # A clean artifact (no planted bug on replayed func) replays green:
+        data = json.loads(open(path).read())
+        data["plant_bug"] = None
+        clean = tmp_path / "clean.json"
+        clean.write_text(json.dumps(data))
+        assert main(["fuzz", "--replay", str(clean)]) == 0
+        assert "replay clean" in capsys.readouterr().out
+
+    def test_all_check_names_documented(self):
+        assert set(CHECKS) == {
+            "differential", "cost-sanity", "metamorphic-permutation",
+            "metamorphic-negation", "metamorphic-cofactor",
+        }

@@ -1,0 +1,119 @@
+"""Unit tests for :class:`repro.serve.shadow.ShadowVerifier`."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.boolfunc.function import BoolFunc
+from repro.engine.cache import ResultCache
+from repro.minimize.exact import minimize_spp
+from repro.serialize import form_to_dict
+from repro.serve.breaker import RungBreaker
+from repro.serve.shadow import ShadowVerifier
+
+FUNC = BoolFunc(3, frozenset({0, 3, 5, 6}))
+GOOD_FORM = form_to_dict(minimize_spp(FUNC).form)
+BAD_FORM = {**GOOD_FORM, "pseudoproducts": []}  # covers nothing
+
+
+def _outcome(form_dict, key="deadbeef", rung="exact"):
+    return SimpleNamespace(
+        job=SimpleNamespace(func=FUNC, content_hash=key),
+        record={"rung": rung, "form": form_dict},
+    )
+
+
+@pytest.fixture
+def shadow():
+    created = []
+
+    def _make(**kwargs):
+        verifier = ShadowVerifier(**kwargs)
+        created.append(verifier)
+        return verifier
+
+    yield _make
+    for verifier in created:
+        verifier.stop()
+
+
+class TestSampling:
+    def test_rate_one_samples_every_response(self, shadow):
+        verifier = shadow(rate=1)
+        assert verifier.consider([_outcome(GOOD_FORM)], remaining=None)
+        assert verifier.flush()
+        assert verifier.snapshot()["verified"] == 1
+
+    def test_rate_zero_disables(self, shadow):
+        verifier = shadow(rate=0)
+        assert not verifier.consider([_outcome(GOOD_FORM)], remaining=None)
+        assert verifier.snapshot()["scheduled"] == 0
+
+    def test_round_robin_respects_rate(self, shadow):
+        verifier = shadow(rate=4)
+        picked = sum(
+            verifier.consider([_outcome(GOOD_FORM)], remaining=None)
+            for _ in range(8)
+        )
+        assert picked == 2
+
+    def test_spent_deadline_is_shed(self, shadow):
+        verifier = shadow(rate=1)
+        assert not verifier.consider([_outcome(GOOD_FORM)], remaining=0.0)
+        assert verifier.snapshot()["expired"] == 1
+
+    def test_recordless_outcomes_are_skipped(self, shadow):
+        verifier = shadow(rate=1)
+        outcome = SimpleNamespace(
+            job=SimpleNamespace(func=FUNC, content_hash="k"), record=None
+        )
+        assert not verifier.consider([outcome], remaining=None)
+
+
+class TestMismatch:
+    def test_mismatch_quarantines_and_feeds_breaker(self, shadow, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path / "cache")
+        record = {"rung": "exact", "form": BAD_FORM, "literals": 0}
+        cache.put("deadbeef", record)
+        breaker = RungBreaker(threshold=3)
+        verifier = shadow(rate=1, breaker=breaker, cache=cache)
+
+        assert verifier.consider([_outcome(BAD_FORM)], remaining=None)
+        assert verifier.flush()
+        snap = verifier.snapshot()
+        assert snap["mismatches"] == 1 and snap["verified"] == 0
+        assert breaker.quarantined == {"exact": 1}
+        assert cache.get("deadbeef") is None          # purged from memory
+        assert list((tmp_path / "cache" / "quarantine").iterdir())
+
+    def test_undecodable_form_counts_as_mismatch(self, shadow):
+        verifier = shadow(rate=1)
+        assert verifier.consider([_outcome({"garbage": True})], remaining=None)
+        assert verifier.flush()
+        assert verifier.snapshot()["mismatches"] == 1
+
+    def test_repeated_mismatches_trip_the_breaker(self, shadow):
+        breaker = RungBreaker(threshold=2)
+        verifier = shadow(rate=1, breaker=breaker)
+        for _ in range(2):
+            verifier.consider([_outcome(BAD_FORM)], remaining=None)
+        assert verifier.flush()
+        assert not breaker.allow("exact", len(FUNC.on_set))
+
+
+class TestLifecycle:
+    def test_queue_overflow_drops_not_blocks(self, shadow):
+        verifier = shadow(rate=1, queue_size=1)
+        # Stall the worker by never starting it: submit before any
+        # thread exists, so the second put finds the queue full.
+        verifier._stopping = True  # prevent the worker from starting
+        verifier.consider([_outcome(GOOD_FORM)], remaining=None)
+        verifier.consider([_outcome(GOOD_FORM)], remaining=None)
+        assert verifier.snapshot()["dropped"] == 1
+
+    def test_stop_is_idempotent(self, shadow):
+        verifier = shadow(rate=1)
+        verifier.consider([_outcome(GOOD_FORM)], remaining=None)
+        verifier.flush()
+        verifier.stop()
+        verifier.stop()

@@ -3,6 +3,13 @@
 Slower than the n≤4 property tests but still seconds: every engine must
 verify on random medium-width functions, including incompletely
 specified ones, and the engines' cost relationships must hold.
+
+The hypothesis-driven classes here feed the same checks the standing
+fuzz harness (:mod:`repro.fuzz`) runs in CI — ``TestHarnessCorpus``
+routes hypothesis draws straight through :func:`repro.fuzz.run_trial`,
+and ``TestMetamorphicProperties`` spells the metamorphic invariants
+out as independent properties (with counterexample shrinking courtesy
+of hypothesis instead of the harness's own ddmin).
 """
 
 from hypothesis import given, settings
@@ -16,6 +23,7 @@ from repro import (
     minimize_spp_bounded,
     minimize_spp_k,
 )
+from repro.fuzz import run_fuzz, run_trial
 from repro.minimize.eppp import generate_eppp
 from repro.minimize.naive import generate_eppp_naive
 from repro.verify import assert_equivalent, verify_form
@@ -81,3 +89,78 @@ class TestSixVariables:
         # to its greedy incumbent, which may order arbitrarily.
         if sp.covering_optimal and spp.covering_optimal and two.covering_optimal:
             assert spp.num_literals <= two.num_literals <= sp.num_literals
+
+
+def _translate(func, mask):
+    return BoolFunc(
+        func.n,
+        frozenset(p ^ mask for p in func.on_set),
+        frozenset(p ^ mask for p in func.dc_set),
+    )
+
+
+def _permute(func, perm):
+    def move(points):
+        return frozenset(
+            sum(1 << perm[i] for i in range(func.n) if (p >> i) & 1)
+            for p in points
+        )
+
+    return BoolFunc(func.n, move(func.on_set), move(func.dc_set))
+
+
+class TestMetamorphicProperties:
+    """Invariants of minimization under spec transformations.
+
+    Negation (translating the space by a mask) maps pseudocubes to
+    pseudocubes of identical literal count, so the proved-optimal SPP
+    cost is invariant.  Variable *permutation* is only asserted to
+    commute semantically, plus exact-SP cost invariance: the optimal
+    SPP cost is empirically NOT permutation-invariant (pseudocube
+    literal counts depend on the coordinate frame; observed 17 vs 18
+    literals on a 5-variable function, both proved optimal).
+    """
+
+    @given(funcs5, st.integers(1, 31))
+    @settings(max_examples=10, deadline=None)
+    def test_negation_preserves_optimal_spp_cost(self, func, mask):
+        base = minimize_spp(func, covering="exact")
+        moved = minimize_spp(_translate(func, mask), covering="exact")
+        assert_equivalent(moved.form, _translate(func, mask))
+        if base.covering_optimal and moved.covering_optimal:
+            assert base.num_literals == moved.num_literals
+
+    @given(funcs5, st.permutations(list(range(5))))
+    @settings(max_examples=10, deadline=None)
+    def test_permutation_commutes_semantically(self, func, perm):
+        permuted = _permute(func, perm)
+        assert_equivalent(minimize_spp(permuted).form, permuted)
+        sp = minimize_sp(func, covering="exact")
+        p_sp = minimize_sp(permuted, covering="exact")
+        if sp.covering_optimal and p_sp.covering_optimal:
+            assert sp.num_literals == p_sp.num_literals
+
+    @given(funcs5, st.integers(0, 4), st.integers(0, 1))
+    @settings(max_examples=10, deadline=None)
+    def test_cofactor_minimization_verifies(self, func, variable, value):
+        restricted = func.cofactor(variable, value)
+        if restricted.on_set:
+            assert_equivalent(minimize_spp(restricted).form, restricted)
+
+
+class TestHarnessCorpus:
+    """The standing fuzz harness, fed by hypothesis and by its own
+    seeded corpus — healthy engines must produce zero findings."""
+
+    @given(funcs5)
+    @settings(max_examples=6, deadline=None)
+    def test_run_trial_is_clean_on_healthy_engines(self, func):
+        assert run_trial(func, seed=0) == []
+
+    def test_seeded_corpus_is_green(self, tmp_path):
+        report = run_fuzz(seed=2026, budget=10.0, max_trials=6,
+                          n_min=3, n_max=5, out_dir=tmp_path)
+        assert report.ok, [f["failures"][0] for f in report.failures]
+        assert report.trials >= 1
+        # No artifacts dumped on a green run.
+        assert not list(tmp_path.glob("seed*/*.json"))
