@@ -215,27 +215,60 @@ def _time_best(fn, repeats: int) -> tuple[float, float]:
     return min(times), sum(times) / len(times)
 
 
+def _profile_entry(label: str, fn, profile_dir: str) -> str:
+    """One profiled call of ``fn``: top-20 cumulative functions to a
+    ``<profile_dir>/<label>.txt`` pstats dump.  Returns the path.
+
+    The profiled run is separate from the timed runs (profiling adds
+    tracing overhead that must never leak into the recorded numbers);
+    its purpose is making the next dominant-cost hunt a file read
+    instead of an ad-hoc script.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    fn()
+    prof.disable()
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(20)
+    safe = label.replace("/", "_").replace("[", "").replace("]", "")
+    path = os.path.join(profile_dir, f"{safe}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(buf.getvalue())
+    return path
+
+
 def run_perf_suite(
     *,
     repeats: int = 5,
     e2e_repeats: int = 1,
     only: str | None = None,
     progress=None,
+    profile_dir: str | None = None,
 ) -> list[BenchEntry]:
     """Run the pinned micro/meso suite and return its entries.
 
     ``only`` filters entry names by prefix (the unit tests and quick
     local iterations use it to avoid the multi-second end-to-end rows).
     ``progress`` is an optional callable receiving each finished entry.
+    ``profile_dir`` additionally runs each entry once under cProfile
+    and dumps its top-20 cumulative functions to one text file per
+    entry in that directory (created if needed).
     """
     from repro.bench import harness
     from repro.bench.suite import get_benchmark
+    from repro.kernels import gf2mat
     from repro.kernels.coverage import build_problem
     from repro.minimize import covering as cov
     from repro.minimize.cost import literal_cost
     from repro.minimize.eppp import generate_eppp
 
     entries: list[BenchEntry] = []
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
 
     def emit(entry: BenchEntry) -> None:
         entries.append(entry)
@@ -245,18 +278,36 @@ def run_perf_suite(
     def wanted(name: str) -> bool:
         return only is None or name.startswith(only)
 
+    def profile(label: str, fn) -> None:
+        if profile_dir is not None:
+            _profile_entry(label, fn, profile_dir)
+
     for name, output in GENERATION_CASES:
         label = f"gen/{name}[{output}]"
         if not wanted(label):
             continue
         fo = get_benchmark(name)[output]
-        best, mean = _time_best(
-            lambda fo=fo: generate_eppp(
-                fo, max_pseudoproducts=200_000, on_limit="stop"
-            ),
-            repeats,
+        gen_case = lambda fo=fo: generate_eppp(  # noqa: E731
+            fo, max_pseudoproducts=200_000, on_limit="stop"
         )
-        emit(BenchEntry(label, "gen", best, mean, repeats, {"n": fo.n}))
+        best, mean = _time_best(gen_case, repeats)
+        profile(label, gen_case)
+        meta: dict[str, Any] = {"n": fo.n}
+        if gf2mat.AVAILABLE:
+            # Paired control: the scalar fallback timed in the same
+            # process, seconds apart.  Shared-host noise moves both
+            # numbers together, so the recorded speedup stays meaningful
+            # when absolute times from different sessions are not
+            # comparable (the CI gen gate checks this ratio).
+            gf2mat.AVAILABLE = False
+            try:
+                fb_best, fb_mean = _time_best(gen_case, repeats)
+            finally:
+                gf2mat.AVAILABLE = True
+            meta["fallback_best"] = fb_best
+            meta["fallback_mean"] = fb_mean
+            meta["speedup"] = round(fb_best / best, 2) if best > 0 else 0.0
+        emit(BenchEntry(label, "gen", best, mean, repeats, meta))
 
     cover_problems = {}
     for name, output in COVERING_CASES:
@@ -269,10 +320,11 @@ def run_perf_suite(
         candidates = generation.eppps
         rows = sorted(fo.on_set)
         if wanted(label):
-            best, mean = _time_best(
-                lambda: build_problem(rows, candidates, cost_of=literal_cost),
-                repeats,
+            build_case = lambda: build_problem(  # noqa: E731
+                rows, candidates, cost_of=literal_cost
             )
+            best, mean = _time_best(build_case, repeats)
+            profile(label, build_case)
             emit(
                 BenchEntry(
                     label, "covering_build", best, mean, repeats,
@@ -286,7 +338,9 @@ def run_perf_suite(
     for solve_label, problem in cover_problems.items():
         if not wanted(solve_label):
             continue
-        best, mean = _time_best(lambda: cov.solve_greedy(problem), repeats)
+        solve_case = lambda problem=problem: cov.solve_greedy(problem)  # noqa: E731
+        best, mean = _time_best(solve_case, repeats)
+        profile(solve_label, solve_case)
         # One extra solve outside the timed loop records the cover cost
         # (regressions must not buy speed with worse covers) and the
         # mincov reduction report.
@@ -308,12 +362,11 @@ def run_perf_suite(
         label = f"e2e/table1/{name}"
         if not wanted(label):
             continue
-        best, mean = _time_best(
-            lambda name=name: harness.run_table1_row(
-                name, max_pseudoproducts=200_000
-            ),
-            e2e_repeats,
+        e2e_case = lambda name=name: harness.run_table1_row(  # noqa: E731
+            name, max_pseudoproducts=200_000
         )
+        best, mean = _time_best(e2e_case, e2e_repeats)
+        profile(label, e2e_case)
         emit(BenchEntry(label, "e2e", best, mean, e2e_repeats, {}))
 
     return entries

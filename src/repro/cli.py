@@ -312,12 +312,20 @@ def _cmd_perf_bench(args: argparse.Namespace) -> None:
         print(f"{entry.name:<30} best {entry.best * 1e3:9.2f}ms  "
               f"mean {entry.mean * 1e3:9.2f}ms  (x{entry.repeats})", flush=True)
 
+    profile_dir = None
+    if args.profile:
+        profile_dir = os.path.join("results", f"profile_{tag}")
+
     entries = perfjson.run_perf_suite(
         repeats=args.repeats,
         e2e_repeats=args.e2e_repeats,
         only=args.only,
         progress=show,
+        profile_dir=profile_dir,
     )
+    if profile_dir is not None:
+        print(f"wrote per-entry cProfile dumps (top-20 cumulative) to "
+              f"{profile_dir}/")
     report = perfjson.make_report(tag, entries)
     perfjson.write_report(args.json, report)
     print(f"wrote {args.json} ({len(entries)} entries)")
@@ -850,6 +858,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="end-to-end row repetitions (default 1)")
     p_perf.add_argument("--only", default=None, metavar="PREFIX",
                         help="run only entries whose name starts with PREFIX")
+    p_perf.add_argument("--profile", action="store_true",
+                        help="additionally run each entry once under "
+                        "cProfile and dump its top-20 cumulative functions "
+                        "to results/profile_<tag>/<entry>.txt")
     p_perf.add_argument("--baseline", default=None, metavar="FILE",
                         help="compare against a baseline report")
     p_perf.add_argument("--max-regression", type=float, default=2.5,

@@ -90,7 +90,6 @@ class Pseudocube:
         object.__setattr__(self, "n", n)
         object.__setattr__(self, "anchor", anchor)
         object.__setattr__(self, "basis", basis)
-        object.__setattr__(self, "_hash", hash((n, anchor, basis)))
         return self
 
     @classmethod
@@ -298,7 +297,15 @@ class Pseudocube:
         )
 
     def __hash__(self) -> int:
-        return self._hash
+        # Lazy for :meth:`_unsafe`-built instances: generation creates
+        # far more pseudocubes than are ever hashed, so the tuple hash
+        # is paid on first use (and cached) rather than at build time.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.n, self.anchor, self.basis))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self) -> str:
         return f"Pseudocube(n={self.n}, anchor={self.anchor:#x}, basis={self.basis})"

@@ -18,6 +18,7 @@ order (key, then lowest column index) are identical by construction.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 
 try:  # gated: the container may lack numpy; solvers fall back to heaps
@@ -26,6 +27,12 @@ try:  # gated: the container may lack numpy; solvers fall back to heaps
     HAVE_NUMPY = hasattr(_np, "bitwise_count")
 except ImportError:  # pragma: no cover — exercised via the fallback path
     _np = None
+    HAVE_NUMPY = False
+
+# ``REPRO_NO_NUMPY=1`` pins the pure-Python paths fleet-wide — the same
+# switch ``kernels.gf2mat`` honours — so one env var exercises every
+# fallback at once (the CI fallback-parity leg relies on this).
+if os.environ.get("REPRO_NO_NUMPY"):
     HAVE_NUMPY = False
 
 __all__ = ["HAVE_NUMPY", "BitMatrix", "select_greedy"]

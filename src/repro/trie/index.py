@@ -12,6 +12,13 @@ factor, and (b) as the ablation baseline quantifying what the trie's
 prefix sharing buys (``benchmarks/test_ablation_backend.py``).  Both
 backends expose the same protocol: ``insert``, ``__contains__``,
 ``groups``, ``items``, ``__len__``.
+
+Storage is columnar: buckets are keyed by the interner's stable dense
+basis id (a small int) rather than the basis tuple itself, so probes
+hash one machine int and the distinct bases live once, in id order, in
+the interner's table.  :meth:`packed_arrays` exports the whole
+partition in the ``(anchors, sizes, rows)`` layout the
+:mod:`repro.kernels.gf2mat` batch kernels consume.
 """
 
 from __future__ import annotations
@@ -28,14 +35,19 @@ __all__ = ["StructureIndex"]
 class StructureIndex:
     """Same-structure partition of pseudocubes, keyed by direction basis.
 
-    Basis keys are interned on insertion, so structurally equal bases
-    arriving as distinct tuples (the normal case — each comes from its
-    own RREF computation) share one key object and later probes hit the
-    dict's identity fast path.
+    Basis keys are interned to a dense integer id on insertion, so
+    structurally equal bases arriving as distinct tuples (the normal
+    case — each comes from its own RREF computation) share one id and
+    later probes hash a machine int instead of a tuple.  Bucket
+    iteration order is first-insertion order of the basis, identical to
+    the previous tuple-keyed layout because ids are allocated in
+    first-intern order.
     """
 
     def __init__(self) -> None:
-        self._buckets: dict[tuple[int, ...], dict[int, Pseudocube]] = {}
+        # basis id -> anchor -> pseudocube; ids are dense and stable,
+        # assigned by the interner in first-seen order.
+        self._buckets: dict[int, dict[int, Pseudocube]] = {}
         self._interner = BasisInterner()
         self._size = 0
 
@@ -47,7 +59,7 @@ class StructureIndex:
 
     def insert(self, pc: Pseudocube) -> bool:
         """Insert; returns True when the pseudocube was not present."""
-        bucket = self._buckets.setdefault(self._interner.intern(pc.basis), {})
+        bucket = self._buckets.setdefault(self._interner.intern_id(pc.basis), {})
         if pc.anchor in bucket:
             return False
         bucket[pc.anchor] = pc
@@ -55,7 +67,10 @@ class StructureIndex:
         return True
 
     def __contains__(self, pc: Pseudocube) -> bool:
-        bucket = self._buckets.get(pc.basis)
+        ident = self._interner.lookup_id(pc.basis)
+        if ident is None:
+            return False
+        bucket = self._buckets.get(ident)
         return bucket is not None and pc.anchor in bucket
 
     def groups(self, *, budget: Budget | None = None) -> Iterator[list[Pseudocube]]:
@@ -70,3 +85,46 @@ class StructureIndex:
             if budget is not None:
                 budget.tick()
             yield from bucket.values()
+
+    # ------------------------------------------------------------------
+    # Columnar views
+    # ------------------------------------------------------------------
+
+    def group_bases(self) -> list[tuple[int, ...]]:
+        """The distinct bases in bucket iteration order (canonical tuples)."""
+        basis_of = self._interner.basis_of
+        return [basis_of(ident) for ident in self._buckets]
+
+    def packed_arrays(self):
+        """The whole partition as ``(anchors, sizes, rows)`` uint64 arrays.
+
+        ``anchors`` concatenates every bucket's anchors in iteration
+        order, ``sizes`` is the per-bucket count, and ``rows`` is the
+        ``(groups, rank)`` basis matrix — the exact state layout of the
+        packed generation loop in :mod:`repro.minimize.eppp`.  Requires
+        all buckets to share one rank (always true for a per-degree
+        candidate wave) and the numpy kernels to be available; returns
+        ``None`` otherwise.
+        """
+        from repro.kernels import gf2mat
+
+        if not gf2mat.AVAILABLE or not self._buckets:
+            return None
+        bases = self.group_bases()
+        rank = len(bases[0])
+        if any(len(b) != rank for b in bases):
+            return None
+        import numpy as np
+
+        anchors = np.fromiter(
+            (a for bucket in self._buckets.values() for a in bucket),
+            dtype=np.uint64,
+            count=self._size,
+        )
+        sizes = np.fromiter(
+            (len(bucket) for bucket in self._buckets.values()),
+            dtype=np.int64,
+            count=len(self._buckets),
+        )
+        rows = np.array(bases, dtype=np.uint64).reshape(len(bases), rank)
+        return anchors, sizes, rows

@@ -23,10 +23,10 @@ from collections.abc import Iterator
 from typing import Generic, TypeVar
 
 from repro.budget import Budget
-from repro.core import gf2
 from repro.core.bitvec import bits_of, get_bit
 from repro.core.cex import CexExpression
 from repro.core.pseudocube import Pseudocube
+from repro.kernels.intern import BasisInterner
 from repro.trie.nodes import C_NODE, NC_NODE, Leaf, TrieNode
 
 __all__ = ["PartitionTrie"]
@@ -48,15 +48,22 @@ def _path_of_structure(structure: tuple[int, ...]) -> list[tuple[str, int]]:
     return path
 
 
-def _structure_and_vector(pc: Pseudocube) -> tuple[tuple[int, ...], tuple[int, ...]]:
+def _structure_and_vector(
+    pc: Pseudocube, interner: BasisInterner
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
     """Structure (factor supports) and complementation vector of a
     pseudocube.
 
     ``L[i] = 1`` iff the i-th non-canonical variable is *not*
     complemented, which in the affine form is bit ``j`` of the anchor
     (see Definition 1, rule 2).
+
+    Pivots are a function of the basis alone, so they come from the
+    interner's per-basis cache instead of being recomputed on every
+    insert (the same reasoning as the cached ``pivot_mask`` slot on
+    :class:`Pseudocube`).
     """
-    pivots = [gf2.pivot_of(b) for b in pc.basis]
+    pivots = interner.pivots(pc.basis)
     canonical = pc.canonical_mask
     supports = []
     vector = []
@@ -84,6 +91,10 @@ class PartitionTrie(Generic[T]):
     def __init__(self) -> None:
         self.root: TrieNode[T] = TrieNode()
         self._size = 0
+        # Interned bases with cached pivot tuples: repeated inserts of
+        # same-structure pseudocubes (the common case — that sharing is
+        # Theorem 1) compute pivots once per distinct basis.
+        self._interner = BasisInterner()
 
     def __len__(self) -> int:
         return self._size
@@ -132,7 +143,7 @@ class PartitionTrie(Generic[T]):
 
     def insert(self, pc: Pseudocube) -> bool:
         """Insert a pseudocube keyed by its CEX structure/vector."""
-        structure, vector = _structure_and_vector(pc)
+        structure, vector = _structure_and_vector(pc, self._interner)
         return self.insert_structure(structure, vector, pc)  # type: ignore[arg-type]
 
     def insert_cex(self, cex: CexExpression) -> bool:
@@ -140,7 +151,7 @@ class PartitionTrie(Generic[T]):
         return self.insert(cex.to_pseudocube())
 
     def __contains__(self, pc: Pseudocube) -> bool:
-        structure, vector = _structure_and_vector(pc)
+        structure, vector = _structure_and_vector(pc, self._interner)
         return self.search_structure(structure, vector) is not None
 
     # ------------------------------------------------------------------

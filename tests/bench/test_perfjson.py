@@ -113,6 +113,20 @@ class TestSuite:
         assert e.meta["rows"] > 0
         assert e.meta["candidates"] > 0
 
+    def test_profile_dir_gets_one_dump_per_entry(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        entries = run_perf_suite(
+            repeats=1, only="gen/", profile_dir=str(profile_dir)
+        )
+        dumps = sorted(p.name for p in profile_dir.iterdir())
+        assert dumps == sorted(
+            e.name.replace("/", "_").replace("[", "").replace("]", "") + ".txt"
+            for e in entries
+        )
+        text = (profile_dir / dumps[0]).read_text()
+        assert "cumulative" in text  # sorted by cumulative time
+        assert "generate_eppp" in text  # the entry under profile shows up
+
 
 class TestCli:
     def test_bench_writes_schema_valid_report(self, tmp_path, capsys):
@@ -122,7 +136,15 @@ class TestCli:
         report = load_report(path)
         assert report["tag"] == "smoke"
         assert [e["name"] for e in report["entries"]] == ["gen/adr3[2]"]
-        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_profile_flag_writes_dumps(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # --profile writes under ./results/
+        path = str(tmp_path / "BENCH_smoke.json")
+        assert main(["bench", "--json", path, "--repeats", "1",
+                     "--only", "gen/adr3", "--profile"]) == 0
+        dumps = list((tmp_path / "results" / "profile_smoke").iterdir())
+        assert [p.name for p in dumps] == ["gen_adr32.txt"]
+        assert "cProfile" in capsys.readouterr().out
 
     def test_bench_baseline_regression_fails(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
@@ -179,6 +201,32 @@ class TestCli:
             assert row["ratio"] <= 0.5, row
         e2e = [r for r in rows if r["name"].startswith("e2e/")]
         assert len(e2e) == 3
+
+    def test_committed_genkernels_artifacts_show_generation_speedup(self):
+        # The generation-kernel record (BENCH_mincov is its before):
+        # every gen entry >= 2x faster than the committed before, every
+        # gen entry carries a same-process paired fallback speedup
+        # >= 2.5x (the noise-immune statistic), and no e2e entry
+        # regressed.
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        before = load_report(str(bench_dir / "BENCH_mincov.json"))
+        after = load_report(str(bench_dir / "BENCH_genkernels.json"))
+        rows = compare_reports(after, before, max_regression=1.0)
+        gens = [r for r in rows if r["name"].startswith("gen/")]
+        assert len(gens) == 3
+        for row in gens:
+            assert row["ratio"] <= 0.5, row
+        amap = {e["name"]: e for e in after["entries"]}
+        for row in gens:
+            meta = amap[row["name"]]["meta"]
+            assert meta["fallback_best"] > 0
+            assert meta["speedup"] >= 2.5, (row["name"], meta["speedup"])
+        e2e = [r for r in rows if r["name"].startswith("e2e/")]
+        assert len(e2e) == 3
+        for row in e2e:
+            assert row["ratio"] <= 1.0, row
 
     def test_committed_mincov_artifacts_show_covering_speedup(self):
         # The mincov before/after pair: >= 1.5x mean improvement on at
