@@ -339,8 +339,14 @@ def run_table1_rows(
     workers: int | None = None,
     timeout: float | None = None,
     cache=None,
+    delta_index=None,
 ) -> list[Table1Measurement]:
-    """Table 1 via the batch engine: every (output × method) is one job."""
+    """Table 1 via the batch engine: every (output × method) is one job.
+
+    ``delta_index`` (a :class:`repro.delta.DeltaIndex`) lets cache-missed
+    exact jobs try the near-duplicate warm path first; its counters end
+    up in the ``tables --perf-json`` report meta.
+    """
     from repro.engine import Job, run_batch
 
     jobs: list[Job] = []
@@ -359,7 +365,9 @@ def run_table1_rows(
                 )
             )
             keys.append((name, "spp"))
-    batch = run_batch(jobs, workers=workers, timeout=timeout, cache=cache)
+    batch = run_batch(
+        jobs, workers=workers, timeout=timeout, cache=cache, delta_index=delta_index
+    )
     rows = {n: Table1Measurement(n, 0, 0, 0, 0, 0, 0, 0.0, 0.0) for n in names}
     for (name, kind), outcome in zip(keys, batch):
         record = outcome.record

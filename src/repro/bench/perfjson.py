@@ -53,6 +53,12 @@ SCHEMA = "repro-bench/1"
 GENERATION_CASES = [("adr3", 2), ("dist3", 1), ("life6", 0)]
 COVERING_CASES = [("adr4", 3), ("adr4", 4), ("life", 0)]
 E2E_TABLE1_CASES = ["adr3", "dist3", "life6"]
+# Incremental re-minimization: (benchmark, output, edit size).  Each
+# entry times the warm path on a k-point care-preserving edit and pairs
+# it with the from-scratch solve of the same edited function in the
+# same process (the gen/* self-calibration pattern) — the CI delta gate
+# checks the recorded ratio, not absolute times.
+DELTA_CASES = [("life", 0, 2), ("dist", 1, 2), ("adr4", 3, 2)]
 
 
 @dataclass
@@ -103,15 +109,25 @@ def environment_fingerprint() -> dict[str, Any]:
     }
 
 
-def make_report(tag: str, entries: list[BenchEntry]) -> dict[str, Any]:
-    """Assemble a schema-conformant report dict."""
-    return {
+def make_report(
+    tag: str, entries: list[BenchEntry], meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Assemble a schema-conformant report dict.
+
+    ``meta`` attaches report-level context (e.g. the warm-path counters
+    ``warm_hits``/``delta_fallbacks`` of a ``tables --perf-json`` run);
+    comparisons ignore it.
+    """
+    report = {
         "schema": SCHEMA,
         "tag": tag,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "environment": environment_fingerprint(),
         "entries": [e.to_dict() for e in entries],
     }
+    if meta is not None:
+        report["meta"] = meta
+    return report
 
 
 def validate_report(data: Any) -> None:
@@ -308,6 +324,68 @@ def run_perf_suite(
             meta["fallback_mean"] = fb_mean
             meta["speedup"] = round(fb_best / best, 2) if best > 0 else 0.0
         emit(BenchEntry(label, "gen", best, mean, repeats, meta))
+
+    for name, output, k in DELTA_CASES:
+        label = f"delta/{name}[{output}]"
+        if not wanted(label):
+            continue
+        from repro.delta import DeltaIndex, build_context, toggle_points, warm_minimize
+        from repro.engine.job import Job
+        from repro.minimize.exact import minimize_spp
+        from repro.verify import verify_form
+
+        fo = get_benchmark(name)[output]
+        cold_base = minimize_spp(fo, max_pseudoproducts=200_000, on_limit="stop")
+        ctx = build_context(fo, cold_base, max_pseudoproducts=200_000)
+        if ctx is None:
+            continue
+        on = sorted(fo.on_set)
+        toggles = on[:: max(1, len(on) // k)][:k]  # spread, care-preserving
+        edited = toggle_points(fo, toggles)
+        # Route through the near-duplicate index (signature lookup is
+        # part of the warm path's real cost in the serving tier).
+        index = DeltaIndex()
+        base_job = Job(fo, method="exact", max_pseudoproducts=200_000)
+        index.put(base_job.content_hash, ctx)
+        edited_job = Job(edited, method="exact", max_pseudoproducts=200_000)
+
+        def warm_case(index=index, job=edited_job, func=edited):
+            base = index.lookup(job)
+            result = warm_minimize(base, func)
+            index.count_warm_hit()
+            return result
+
+        best, mean = _time_best(warm_case, repeats)
+        profile(label, warm_case)
+        cold_case = lambda func=edited: minimize_spp(  # noqa: E731
+            func, max_pseudoproducts=200_000, on_limit="stop"
+        )
+        cold_best, cold_mean = _time_best(cold_case, repeats)
+        warm_res = warm_case()
+        cold_res = cold_case()
+        if warm_res.form != cold_res.form:
+            raise RuntimeError(
+                f"{label}: warm cover differs from cold "
+                f"({warm_res.num_literals} vs {cold_res.num_literals} literals)"
+            )
+        if not verify_form(warm_res.form, edited):
+            raise RuntimeError(f"{label}: warm cover failed verification")
+        emit(
+            BenchEntry(
+                label, "delta", best, mean, repeats,
+                {
+                    "edit": len(toggles),
+                    "cost": cold_res.num_literals,
+                    "candidates": ctx.num_candidates,
+                    "cold_best": cold_best,
+                    "cold_mean": cold_mean,
+                    "speedup": round(cold_best / best, 2) if best > 0 else 0.0,
+                    "speedup_mean": round(cold_mean / mean, 2) if mean > 0 else 0.0,
+                    "identical_cover": True,
+                    "warm_hits": index.stats()["warm_hits"],
+                },
+            )
+        )
 
     cover_problems = {}
     for name, output in COVERING_CASES:

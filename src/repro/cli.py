@@ -235,6 +235,7 @@ def _tables_perf_entries(table: str, items) -> list:
 def _cmd_tables(args: argparse.Namespace) -> None:
     parallel = args.jobs != 1
     cache = _tables_cache(args)
+    delta_index = None
     if args.table == "table1":
         if args.quick:
             names = harness.QUICK_TABLE1
@@ -242,9 +243,12 @@ def _cmd_tables(args: argparse.Namespace) -> None:
             names = [row.function for row in TABLE1]
         cap = 200_000 if args.quick else None
         if parallel:
+            from repro.delta import DeltaIndex
+
+            delta_index = DeltaIndex()
             rows = harness.run_table1_rows(
                 names, max_pseudoproducts=cap, workers=args.jobs,
-                timeout=args.timeout, cache=cache,
+                timeout=args.timeout, cache=cache, delta_index=delta_index,
             )
         else:
             rows = [harness.run_table1_row(n, max_pseudoproducts=cap) for n in names]
@@ -291,8 +295,15 @@ def _cmd_tables(args: argparse.Namespace) -> None:
         from repro.bench.perfjson import make_report, write_report
 
         entries = _tables_perf_entries(args.table, items)
+        meta = None
+        if delta_index is not None:
+            stats = delta_index.stats()
+            meta = {
+                "warm_hits": stats["warm_hits"],
+                "delta_fallbacks": stats["fallbacks"],
+            }
         write_report(
-            args.perf_json, make_report(f"tables-{args.table}", entries)
+            args.perf_json, make_report(f"tables-{args.table}", entries, meta=meta)
         )
         print(f"wrote {args.perf_json} ({len(entries)} entries)")
 
@@ -446,6 +457,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         manifest_dir=args.manifest_dir,
         drain_grace=args.drain_grace,
         parent_pid=args.parent_pid,
+        delta_entries=args.delta_entries,
+        delta_max_edit=args.delta_max_edit,
     )
     service = MinimizeService(config)
     host, port = service.start()
@@ -609,6 +622,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
         large_fraction=args.large_fraction,
         timeout=args.request_timeout,
         max_rung=None if args.max_rung == "none" else args.max_rung,
+        dup_rate=args.dup_rate,
     )
     serve_args = [
         "--threads", str(args.threads),
@@ -960,6 +974,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--parent-pid", type=int, default=None, metavar="PID",
                          help="drain and exit if this process disappears "
                          "(used by the cluster coordinator)")
+    p_serve.add_argument("--delta-entries", type=int, default=64, metavar="N",
+                         help="near-duplicate context index capacity; "
+                         "0 disables the warm path (default 64)")
+    p_serve.add_argument("--delta-max-edit", type=int, default=8, metavar="K",
+                         help="largest on-set edit (symmetric difference) "
+                         "served warm from the delta index (default 8)")
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -1067,6 +1087,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--large-fraction", type=float, default=0.25,
                         metavar="F", help="probability of drawing a large "
                         "instance (default 0.25)")
+    p_load.add_argument("--dup-rate", type=float, default=0.0, metavar="F",
+                        help="probability of drawing a near-duplicate "
+                        "delta-form request (exercises the warm "
+                        "re-minimization path; default 0)")
     p_load.add_argument("--max-rung", default="heuristic",
                         choices=["exact", "bounded", "heuristic", "sp", "none"],
                         help="ladder cap attached to every request "

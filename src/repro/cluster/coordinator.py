@@ -314,6 +314,12 @@ class ClusterCoordinator:
         routes via one dict probe instead of re-parsing and re-hashing
         the function.  Raises :class:`UsageError` on bodies the workers
         would reject anyway.
+
+        Delta-form requests (``{"base": ..., "delta": ...}``) are keyed
+        by their **base** jobs (``routing=True`` below): every
+        near-duplicate of a function hashes to the same ring position,
+        so consistent-hash affinity lands it on the worker whose
+        :class:`~repro.delta.DeltaIndex` holds the base context.
         """
         with self._route_lock:
             key = self._route_memo.get(body)
@@ -325,7 +331,7 @@ class ClusterCoordinator:
             payload = json.loads(body or b"{}")
         except ValueError as exc:
             raise UsageError("request body is not valid JSON") from exc
-        jobs = jobs_from_payload(payload)
+        jobs = jobs_from_payload(payload, routing=True)
         if len(jobs) == 1:
             key = jobs[0].content_hash
         else:  # multi-output request: one stable key over all its jobs

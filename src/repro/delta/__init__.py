@@ -1,0 +1,56 @@
+"""Incremental re-minimization — the delta-aware warm path.
+
+Service traffic is dominated by near-duplicate functions: a handful of
+on-set points added, dropped, or toggled between requests.  This
+package turns "minimize f′ where f′ = f ⊕ {small edit}" into a patch
+operation instead of a cold solve:
+
+* :mod:`repro.delta.context` — :class:`MinimizationContext`, a reusable
+  snapshot of a completed exact minimization (candidate list, packed
+  coverage masks, partition-trie skeleton with its structural
+  fingerprint, the base cover);
+* :mod:`repro.delta.reminimize` — :func:`reminimize` /
+  :func:`warm_minimize`, which classify the edit, patch the covering
+  matrix by bit surgery, and re-solve with the identical solver (so a
+  warm result is bit-identical to the cold one whenever the candidate
+  list is reusable);
+* :mod:`repro.delta.index` — :class:`DeltaIndex`, the engine-level
+  near-duplicate LRU keyed by a banded-minhash on-set signature, plus
+  :func:`warm_record_for`, which wraps a warm solve in the full engine
+  record (verify_form + integrity certificate — reuse can never change
+  answers, only speed).
+
+The soundness argument rests on candidate-order purity: EPPP generation
+is a pure function of the care set ``on ∪ dc`` alone, so any edit that
+preserves the care set (on↔dc toggles) reuses the base candidate list
+*verbatim*, in order.  Care-set-changing edits fall back to the cold
+path — greedy covering is order-sensitive, so there is no sound way to
+splice new candidates into the stream without risking a different
+cover.
+"""
+
+from repro.delta.context import MinimizationContext, build_context, toggle_points
+from repro.delta.index import DeltaIndex, onset_signature, warm_record_for
+from repro.delta.reminimize import (
+    DEFAULT_MAX_EDIT,
+    DeltaIneligible,
+    DeltaResult,
+    eligibility,
+    reminimize,
+    warm_minimize,
+)
+
+__all__ = [
+    "MinimizationContext",
+    "build_context",
+    "toggle_points",
+    "DeltaIndex",
+    "onset_signature",
+    "warm_record_for",
+    "DEFAULT_MAX_EDIT",
+    "DeltaIneligible",
+    "DeltaResult",
+    "eligibility",
+    "reminimize",
+    "warm_minimize",
+]

@@ -1,0 +1,148 @@
+"""Minimization context snapshots.
+
+A :class:`MinimizationContext` captures everything a completed exact
+minimization learned that is reusable for a near-duplicate function:
+
+* the EPPP candidate list **in generation order** (order matters —
+  greedy covering is order-sensitive, and bit-identical warm results
+  depend on replaying the exact same column stream);
+* the pre-drop coverage masks and costs over the base row list, so the
+  covering matrix can be patched by bit surgery instead of rebuilt
+  (candidates that covered nothing for the base on-set keep their
+  positions — they may start covering rows after an edit);
+* the partition-trie skeleton of the candidates with its interned
+  basis table and structural :attr:`~repro.trie.PartitionTrie.fingerprint`
+  (one integer comparison detects a stale/mutated snapshot);
+* the base cover and the solver parameters that produced it, so the
+  cold fallback can mirror them exactly.
+
+Snapshots are only built from *untruncated* generations: a capped
+generation's candidate stream is an artifact of where the cap landed,
+not of the function, so nothing about it transfers to an edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.core.spp_form import SppForm
+from repro.kernels.coverage import masks_and_costs
+from repro.minimize.exact import SppResult
+from repro.trie.partition_trie import PartitionTrie
+
+__all__ = ["MinimizationContext", "build_context", "toggle_points"]
+
+# Snapshots beyond this many candidates cost more to capture (mask pass
+# + trie build) than the warm path saves on typical service functions.
+MAX_CONTEXT_CANDIDATES = 100_000
+
+
+@dataclass
+class MinimizationContext:
+    """Reusable state of one completed exact SPP minimization."""
+
+    func: BoolFunc
+    candidates: list[Pseudocube]
+    rows: list[int]
+    masks: list[int]
+    costs: list[int]
+    form: SppForm
+    covering: str
+    covering_optimal: bool
+    backend: str
+    max_pseudoproducts: int | None
+    generation_seconds: float
+    generation_comparisons: int
+    covering_stats: dict | None
+    trie: PartitionTrie = field(repr=False)
+    trie_fingerprint: int = 0
+
+    @property
+    def cost(self) -> int:
+        return self.form.num_literals
+
+    @property
+    def care_set(self) -> frozenset[int]:
+        return self.func.care_set
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    def is_stale(self) -> bool:
+        """True if the trie skeleton mutated since the snapshot."""
+        return self.trie.fingerprint != self.trie_fingerprint
+
+
+def build_context(
+    func: BoolFunc,
+    result: SppResult,
+    *,
+    covering: str = "greedy",
+    backend: str = "index",
+    max_pseudoproducts: int | None = None,
+    max_candidates: int = MAX_CONTEXT_CANDIDATES,
+) -> MinimizationContext | None:
+    """Snapshot a cold minimization, or None when nothing transfers.
+
+    Returns None for generation-free results (empty on-set, affine
+    fast path — a cold re-solve of those is already trivial), for
+    truncated generations (the candidate stream is cap-shaped, not
+    function-shaped), and for candidate lists past ``max_candidates``
+    (the snapshot would cost more than it saves).
+    """
+    generation = result.generation
+    if generation is None or generation.truncated:
+        return None
+    candidates = list(generation.eppps)
+    if not candidates or len(candidates) > max_candidates:
+        return None
+    rows = sorted(func.on_set)
+    masks, costs = masks_and_costs(rows, candidates)
+    trie: PartitionTrie = PartitionTrie()
+    for pc in candidates:
+        trie.insert(pc)
+    return MinimizationContext(
+        func=func,
+        candidates=candidates,
+        rows=rows,
+        masks=masks,
+        costs=costs,
+        form=result.form,
+        covering=covering,
+        covering_optimal=result.covering_optimal,
+        backend=backend,
+        max_pseudoproducts=max_pseudoproducts,
+        generation_seconds=result.seconds_generation,
+        generation_comparisons=generation.total_comparisons,
+        covering_stats=result.covering_stats,
+        trie=trie,
+        trie_fingerprint=trie.fingerprint,
+    )
+
+
+def toggle_points(func: BoolFunc, toggles: Iterable[int]) -> BoolFunc:
+    """Apply point toggles: on→dc, dc→on, off→on.
+
+    This is the edit vocabulary of the ``"delta"`` request form.  An
+    on↔dc toggle preserves the care set (the warm-path sweet spot); an
+    off→on toggle grows it and will route to the cold path.
+    """
+    on = set(func.on_set)
+    dc = set(func.dc_set)
+    space = 1 << func.n
+    for p in toggles:
+        if not 0 <= p < space:
+            raise ValueError(f"toggle point {p} outside B^{func.n}")
+        if p in on:
+            on.discard(p)
+            dc.add(p)
+        elif p in dc:
+            dc.discard(p)
+            on.add(p)
+        else:
+            on.add(p)
+    return BoolFunc(func.n, frozenset(on), frozenset(dc))

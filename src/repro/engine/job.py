@@ -30,7 +30,7 @@ _HASH_VERSION = 2
 # change can alter results for identical inputs (e.g. a different
 # covering heuristic), so stale cache entries from older builds are
 # never served as if they came from the current solver.
-_SOLVER_VERSION = "genkernels-3"
+_SOLVER_VERSION = "delta-4"
 
 
 @dataclass(frozen=True)

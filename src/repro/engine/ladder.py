@@ -79,7 +79,12 @@ def ladder_for(job: Job) -> tuple[Rung, ...]:
     return (sp,)
 
 
-def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str, Any]:
+def execute_rung(
+    job: Job,
+    rung: Rung,
+    budget: Budget | None = None,
+    capture: Any = None,
+) -> dict[str, Any]:
     """Run one rung of ``job`` and return a result record.
 
     The produced form is verified against the function before the
@@ -89,6 +94,14 @@ def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str
     :mod:`repro.budget`); a blown deadline/ceiling or a cancellation
     propagates as :class:`repro.errors.BudgetExceeded` /
     :class:`repro.errors.Cancelled` for the scheduler to classify.
+
+    ``capture`` is an optional ``capture(job, rung, result, record)``
+    callback invoked on successful exact rungs with the in-memory
+    minimizer result, before the record is returned — the hook the
+    near-duplicate index (:mod:`repro.delta`) uses to snapshot reusable
+    contexts.  Only honoured where the caller shares an address space
+    (the scheduler threads it on the inline path); capture errors are
+    swallowed, never failing the rung.
     """
     func = job.func
     t0 = time.perf_counter()
@@ -161,7 +174,7 @@ def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str
         verified=VERIFIED_FULL,
         verify_ms=verify_ms,
     )
-    return {
+    record = {
         "version": RECORD_VERSION,
         "kind": "engine_record",
         "job": job_to_dict(job),
@@ -176,3 +189,9 @@ def execute_rung(job: Job, rung: Rung, budget: Budget | None = None) -> dict[str
         "integrity": certificate,
         "extras": extras,
     }
+    if capture is not None and rung.method == "exact":
+        try:
+            capture(job, rung, result, record)
+        except Exception:  # noqa: BLE001 — snapshotting must never fail a rung
+            pass
+    return record

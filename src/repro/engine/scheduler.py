@@ -142,6 +142,7 @@ def _run_rung_task(
     timeout: float | None,
     memory_mb: int | None,
     budget: Budget | None = None,
+    capture: Callable[..., None] | None = None,
 ) -> dict[str, Any]:
     """One pool task: run a single rung under its budgets.
 
@@ -169,7 +170,7 @@ def _run_rung_task(
                 "scheduler.rung_start", label=job.label, rung=rung.name,
                 budget=attempt,
             )
-            record = execute_rung(job, rung, budget=attempt)
+            record = execute_rung(job, rung, budget=attempt, capture=capture)
         return {"status": "ok", "record": record}
     except Cancelled as exc:
         return {
@@ -241,6 +242,7 @@ def run_batch(
     retry_backoff: float = 0.1,
     budget: Budget | None = None,
     rung_gate: Callable[[Job, Rung], bool] | None = None,
+    delta_index=None,
 ) -> BatchResult:
     """Run ``jobs`` through cache, manifest, pool and ladder.
 
@@ -273,6 +275,14 @@ def run_batch(
     was skipped, so a gated job still terminates with an answer.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers=0`` runs inline.
+
+    ``delta_index`` is an optional :class:`repro.delta.DeltaIndex`: a
+    cache-missed exact job is first offered to the near-duplicate warm
+    path (:func:`repro.delta.warm_record_for` — patch the base context,
+    re-solve covering, full verify + certificate) before being
+    scheduled cold; contexts are captured from completed exact rungs on
+    the inline path (workers=0), where the minimizer result shares the
+    caller's address space.
     """
     t_start = time.perf_counter()
     if workers is None:
@@ -310,6 +320,22 @@ def run_batch(
         if key in scheduled:
             followers.setdefault(key, []).append(index)
             continue
+        if delta_index is not None and job.method == "exact":
+            from repro.delta import warm_record_for  # lazy: optional subsystem
+
+            warm = None
+            try:
+                warm = warm_record_for(job, delta_index, budget=budget)
+            except BudgetExceeded:
+                pass  # let the normal path resolve the job as cancelled
+            if warm is not None:
+                warm["degraded"] = False
+                warm["attempts"] = []
+                cache.put(key, warm)
+                if manifest is not None:
+                    manifest.store(key, warm)
+                finish(index, job, warm, SOURCE_COMPUTED)
+                continue
         pending = _Pending(index, job, ladder_for(job))
         scheduled[key] = pending
         to_run.append(pending)
@@ -362,12 +388,13 @@ def run_batch(
         )
 
     if workers == 0:
+        capture = delta_index.observe if delta_index is not None else None
         for pending in to_run:
             if pending.index in outcomes:
                 continue  # resolved early by a budget termination
             _run_inline(
                 pending, timeout, memory_mb, resolve,
-                budget=budget, rung_gate=rung_gate,
+                budget=budget, rung_gate=rung_gate, capture=capture,
             )
             if budget is not None and (budget.cancelled or budget.expired()):
                 _cancel_remaining(to_run, outcomes, resolve, budget)
@@ -431,6 +458,7 @@ def _run_inline(
     resolve: Callable[..., None],
     budget: Budget | None = None,
     rung_gate: Callable[[Job, Rung], bool] | None = None,
+    capture: Callable[..., None] | None = None,
 ) -> None:
     while True:
         # Overall budget gone → terminate instead of degrading further.
@@ -450,7 +478,7 @@ def _run_inline(
         rung = pending.ladder[pending.rung_idx]
         result = _run_rung_task(
             pending.job, rung, None if last else timeout, memory_mb,
-            budget=budget,
+            budget=budget, capture=capture,
         )
         if result["status"] == "ok":
             resolve(pending, result["record"])

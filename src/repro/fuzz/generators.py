@@ -12,6 +12,9 @@ Each family stresses a different corner of the pipeline:
 * ``dc-heavy`` — large don't-care sets; exercises dc exploitation in
   generation and covering, and the dc edge cases of the metamorphic
   checks.
+* ``near-dup`` — moderate density with a guaranteed non-empty dc set;
+  shaped so care-preserving on/dc toggles exist, which is what the
+  ``delta-warm`` check needs to exercise the incremental warm path.
 
 Everything is driven by a caller-supplied :class:`random.Random` so a
 seed fully determines the corpus.
@@ -83,18 +86,42 @@ def _dc_heavy(rng: random.Random, n: int) -> BoolFunc:
     return BoolFunc(n, frozenset(on), frozenset(dc))
 
 
+def _near_dup(rng: random.Random, n: int) -> BoolFunc:
+    space = 1 << n
+    on: set[int] = set()
+    dc: set[int] = set()
+    for p in range(space):
+        r = rng.random()
+        if r < 0.35:
+            on.add(p)
+        elif r < 0.50:
+            dc.add(p)
+    if not on:
+        on = {rng.randrange(space)}
+        dc -= on
+    if not dc:
+        # The delta-warm check toggles on<->dc inside the care set, so
+        # draws with some dc mass make both toggle directions reachable.
+        pool = sorted(set(range(space)) - on)
+        if pool:
+            dc = {rng.choice(pool)}
+    return BoolFunc(n, frozenset(on), frozenset(dc - on))
+
+
 FAMILIES = {
     "dense": _dense,
     "sparse": _sparse,
     "arith-like": _arith_like,
     "dc-heavy": _dc_heavy,
+    "near-dup": _near_dup,
 }
 
 FAMILY_WEIGHTS = {
-    "dense": 0.25,
-    "sparse": 0.30,
+    "dense": 0.20,
+    "sparse": 0.25,
     "arith-like": 0.20,
-    "dc-heavy": 0.25,
+    "dc-heavy": 0.20,
+    "near-dup": 0.15,
 }
 
 

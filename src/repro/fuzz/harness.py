@@ -22,6 +22,10 @@ For every drawn function the harness runs all four engine rungs
   literal count, so the proved-optimal exact SPP cost must be equal.
 * **metamorphic-cofactor** — minimizing a Shannon cofactor still
   verifies against the cofactor.
+* **delta-warm** — a care-preserving on/dc toggle of the function is
+  re-minimized through the incremental warm path
+  (:func:`repro.delta.warm_minimize`) and must return the same form as
+  a cold exact solve of the edited function, and pass the oracle.
 
 Any failure is shrunk (greedy ddmin over the on- and dc-sets) and
 written as a replayable JSON artifact under ``results/fuzz/``.
@@ -70,6 +74,7 @@ CHECKS = (
     "metamorphic-permutation",
     "metamorphic-negation",
     "metamorphic-cofactor",
+    "delta-warm",
 )
 
 # Generation cap for the exact rung so a single dense draw cannot eat
@@ -360,6 +365,59 @@ def run_trial(
         except Exception as exc:  # noqa: BLE001
             failures.append(
                 FuzzFailure("crash", f"{type(exc).__name__}: {exc}", rung="negation")
+            )
+
+    if "delta-warm" in enabled and exact is not None and _untruncated(exact):
+        from repro.delta import (
+            DeltaIneligible,
+            build_context,
+            toggle_points,
+            warm_minimize,
+        )
+
+        try:
+            ctx = build_context(
+                func, exact, covering="exact", max_pseudoproducts=_EXACT_CAP
+            )
+            care = sorted(func.care_set)
+            if ctx is not None and care:
+                toggles = rng.sample(care, rng.randint(1, min(3, len(care))))
+                edited = toggle_points(func, toggles)
+                if edited.on_set:
+                    warm = warm_minimize(
+                        ctx, edited, budget=_budget(rung_budget)
+                    )
+                    cold = _exact(edited, rung_budget)
+                    bad = _oracle_mismatches(warm.form, edited)
+                    if bad:
+                        failures.append(
+                            FuzzFailure(
+                                "delta-warm",
+                                "warm re-minimized form fails oracle on "
+                                "edited function",
+                                rung="exact",
+                                detail={
+                                    "toggles": sorted(toggles),
+                                    "counterexamples": bad,
+                                },
+                            )
+                        )
+                    if warm.form != cold.form:
+                        failures.append(
+                            FuzzFailure(
+                                "delta-warm",
+                                "warm re-minimization differs from cold solve "
+                                f"({warm.num_literals} vs "
+                                f"{cold.num_literals} literals)",
+                                rung="exact",
+                                detail={"toggles": sorted(toggles)},
+                            )
+                        )
+        except (BudgetExceeded, DeltaIneligible):
+            pass
+        except Exception as exc:  # noqa: BLE001
+            failures.append(
+                FuzzFailure("crash", f"{type(exc).__name__}: {exc}", rung="delta")
             )
 
     if "metamorphic-cofactor" in enabled:

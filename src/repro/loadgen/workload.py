@@ -27,6 +27,7 @@ import random
 from typing import Any
 
 from repro.bench.suite import BENCHMARKS
+from repro.boolfunc.pla import parse_pla
 
 __all__ = ["Workload", "DEFAULT_LARGE_BENCHMARKS"]
 
@@ -67,11 +68,15 @@ class Workload:
         max_rung: str | None = "heuristic",
         timeout: float = 5.0,
         budget_seconds: float = 20.0,
+        dup_rate: float = 0.0,
     ) -> None:
         if not 0.0 <= large_fraction <= 1.0:
             raise ValueError("large_fraction must be within [0, 1]")
+        if not 0.0 <= dup_rate <= 1.0:
+            raise ValueError("dup_rate must be within [0, 1]")
         self.seed = seed
         self.large_fraction = large_fraction
+        self.dup_rate = dup_rate
         rng = random.Random(seed)
         common: dict[str, Any] = {
             "timeout": timeout,
@@ -98,6 +103,28 @@ class Workload:
                 i // len(large_benchmarks)
             ) % BENCHMARKS[bench].n_outputs
             self._large.append(json.dumps(payload, sort_keys=True).encode())
+        # Near-duplicate traffic: delta-form bodies editing small-pool
+        # functions.  Each base gets a few toggle variants, so variants
+        # of the same base are near-duplicates of *each other* and the
+        # service's DeltaIndex can serve later ones warm.  No max_rung
+        # cap — the warm path lives on the exact rung, and these
+        # functions are small enough that exact is cheap.
+        self._dups: list[bytes] = []
+        if dup_rate > 0:
+            drng = random.Random(seed + 2)
+            for body in self._small:
+                payload = json.loads(body)
+                on = sorted(parse_pla(payload["pla"], name="w")[0].on_set)
+                if len(on) < 3:
+                    continue
+                for _ in range(3):
+                    dup = {
+                        "timeout": timeout,
+                        "budget_seconds": budget_seconds,
+                        "base": {"pla": payload["pla"], "label": payload["label"]},
+                        "delta": {"toggles": drng.sample(on, drng.randint(1, 2))},
+                    }
+                    self._dups.append(json.dumps(dup, sort_keys=True).encode())
         self._rng = random.Random(seed + 1)
 
     # ------------------------------------------------------------------
@@ -109,6 +136,8 @@ class Workload:
     def next_body(self, rng: random.Random | None = None) -> bytes:
         """Draw one request body from the mix."""
         rng = rng or self._rng
+        if self._dups and rng.random() < self.dup_rate:
+            return rng.choice(self._dups)
         if self._large and rng.random() < self.large_fraction:
             return rng.choice(self._large)
         return rng.choice(self._small)
@@ -119,4 +148,6 @@ class Workload:
             "small_pool": len(self._small),
             "large_pool": len(self._large),
             "large_fraction": self.large_fraction,
+            "dup_rate": self.dup_rate,
+            "dup_pool": len(self._dups),
         }

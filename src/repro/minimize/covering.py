@@ -398,6 +398,7 @@ def solve_exact(
     *,
     budget: Budget | None = None,
     reduce: bool = True,
+    seed: list[int] | None = None,
 ) -> CoveringSolution[T]:
     """Exact covering through the mincov reduction layer.
 
@@ -415,6 +416,10 @@ def solve_exact(
     (never worse than greedy, which seeds the incumbent).  ``budget``
     is ticked once per search node, so cancellation and deadlines cut
     the search short from inside the recursion.
+
+    ``seed`` is a known-feasible warm-start cover (column indices); it
+    is only consulted when the search fails to prove optimality, as a
+    fallback incumbent — see :func:`repro.minimize.mincov.solve_exact`.
     """
     if problem.num_rows == 0:
         return CoveringSolution([], 0, True, [])
@@ -423,7 +428,7 @@ def solve_exact(
     if reduce:
         from repro.minimize import mincov
 
-        return mincov.solve_exact(problem, node_limit, budget=budget)
+        return mincov.solve_exact(problem, node_limit, budget=budget, seed=seed)
     return _solve_exact_raw(problem, node_limit, budget=budget)
 
 
@@ -555,6 +560,7 @@ def solve(
     mode: str = "auto",
     *,
     budget: Budget | None = None,
+    seed: list[int] | None = None,
 ) -> CoveringSolution[T]:
     """Dispatch: ``greedy``, ``exact``, or ``auto``.
 
@@ -563,11 +569,14 @@ def solve(
     sizes, so instances whose core collapses get proved optimal even
     when the raw matrix looks large (mirroring the paper's practice of
     exact covers on the small benchmarks, heuristics on the rest).
+
+    ``seed`` (exact mode only) is a known-feasible warm-start cover
+    used as a fallback incumbent when the node budget runs out.
     """
     if mode == "greedy":
         return solve_greedy(problem, budget=budget)
     if mode == "exact":
-        return solve_exact(problem, budget=budget)
+        return solve_exact(problem, budget=budget, seed=seed)
     if mode == "auto":
         if problem.num_rows == 0:
             return CoveringSolution([], 0, True, [])

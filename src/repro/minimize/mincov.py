@@ -478,6 +478,7 @@ def solve_exact(
     node_limit: int = 200_000,
     *,
     budget: Budget | None = None,
+    seed: list[int] | None = None,
 ) -> CoveringSolution[T]:
     """Exact covering: full reduction fixpoint, component split, then a
     branch-and-bound that re-runs the fixpoint at every node.
@@ -486,6 +487,17 @@ def solve_exact(
     the shared ``node_limit``; otherwise the best cover found (never
     worse than greedy, which seeds each component's incumbent) is
     returned with ``optimal=False``.
+
+    ``seed`` is an optional warm-start cover — column indices into
+    ``problem`` known to be feasible (e.g. the previous solution in
+    incremental re-minimization, the upper-bound reuse of Riener et
+    al.).  It never steers the search itself: reduction may eliminate
+    seed columns, and injecting a bound without a witness into a
+    component would let pruning discard the optimum unsoundly.  It only
+    acts as a fallback incumbent — when the search runs out of nodes
+    *and* the seed is strictly cheaper than the best cover found, the
+    seed is returned (still ``optimal=False``).  A proved search result
+    is therefore bit-identical with or without a seed.
     """
     core = reduce_problem(problem, budget=budget, dominance=True)
     stats = core.stats
@@ -506,6 +518,15 @@ def solve_exact(
         nodes_left = max(nodes_left - used, 0)
         proved = proved and comp_proved
         selected.extend(sub.payloads[i] for i in chosen)
+    if seed is not None and not proved:
+        masks = problem.column_masks
+        covered = 0
+        for i in seed:
+            covered |= masks[i]
+        if covered == problem.universe:
+            costs = problem.costs
+            if sum(costs[i] for i in seed) < sum(costs[i] for i in selected):
+                selected = list(seed)
     return _finish(problem, selected, proved, stats)
 
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -43,6 +43,7 @@ from repro import faults
 from repro.bench.suite import BENCHMARKS, get_benchmark
 from repro.boolfunc.pla import parse_pla
 from repro.budget import Budget
+from repro.delta import DeltaIndex
 from repro.engine.batch import SOURCE_CANCELLED, Manifest
 from repro.engine.cache import ResultCache
 from repro.engine.job import METHODS, Job
@@ -82,15 +83,55 @@ VERIFIED_HEADER = "X-Repro-Verified"
 _RUNG_RANK = {"sp": 0, "heuristic": 1, "bounded": 2, "exact": 3}
 
 
-def jobs_from_payload(payload: dict[str, Any]) -> list[Job]:
+def jobs_from_payload(payload: dict[str, Any], *, routing: bool = False) -> list[Job]:
     """Expand a ``POST /minimize`` body into engine jobs.
 
     Shared with the cluster coordinator, which needs the same expansion
     to compute the content-hash routing key without owning an engine.
     Raises :class:`UsageError` on malformed payloads.
+
+    The near-duplicate request form puts the function spec under
+    ``"base"`` and the edit under ``"delta"``::
+
+        {"base": {"benchmark": "life6", "output": 0},
+         "delta": {"toggles": [5, 9]}, ...options}
+
+    Toggles move points on→dc, dc→on, or off→on (see
+    :func:`repro.delta.toggle_points`); care-set-preserving edits are
+    the warm-path sweet spot.  With ``routing=True`` the *base* jobs
+    are returned instead of the toggled ones — the coordinator hashes
+    those, so near-duplicates land on the worker holding the base
+    context.
     """
     if not isinstance(payload, dict):
         raise UsageError("request body must be a JSON object")
+    delta = payload.get("delta")
+    if delta is not None:
+        base = payload.get("base")
+        if not isinstance(base, dict):
+            raise UsageError('"delta" requires a "base" object with the function spec')
+        if not isinstance(delta, dict):
+            raise UsageError('"delta" must be a JSON object')
+        merged = {k: v for k, v in payload.items() if k not in ("base", "delta")}
+        merged.update(base)
+        jobs = jobs_from_payload(merged)
+        if routing:
+            return jobs
+        toggles = delta.get("toggles", [])
+        if not isinstance(toggles, list) or not all(
+            isinstance(t, int) and not isinstance(t, bool) for t in toggles
+        ):
+            raise UsageError('"delta.toggles" must be a list of integer points')
+        from repro.delta.context import toggle_points
+
+        out = []
+        for job in jobs:
+            try:
+                func = toggle_points(job.func, toggles)
+            except ValueError as exc:
+                raise UsageError(str(exc)) from None
+            out.append(replace(job, func=func, label=f"{job.label}+d{len(toggles)}"))
+        return out
     method = payload.get("method", "exact")
     if method not in METHODS:
         raise UsageError(
@@ -158,6 +199,8 @@ class ServeConfig:
     max_disk_entries: int | None = None  # shared disk tier cap (cluster)
     audit_rate: int = 16     # verify-on-read: audit every Nth disk load
     shadow_rate: int = 8     # shadow-verify every Nth response (0 = off)
+    delta_entries: int = 64  # near-duplicate context LRU (0 = warm path off)
+    delta_max_edit: int = 8  # on-set edit distance ceiling for warm reuse
     manifest_dir: str | None = None
     drain_grace: float = 10.0
     parent_pid: int | None = None  # drain when this process disappears
@@ -189,6 +232,11 @@ class MinimizeService:
         )
         self.shadow = ShadowVerifier(
             rate=cfg.shadow_rate, breaker=self.breaker, cache=self.cache
+        )
+        self.delta = (
+            DeltaIndex(cfg.delta_entries, max_edit=cfg.delta_max_edit)
+            if cfg.delta_entries > 0
+            else None
         )
         self.watchdog = MemoryWatchdog(
             soft_mb=cfg.memory_soft_mb,
@@ -330,6 +378,7 @@ class MinimizeService:
                     manifest=self.manifest,
                     budget=budget,
                     rung_gate=self._gate_from(payload),
+                    delta_index=self.delta,
                 )
             finally:
                 self._unregister(request_id)
@@ -509,6 +558,7 @@ class MinimizeService:
                 "counters": self.cache.stats.as_dict(),
                 "stats": self.cache.stats.summary(),
             },
+            "delta": self.delta.stats() if self.delta is not None else {},
         }
 
     def metrics_text(self) -> str:
@@ -568,6 +618,22 @@ class MinimizeService:
             if key not in ("rate", "verify_seconds"):
                 shadow.add(value, kind=key)
         metrics.append(shadow)
+        if self.delta is not None:
+            delta_stats = self.delta.stats()
+            delta_metric = Metric(
+                "repro_delta_events_total",
+                "Near-duplicate warm-path events by kind.",
+                "counter",
+            )
+            for key in ("lookups", "warm_hits", "fallbacks", "inserts", "evictions"):
+                delta_metric.add(delta_stats[key], kind=key)
+            metrics.append(delta_metric)
+            metrics.append(
+                Metric(
+                    "repro_delta_entries",
+                    "Minimization contexts in the near-duplicate LRU.",
+                ).add(delta_stats["entries"])
+            )
         cache_metric = Metric(
             "repro_cache_events_total",
             "Result-cache events by kind (memory/disk tiers).",

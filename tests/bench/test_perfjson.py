@@ -228,6 +228,27 @@ class TestCli:
         for row in e2e:
             assert row["ratio"] <= 1.0, row
 
+    def test_committed_delta_artifacts_show_warm_speedup(self):
+        # The incremental re-minimization record: every delta entry
+        # carries a same-process paired cold-solve speedup >= 5x with
+        # the bit-identical-cover claim checked (the bench raises on
+        # any warm/cold mismatch, so identical_cover is load-bearing)
+        # and at least one counted warm hit.
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        report = load_report(str(bench_dir / "BENCH_delta.json"))
+        deltas = [e for e in report["entries"]
+                  if e["name"].startswith("delta/")]
+        assert len(deltas) == 3
+        for entry in deltas:
+            meta = entry["meta"]
+            assert meta["identical_cover"] is True, entry["name"]
+            assert meta["warm_hits"] >= 1, entry["name"]
+            assert meta["cold_best"] > 0, entry["name"]
+            assert meta["speedup_mean"] >= 5.0, (
+                entry["name"], meta["speedup_mean"])
+
     def test_committed_mincov_artifacts_show_covering_speedup(self):
         # The mincov before/after pair: >= 1.5x mean improvement on at
         # least two covering_solve entries, with the cover costs

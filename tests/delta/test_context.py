@@ -1,0 +1,89 @@
+"""Tests for minimization-context snapshots and the toggle vocabulary."""
+
+import pytest
+
+from repro.boolfunc.function import BoolFunc
+from repro.core.pseudocube import Pseudocube
+from repro.delta import build_context, toggle_points
+from repro.kernels.coverage import masks_and_costs
+from repro.minimize.exact import minimize_spp
+
+FUNC = BoolFunc(3, frozenset({0, 1, 3, 6}), frozenset({5}))
+
+
+def _context(func=FUNC, **kwargs):
+    result = minimize_spp(func)
+    return build_context(func, result, **kwargs)
+
+
+class TestBuildContext:
+    def test_snapshot_matches_direct_mask_pass(self):
+        ctx = _context()
+        assert ctx is not None
+        assert ctx.rows == sorted(FUNC.on_set)
+        masks, costs = masks_and_costs(ctx.rows, ctx.candidates)
+        assert ctx.masks == masks
+        assert ctx.costs == costs
+
+    def test_snapshot_records_solver_parameters(self):
+        result = minimize_spp(FUNC, covering="exact")
+        ctx = build_context(
+            FUNC, result, covering="exact", max_pseudoproducts=50_000
+        )
+        assert ctx.covering == "exact"
+        assert ctx.max_pseudoproducts == 50_000
+        assert ctx.form == result.form
+        assert ctx.cost == result.num_literals
+        assert ctx.covering_optimal == result.covering_optimal
+
+    def test_affine_fast_path_has_no_context(self):
+        """{0,3,5,6} is an affine subspace: minimize_spp returns the
+        single-pseudocube fast path with no generation, so there is no
+        candidate stream to snapshot."""
+        func = BoolFunc(3, frozenset({0, 3, 5, 6}))
+        result = minimize_spp(func)
+        assert result.generation is None
+        assert build_context(func, result) is None
+
+    def test_oversized_generation_refused(self):
+        result = minimize_spp(FUNC)
+        assert build_context(FUNC, result, max_candidates=1) is None
+
+    def test_truncated_generation_refused(self):
+        result = minimize_spp(FUNC, max_pseudoproducts=3, on_limit="stop")
+        assert result.generation.truncated
+        assert build_context(FUNC, result) is None
+
+    def test_staleness_detected_on_trie_mutation(self):
+        ctx = _context()
+        assert not ctx.is_stale()
+        extra = Pseudocube.from_point(3, 2)
+        if extra not in ctx.trie:
+            ctx.trie.insert(extra)
+        assert ctx.is_stale()
+
+
+class TestTogglePoints:
+    def test_on_point_moves_to_dc(self):
+        out = toggle_points(FUNC, [0])
+        assert 0 not in out.on_set
+        assert 0 in out.dc_set
+
+    def test_dc_point_moves_to_on(self):
+        out = toggle_points(FUNC, [5])
+        assert 5 in out.on_set
+        assert 5 not in out.dc_set
+
+    def test_off_point_joins_on_set(self):
+        out = toggle_points(FUNC, [7])
+        assert 7 in out.on_set
+        assert out.care_set != FUNC.care_set
+
+    def test_care_preserving_round_trip(self):
+        assert toggle_points(toggle_points(FUNC, [0, 5]), [0, 5]) == FUNC
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            toggle_points(FUNC, [8])
+        with pytest.raises(ValueError):
+            toggle_points(FUNC, [-1])

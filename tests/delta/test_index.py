@@ -1,0 +1,151 @@
+"""Tests for the near-duplicate index and the scheduler warm path."""
+
+from repro.boolfunc.function import BoolFunc
+from repro.delta import (
+    DeltaIndex,
+    build_context,
+    onset_signature,
+    toggle_points,
+    warm_record_for,
+)
+from repro.engine import Job, run_batch
+from repro.minimize.exact import minimize_spp
+from repro.serialize import form_from_dict
+from repro.verify import verify_form
+
+FUNC = BoolFunc(4, frozenset({0, 1, 3, 6, 9, 12, 14}), frozenset({5, 10}))
+
+
+def _ctx(func=FUNC, covering="greedy"):
+    ctx = build_context(func, minimize_spp(func, covering=covering), covering=covering)
+    assert ctx is not None
+    return ctx
+
+
+def _put(index, func=FUNC, covering="greedy"):
+    job = Job(func, method="exact", covering=covering)
+    index.put(job.content_hash, _ctx(func, covering))
+    return job
+
+
+class TestSignature:
+    def test_deterministic_and_order_independent(self):
+        assert onset_signature([3, 1, 9]) == onset_signature([9, 3, 1])
+        assert onset_signature(FUNC.on_set) == onset_signature(sorted(FUNC.on_set))
+
+    def test_near_duplicates_collide_in_some_band(self):
+        a = onset_signature(FUNC.on_set)
+        b = onset_signature(toggle_points(FUNC, [0]).on_set)
+        assert any(x == y for x, y in zip(a, b))
+
+    def test_disjoint_sets_differ(self):
+        assert onset_signature({0, 1, 2}) != onset_signature({13, 14, 15})
+
+
+class TestLookup:
+    def test_near_duplicate_job_finds_base(self):
+        index = DeltaIndex()
+        _put(index)
+        edited = toggle_points(FUNC, [0, 5])
+        got = index.lookup(Job(edited, method="exact"))
+        assert got is not None and got.func == FUNC
+        assert index.stats()["lookups"] == 1
+
+    def test_non_exact_job_never_looked_up(self):
+        index = DeltaIndex()
+        _put(index)
+        assert index.lookup(Job(FUNC, method="heuristic")) is None
+        assert index.stats()["lookups"] == 0
+
+    def test_covering_mode_must_match(self):
+        index = DeltaIndex()
+        _put(index, covering="greedy")
+        edited = toggle_points(FUNC, [0])
+        job = Job(edited, method="exact", covering="exact")
+        assert index.lookup(job) is None
+        assert index.stats()["fallback_reasons"] == {"covering-mode-changed": 1}
+
+    def test_edit_too_large_counted(self):
+        index = DeltaIndex(max_edit=1)
+        _put(index)
+        edited = toggle_points(FUNC, [0, 5])  # symmetric diff of 2
+        assert index.lookup(Job(edited, method="exact")) is None
+        assert index.stats()["fallback_reasons"] == {"edit-too-large": 1}
+
+    def test_smallest_edit_wins(self):
+        index = DeltaIndex()
+        near = toggle_points(FUNC, [0])
+        _put(index)
+        _put(index, near)
+        got = index.lookup(Job(near, method="exact"))
+        assert got is not None and got.func == near
+
+    def test_drop_quarantines(self):
+        index = DeltaIndex()
+        job = _put(index)
+        index.drop(job.content_hash)
+        assert len(index) == 0
+        assert index.lookup(Job(toggle_points(FUNC, [0]), method="exact")) is None
+
+
+class TestLru:
+    def test_capacity_evicts_oldest(self):
+        index = DeltaIndex(capacity=2)
+        funcs = [
+            BoolFunc(3, frozenset({0, 1, 3}), frozenset({6})),
+            BoolFunc(3, frozenset({1, 2, 4}), frozenset({7})),
+            BoolFunc(3, frozenset({2, 5, 6}), frozenset({0})),
+        ]
+        for f in funcs:
+            _put(index, f)
+        stats = index.stats()
+        assert stats["entries"] == 2
+        assert stats["inserts"] == 3
+        assert stats["evictions"] == 1
+        # The first insert was evicted; its near-duplicates go cold.
+        assert index.lookup(Job(funcs[0], method="exact")) is None
+
+
+class TestWarmRecord:
+    def test_record_is_full_engine_record(self):
+        index = DeltaIndex()
+        _put(index)
+        edited = toggle_points(FUNC, [0, 5])
+        job = Job(edited, method="exact")
+        record = warm_record_for(job, index)
+        assert record is not None
+        assert record["kind"] == "engine_record"
+        assert record["rung"] == "exact"
+        assert record["extras"]["delta"]["warm"] is True
+        assert record["extras"]["delta"]["edit"] == 2
+        assert record["integrity"]["verified"]
+        form = form_from_dict(record["form"])
+        assert verify_form(form, edited)
+        cold = minimize_spp(edited)
+        assert form == cold.form
+        assert index.stats()["warm_hits"] == 1
+
+    def test_miss_returns_none(self):
+        index = DeltaIndex()
+        job = Job(FUNC, method="exact")
+        assert warm_record_for(job, index) is None
+
+
+class TestSchedulerIntegration:
+    def test_run_batch_serves_edit_warm(self):
+        index = DeltaIndex()
+        base_job = Job(FUNC, method="exact", label="base")
+        edited = toggle_points(FUNC, [0, 5])
+        edit_job = Job(edited, method="exact", label="edited")
+
+        first = run_batch([base_job], workers=0, delta_index=index)
+        assert first.ok
+        assert len(index) == 1  # the inline rung captured a context
+
+        second = run_batch([edit_job], workers=0, delta_index=index)
+        assert second.ok
+        record = second.outcomes[0].record
+        assert record["extras"]["delta"]["warm"] is True
+        assert index.stats()["warm_hits"] == 1
+        cold = run_batch([edit_job], workers=0)
+        assert record["form"] == cold.outcomes[0].record["form"]

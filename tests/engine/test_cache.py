@@ -259,22 +259,25 @@ class TestVerifyOnRead:
         assert cache.stats.audit_mismatches == 0
 
     def test_previous_generation_salt_is_stale(self, tmp_path):
-        """Records written by the pre-kernel build (salt ``mincov-2``)
-        must be treated as salt-stale under ``genkernels-3``: always
-        re-audited on read, never served on the producer's word alone."""
-        assert _SOLVER_VERSION == "genkernels-3"
-        record = _verified_record(salt="mincov-2")
-        cache = self._disk_cache(tmp_path, record, audit_rate=0)
-        got = cache.get(self.KEY, func=_FUNC)
-        assert got is not None  # the form still covers: audited, kept
-        assert cache.stats.audited == 1
-        # The envelope keeps the producer's salt (provenance is never
-        # rewritten), so every *disk* read of an old-build record stays
-        # forced through the audit.
-        assert got["integrity"]["solver_salt"] == "mincov-2"
-        fresh = ResultCache(cache_dir=tmp_path, audit_rate=0)
-        assert fresh.get(self.KEY, func=_FUNC) is not None
-        assert fresh.stats.audited == 1
+        """Records written by earlier builds (salts ``mincov-2`` and
+        ``genkernels-3``) must be treated as salt-stale under
+        ``delta-4``: always re-audited on read, never served on the
+        producer's word alone."""
+        assert _SOLVER_VERSION == "delta-4"
+        for stale_salt in ("mincov-2", "genkernels-3"):
+            cache_dir = tmp_path / stale_salt
+            record = _verified_record(salt=stale_salt)
+            cache = self._disk_cache(cache_dir, record, audit_rate=0)
+            got = cache.get(self.KEY, func=_FUNC)
+            assert got is not None  # the form still covers: audited, kept
+            assert cache.stats.audited == 1
+            # The envelope keeps the producer's salt (provenance is never
+            # rewritten), so every *disk* read of an old-build record
+            # stays forced through the audit.
+            assert got["integrity"]["solver_salt"] == stale_salt
+            fresh = ResultCache(cache_dir=cache_dir, audit_rate=0)
+            assert fresh.get(self.KEY, func=_FUNC) is not None
+            assert fresh.stats.audited == 1
 
     def test_missing_envelope_always_audited(self, tmp_path):
         record = _verified_record()

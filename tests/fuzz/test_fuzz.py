@@ -53,6 +53,18 @@ class TestGenerators:
         rng = random.Random(1)
         assert any(FAMILIES["dc-heavy"](rng, 5).dc_set for _ in range(5))
 
+    def test_near_dup_family_registered_with_dc_mass(self):
+        assert "near-dup" in FAMILIES
+        rng = random.Random(1)
+        assert any(FAMILIES["near-dup"](rng, 5).dc_set for _ in range(5))
+
+    def test_delta_warm_check_registered(self):
+        assert "delta-warm" in CHECKS
+
+    def test_delta_warm_check_runs_clean(self):
+        func = BoolFunc(4, frozenset({0, 1, 3, 6, 9, 12}), frozenset({5, 10}))
+        assert run_trial(func, seed=2, checks=("delta-warm",)) == []
+
 
 class TestRunTrial:
     def test_clean_function_has_no_findings(self):
@@ -162,5 +174,5 @@ class TestCli:
     def test_all_check_names_documented(self):
         assert set(CHECKS) == {
             "differential", "cost-sanity", "metamorphic-permutation",
-            "metamorphic-negation", "metamorphic-cofactor",
+            "metamorphic-negation", "metamorphic-cofactor", "delta-warm",
         }

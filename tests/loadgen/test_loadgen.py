@@ -53,6 +53,33 @@ class TestWorkload:
         with pytest.raises(ValueError):
             Workload(large_fraction=1.5)
 
+    def test_dup_rate_validated(self):
+        with pytest.raises(ValueError):
+            Workload(dup_rate=-0.1)
+
+    def test_dup_bodies_are_delta_requests(self):
+        workload = Workload(seed=3, small_pool=6, large_pool=0, dup_rate=0.5)
+        assert workload.describe()["dup_pool"] > 0
+        from repro.serve.server import jobs_from_payload
+
+        for body in workload._dups:
+            payload = json.loads(body)
+            assert set(payload["delta"]) == {"toggles"}
+            assert "pla" in payload["base"]
+            # Dup bodies carry no max_rung cap: the warm path lives on
+            # the exact rung.
+            assert "max_rung" not in payload
+            assert jobs_from_payload(payload)  # expands cleanly
+
+    def test_dup_rate_one_draws_only_dups(self):
+        workload = Workload(seed=3, small_pool=6, large_pool=2, dup_rate=1.0)
+        dups = set(workload._dups)
+        assert all(workload.next_body() in dups for _ in range(30))
+
+    def test_dup_rate_zero_builds_no_pool(self):
+        workload = Workload(seed=3, small_pool=4)
+        assert workload.describe()["dup_pool"] == 0
+
 
 class TestPercentile:
     def test_empty(self):
